@@ -1,0 +1,73 @@
+//! Criterion benches for the design-choice ablations called out in
+//! DESIGN.md §5:
+//!
+//! 1. the `O(k log d)` order-statistics sampler of the pure-DP release vs
+//!    the literal `O(d)` universe scan;
+//! 2. exact Theorem 23 GSHM calibration cost vs the closed-form Lemma 24
+//!    parameters (a one-time cost that buys a smaller τ);
+//! 3. zipf sampling cost (workload generation overhead sanity check).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpmg_core::gshm::GshmParams;
+use dpmg_core::pure::PureDpRelease;
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_pure_release_sampler(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let stream = Zipf::new(10_000, 1.2).stream(200_000, &mut rng);
+    let mut sketch = MisraGries::new(64).unwrap();
+    sketch.extend(stream.iter().copied());
+
+    let mut group = c.benchmark_group("pure_release_sampler");
+    for d in [10_000u64, 100_000, 1_000_000] {
+        let mech = PureDpRelease::new(1.0, d).unwrap();
+        group.bench_with_input(BenchmarkId::new("order_statistics", d), &d, |b, _| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(mech.release(&sketch, &mut rng)))
+        });
+        // The naive scan is only feasible for the smaller universes.
+        if d <= 100_000 {
+            group.bench_with_input(BenchmarkId::new("naive_universe_scan", d), &d, |b, _| {
+                let mut rng = StdRng::seed_from_u64(5);
+                b.iter(|| black_box(mech.release_naive(&sketch, &mut rng)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_gshm_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gshm_calibration");
+    for l in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("loose_lemma24", l), &l, |b, &l| {
+            b.iter(|| black_box(GshmParams::loose(0.9, 1e-8, l).unwrap()))
+        });
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("exact_theorem23", l), &l, |b, &l| {
+            b.iter(|| black_box(GshmParams::calibrate(0.9, 1e-8, l).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    let zipf = Zipf::new(1_000_000, 1.1);
+    group.bench_function("zipf_sample_100k", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| black_box(zipf.stream(100_000, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pure_release_sampler,
+    bench_gshm_calibration,
+    bench_workload_generation
+);
+criterion_main!(benches);

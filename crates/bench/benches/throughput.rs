@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks (experiment **E13**): update throughput of
+//! every sketch in the workspace, private-release latency, and merge cost.
+//!
+//! Run with `cargo bench -p dpmg-bench --bench throughput`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpmg_core::pmg::PrivateMisraGries;
+use dpmg_noise::accounting::PrivacyParams;
+use dpmg_sketch::count_min::CountMin;
+use dpmg_sketch::count_sketch::CountSketch;
+use dpmg_sketch::merge::merge;
+use dpmg_sketch::misra_gries::{naive::NaiveMisraGries, MisraGries};
+use dpmg_sketch::misra_gries_classic::ClassicMisraGries;
+use dpmg_sketch::pamg::PrivacyAwareMisraGries;
+use dpmg_sketch::space_saving::SpaceSaving;
+use dpmg_workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const STREAM_LEN: usize = 100_000;
+
+fn zipf_stream() -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    Zipf::new(1_000_000, 1.1).stream(STREAM_LEN, &mut rng)
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let stream = zipf_stream();
+    let mut group = c.benchmark_group("update_throughput");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+
+    for k in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("misra_gries", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut mg = MisraGries::new(k).unwrap();
+                mg.extend(stream.iter().copied());
+                black_box(mg.count(&1))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("classic_mg", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut mg = ClassicMisraGries::new(k).unwrap();
+                mg.extend(stream.iter().copied());
+                black_box(mg.count(&1))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("space_saving", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut ss = SpaceSaving::new(k).unwrap();
+                ss.extend(stream.iter().copied());
+                black_box(ss.count(&1))
+            })
+        });
+    }
+    group.bench_function("count_min_2048x4", |b| {
+        b.iter(|| {
+            let mut cm = CountMin::new(2048, 4, 7).unwrap();
+            for x in &stream {
+                cm.update(x);
+            }
+            black_box(cm.count(&1))
+        })
+    });
+    group.bench_function("count_sketch_2048x5", |b| {
+        b.iter(|| {
+            let mut cs = CountSketch::new(2048, 5, 7).unwrap();
+            for x in &stream {
+                cs.update(x);
+            }
+            black_box(cs.count(&1))
+        })
+    });
+    group.bench_function("pamg_sets_of_8_k1024", |b| {
+        b.iter(|| {
+            let mut pamg = PrivacyAwareMisraGries::new(1024).unwrap();
+            for chunk in stream.chunks(8) {
+                pamg.update_set(chunk.iter().copied());
+            }
+            black_box(pamg.count(&1))
+        })
+    });
+    group.finish();
+}
+
+fn bench_release(c: &mut Criterion) {
+    let stream = zipf_stream();
+    let params = PrivacyParams::new(1.0, 1e-8).unwrap();
+    let mut group = c.benchmark_group("private_release");
+    for k in [64usize, 1024] {
+        let mut sketch = MisraGries::new(k).unwrap();
+        sketch.extend(stream.iter().copied());
+        let mech = PrivateMisraGries::new(params).unwrap();
+        group.bench_with_input(BenchmarkId::new("pmg_laplace", k), &k, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(mech.release(&sketch, &mut rng)))
+        });
+        let geo = PrivateMisraGries::new(params)
+            .unwrap()
+            .with_geometric_noise();
+        group.bench_with_input(BenchmarkId::new("pmg_geometric", k), &k, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(geo.release(&sketch, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    for k in [64usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let zipf = Zipf::new(100_000, 1.1);
+        let build = |rng: &mut StdRng| {
+            let mut mg = MisraGries::new(k).unwrap();
+            mg.extend(zipf.stream(50_000, rng));
+            mg.summary()
+        };
+        let a = build(&mut rng);
+        let b2 = build(&mut rng);
+        group.bench_with_input(BenchmarkId::new("pairwise", k), &k, |bench, _| {
+            bench.iter(|| black_box(merge(&a, &b2)))
+        });
+    }
+    group.finish();
+}
+
+/// The naive (literal pseudocode) Misra-Gries against the heap/offset
+/// implementation — quantifies the win of the production data structure.
+fn bench_naive_vs_fast(c: &mut Criterion) {
+    let stream = zipf_stream();
+    let mut group = c.benchmark_group("mg_store_ablation");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    let k = 256usize;
+    group.bench_function("fast_heap_offset", |b| {
+        b.iter(|| {
+            let mut mg = MisraGries::new(k).unwrap();
+            mg.extend(stream.iter().copied());
+            black_box(mg.count(&1))
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("naive_literal_alg1", |b| {
+        b.iter(|| {
+            let mut mg = NaiveMisraGries::new(k).unwrap();
+            mg.extend(stream.iter().copied());
+            black_box(mg.count(&1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_updates,
+    bench_release,
+    bench_merge,
+    bench_naive_vs_fast
+);
+criterion_main!(benches);

@@ -1,0 +1,240 @@
+//! `dpmg` — a small command-line front end for the library.
+//!
+//! Reads a stream of unsigned integers (one per line, `#` comments and
+//! blank lines ignored) and releases a differentially private histogram or
+//! heavy-hitter list. Argument parsing is hand-rolled (no CLI crates in the
+//! permitted dependency set).
+//!
+//! ```text
+//! USAGE:
+//!   dpmg release   --k 256 --eps 1.0 --delta 1e-8 [--seed N] [--geometric] [FILE]
+//!   dpmg hh        --k 256 --eps 1.0 --delta 1e-8 --threshold T [--seed N] [FILE]
+//!   dpmg pure      --k 256 --eps 1.0 --universe D [--seed N] [FILE]
+//!   dpmg sketch    --k 256 [FILE]              # non-private sketch counts
+//!   dpmg generate  --zipf S --n N --universe D [--seed N]   # workload to stdout
+//! ```
+//!
+//! Output is CSV on stdout (`key,estimate`), errors and help on stderr.
+
+use dpmg_core::heavy_hitters::heavy_hitters;
+use dpmg_core::pmg::PrivateMisraGries;
+use dpmg_core::pure::PureDpRelease;
+use dpmg_noise::accounting::PrivacyParams;
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, Write};
+
+const USAGE: &str = "\
+dpmg — differentially private approximate histograms (Lebeda–Tětek, PODS 2023)
+
+USAGE:
+  dpmg release  --k K --eps E --delta D [--seed N] [--geometric] [FILE]
+  dpmg hh       --k K --eps E --delta D --threshold T [--seed N] [FILE]
+  dpmg pure     --k K --eps E --universe D [--seed N] [FILE]
+  dpmg sketch   --k K [FILE]
+  dpmg generate --zipf S --n N --universe D [--seed N]
+
+FILE defaults to stdin; one unsigned integer per line, '#' comments allowed.
+Output: CSV `key,estimate` on stdout.";
+
+#[derive(Debug, Default)]
+struct Args {
+    k: Option<usize>,
+    eps: Option<f64>,
+    delta: Option<f64>,
+    threshold: Option<f64>,
+    universe: Option<u64>,
+    zipf: Option<f64>,
+    n: Option<usize>,
+    seed: u64,
+    geometric: bool,
+    file: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        ..Default::default()
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--k" => args.k = Some(take("--k")?.parse().map_err(|e| format!("--k: {e}"))?),
+            "--eps" => args.eps = Some(take("--eps")?.parse().map_err(|e| format!("--eps: {e}"))?),
+            "--delta" => {
+                args.delta = Some(
+                    take("--delta")?
+                        .parse()
+                        .map_err(|e| format!("--delta: {e}"))?,
+                )
+            }
+            "--threshold" => {
+                args.threshold = Some(
+                    take("--threshold")?
+                        .parse()
+                        .map_err(|e| format!("--threshold: {e}"))?,
+                )
+            }
+            "--universe" => {
+                args.universe = Some(
+                    take("--universe")?
+                        .parse()
+                        .map_err(|e| format!("--universe: {e}"))?,
+                )
+            }
+            "--zipf" => {
+                args.zipf = Some(
+                    take("--zipf")?
+                        .parse()
+                        .map_err(|e| format!("--zipf: {e}"))?,
+                )
+            }
+            "--n" => args.n = Some(take("--n")?.parse().map_err(|e| format!("--n: {e}"))?),
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--geometric" => args.geometric = true,
+            other if !other.starts_with("--") => args.file = Some(other.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn read_stream(file: &Option<String>) -> Result<Vec<u64>, String> {
+    let reader: Box<dyn BufRead> = match file {
+        Some(path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdin().lock()),
+    };
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(
+            trimmed
+                .parse::<u64>()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+fn build_sketch(stream: &[u64], k: usize) -> Result<MisraGries<u64>, String> {
+    let mut sketch = MisraGries::new(k).map_err(|e| e.to_string())?;
+    sketch.extend(stream.iter().copied());
+    Ok(sketch)
+}
+
+fn print_csv(pairs: impl Iterator<Item = (u64, f64)>) {
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    let _ = writeln!(w, "key,estimate");
+    for (key, est) in pairs {
+        let _ = writeln!(w, "{key},{est}");
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    let args = parse_args(rest)?;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+
+    match cmd.as_str() {
+        "release" | "hh" => {
+            let k = args.k.ok_or("--k required")?;
+            let eps = args.eps.ok_or("--eps required")?;
+            let delta = args.delta.ok_or("--delta required")?;
+            let stream = read_stream(&args.file)?;
+            let sketch = build_sketch(&stream, k)?;
+            let params = PrivacyParams::new(eps, delta).map_err(|e| e.to_string())?;
+            let mut mech = PrivateMisraGries::new(params).map_err(|e| e.to_string())?;
+            if args.geometric {
+                mech = mech.with_geometric_noise();
+            }
+            let hist = mech.release(&sketch, &mut rng);
+            let released = hist.len();
+            if cmd == "hh" {
+                let t = args.threshold.ok_or("--threshold required")?;
+                print_csv(
+                    heavy_hitters(&hist, t)
+                        .into_iter()
+                        .map(|h| (h.key, h.estimate)),
+                );
+            } else {
+                print_csv(hist.iter().map(|(k, v)| (*k, v)));
+            }
+            eprintln!(
+                "# released {released} counters under ({eps}, {delta:e})-DP, threshold {:.2}, n = {}",
+                mech.threshold(),
+                stream.len()
+            );
+        }
+        "pure" => {
+            let k = args.k.ok_or("--k required")?;
+            let eps = args.eps.ok_or("--eps required")?;
+            let d = args.universe.ok_or("--universe required")?;
+            let stream = read_stream(&args.file)?;
+            let sketch = build_sketch(&stream, k)?;
+            let mech = PureDpRelease::new(eps, d).map_err(|e| e.to_string())?;
+            let hist = mech.release(&sketch, &mut rng);
+            print_csv(hist.iter().map(|(k, v)| (*k, v)));
+            eprintln!(
+                "# pure {eps}-DP release over universe [1, {d}], n = {}",
+                stream.len()
+            );
+        }
+        "sketch" => {
+            let k = args.k.ok_or("--k required")?;
+            let stream = read_stream(&args.file)?;
+            let sketch = build_sketch(&stream, k)?;
+            print_csv(
+                sketch
+                    .summary()
+                    .entries
+                    .iter()
+                    .map(|(&key, &c)| (key, c as f64)),
+            );
+            eprintln!(
+                "# NON-PRIVATE sketch: n = {}, error bound {}",
+                sketch.stream_len(),
+                sketch.error_bound()
+            );
+        }
+        "generate" => {
+            let s = args.zipf.ok_or("--zipf required")?;
+            let n = args.n.ok_or("--n required")?;
+            let d = args.universe.ok_or("--universe required")?;
+            let zipf = Zipf::new(d, s);
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            for _ in 0..n {
+                let _ = writeln!(w, "{}", zipf.sample(&mut rng));
+            }
+        }
+        "--help" | "-h" | "help" => return Err(USAGE.to_string()),
+        other => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,123 @@
+//! **E11 — Lemmas 26 & 27:** the PAMG sketch has the Misra-Gries error
+//! guarantee `f̂(x) ∈ [f(x) − ⌊N/(k+1)⌋, f(x)]` over user-set streams, and
+//! neighbouring PAMG sketches differ by at most 1 per counter (so the
+//! ℓ2-sensitivity is `√k` independent of `m`).
+
+use dpmg_bench::{banner, f2, out_dir, trials, verdict};
+use dpmg_eval::experiment::Table;
+use dpmg_sketch::pamg::PrivacyAwareMisraGries;
+use dpmg_workload::user_sets::zipf_user_sets;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn build(sets: &[Vec<u64>], k: usize) -> PrivacyAwareMisraGries<u64> {
+    let mut s = PrivacyAwareMisraGries::new(k).unwrap();
+    s.extend_sets(sets.iter().map(|set| set.iter().copied()));
+    s
+}
+
+fn truth_of(sets: &[Vec<u64>]) -> HashMap<u64, u64> {
+    let mut f = HashMap::new();
+    for set in sets {
+        for &x in set {
+            *f.entry(x).or_insert(0) += 1;
+        }
+    }
+    f
+}
+
+fn main() {
+    banner(
+        "E11",
+        "PAMG: error ≤ ⌊N/(k+1)⌋ (Lemma 26); neighbours differ ≤1 per counter, ℓ2 ≤ √k (Lemma 27)",
+    );
+    let mut rng = StdRng::seed_from_u64(0xE11);
+
+    // Part 1: error window across m and k.
+    let mut t1 = Table::new(
+        "E11a PAMG error window over user sets",
+        &["users", "m", "k", "N", "bound", "max under", "max over"],
+    );
+    let mut window_ok = true;
+    for &m in &[2usize, 8, 32] {
+        for &k in &[64usize, 256] {
+            let sets = zipf_user_sets(20_000, m, 5_000, 1.1, &mut rng);
+            let sketch = build(&sets, k);
+            let truth = truth_of(&sets);
+            let bound = sketch.error_bound();
+            let (mut over, mut under) = (0i64, 0i64);
+            for (x, &f) in &truth {
+                let diff = sketch.count(x) as i64 - f as i64;
+                over = over.max(diff);
+                under = under.max(-diff);
+            }
+            window_ok &= over == 0 && under as u64 <= bound;
+            t1.row(&[
+                "20000".into(),
+                m.to_string(),
+                k.to_string(),
+                sketch.total_elements().to_string(),
+                bound.to_string(),
+                under.to_string(),
+                over.to_string(),
+            ]);
+        }
+    }
+    t1.emit(&out_dir()).unwrap();
+    verdict("PAMG estimates inside [f − ⌊N/(k+1)⌋, f]", window_ok);
+
+    // Part 2: neighbour structure — remove one random user.
+    let mut t2 = Table::new(
+        "E11b PAMG neighbour structure (sup over random neighbour pairs)",
+        &["m", "k", "max linf", "max l2", "sqrt(k)"],
+    );
+    let mut linf_ok = true;
+    for &m in &[2usize, 8, 32] {
+        let k = 64usize;
+        let (mut sup_linf, mut sup_l2) = (0u64, 0.0f64);
+        for _ in 0..trials(100) {
+            let users = rng.random_range(50..400);
+            let sets = zipf_user_sets(users, m, 200, 1.0, &mut rng);
+            let drop = rng.random_range(0..users);
+            let full = build(&sets, k);
+            let neighbour = {
+                let mut s = PrivacyAwareMisraGries::new(k).unwrap();
+                for (i, set) in sets.iter().enumerate() {
+                    if i != drop {
+                        s.update_set(set.iter().copied());
+                    }
+                }
+                s
+            };
+            let (sf, sn) = (full.summary(), neighbour.summary());
+            sup_linf = sup_linf.max(sf.linf_distance(&sn));
+            // ℓ2 over the union of keys.
+            let mut l2 = 0.0;
+            let keys: std::collections::BTreeSet<u64> = sf
+                .entries
+                .keys()
+                .chain(sn.entries.keys())
+                .copied()
+                .collect();
+            for key in keys {
+                let d = sf.count(&key) as f64 - sn.count(&key) as f64;
+                l2 += d * d;
+            }
+            sup_l2 = sup_l2.max(l2.sqrt());
+        }
+        linf_ok &= sup_linf <= 1 && sup_l2 <= (k as f64).sqrt() + 1e-9;
+        t2.row(&[
+            m.to_string(),
+            k.to_string(),
+            sup_linf.to_string(),
+            f2(sup_l2),
+            f2((k as f64).sqrt()),
+        ]);
+    }
+    t2.emit(&out_dir()).unwrap();
+    verdict(
+        "PAMG neighbour distance: linf ≤ 1 and ℓ2 ≤ √k, for every m",
+        linf_ok,
+    );
+}

@@ -1,0 +1,132 @@
+//! **E3 — Sections 1 & 4 comparison:** Chan et al.'s noise grows `Θ(k/ε)`
+//! and the corrected Böhler–Kerschbaum threshold grows `Θ(k·log(k/δ)/ε)`,
+//! while PMG stays flat in `k`. "Who wins" must flip to PMG immediately
+//! beyond trivial `k` and the gap must grow linearly.
+
+use dpmg_bench::{banner, f2, out_dir, trials, verdict};
+use dpmg_core::baselines::{BkCorrected, ChanThresholded};
+use dpmg_core::pmg::PrivateMisraGries;
+use dpmg_eval::experiment::{parallel_trials, stats, Table};
+use dpmg_noise::accounting::PrivacyParams;
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Max |released − sketch counter| over the sketch's stored keys.
+fn noise_error<F>(sketch: &MisraGries<u64>, release: F, seed: u64) -> f64
+where
+    F: Fn(&MisraGries<u64>, &mut StdRng) -> dpmg_core::pmg::PrivateHistogram<u64>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hist = release(sketch, &mut rng);
+    let mut worst = 0.0_f64;
+    for (key, count) in sketch.summary().entries.iter() {
+        worst = worst.max((hist.estimate(key) - *count as f64).abs());
+    }
+    worst
+}
+
+fn main() {
+    banner(
+        "E3",
+        "PMG noise flat in k; Chan et al. and corrected BK grow linearly in k",
+    );
+    let params = PrivacyParams::new(1.0, 1e-8).unwrap();
+    let pmg = PrivateMisraGries::new(params).unwrap();
+    let chan = ChanThresholded::new(params).unwrap();
+    let bk = BkCorrected::new(params).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    let stream = Zipf::new(100_000, 1.2).stream(1_000_000, &mut rng);
+    let reps = trials(200);
+
+    let mut table = Table::new(
+        "E3 mean max noise error vs k (eps=1, delta=1e-8)",
+        &["k", "PMG", "Chan thresholded", "BK corrected", "PMG wins?"],
+    );
+    let mut pmg_always_wins = true;
+    let mut chan_growth = Vec::new();
+    let mut pmg_means = Vec::new();
+    let mut bk_means = Vec::new();
+    let mut pmg_bounded = true;
+    for k in [8usize, 32, 128, 512] {
+        let mut sketch = MisraGries::new(k).unwrap();
+        sketch.extend(stream.iter().copied());
+        let e_pmg = stats(&parallel_trials(reps, 1, |s| {
+            noise_error(&sketch, |sk, r| pmg.release(sk, r), s)
+        }))
+        .mean;
+        let e_chan = stats(&parallel_trials(reps, 2, |s| {
+            noise_error(&sketch, |sk, r| chan.release(sk, r), s)
+        }))
+        .mean;
+        let e_bk = stats(&parallel_trials(reps, 3, |s| {
+            noise_error(&sketch, |sk, r| bk.release(sk, r), s)
+        }))
+        .mean;
+        let wins = e_pmg < e_chan && e_pmg < e_bk;
+        pmg_always_wins &= wins;
+        chan_growth.push(e_chan);
+        pmg_means.push(e_pmg);
+        bk_means.push(e_bk);
+        // PMG's error is bounded by the k-free threshold plus the
+        // logarithmic Lemma 13 term at EVERY k — the Theorem 14 shape.
+        pmg_bounded &= e_pmg <= pmg.threshold() + pmg.noise_error_bound(k, 0.5);
+        table.row(&[
+            k.to_string(),
+            f2(e_pmg),
+            f2(e_chan),
+            f2(e_bk),
+            wins.to_string(),
+        ]);
+    }
+    table.emit(&out_dir()).unwrap();
+
+    // Log-log chart: PMG's flat curve vs the baselines' linear growth.
+    let ks = [8.0, 32.0, 128.0, 512.0];
+    let to_series = |label: &str, ys: &[f64]| {
+        dpmg_eval::plot::Series::new(label, ks.iter().copied().zip(ys.iter().copied()).collect())
+    };
+    println!(
+        "{}",
+        dpmg_eval::plot::render(
+            "noise error vs k (log-log): p=PMG, c=Chan, b=BK",
+            &[
+                to_series("pmg", &pmg_means),
+                to_series("chan", &chan_growth),
+                to_series("bk", &bk_means),
+            ],
+            64,
+            16,
+            true,
+            true,
+        )
+    );
+
+    verdict("PMG beats both baselines at every k ≥ 8", pmg_always_wins);
+    // Chan grows ≈ linearly (64× range of k → ≥ 16× error growth) while PMG
+    // grows ≤ 3×.
+    let chan_lin = chan_growth.last().unwrap() / chan_growth.first().unwrap() > 16.0;
+    verdict("Chan/BK error grows ~linearly in k", chan_lin);
+    verdict(
+        "PMG error bounded by the k-free threshold + log term at every k",
+        pmg_bounded,
+    );
+
+    // Threshold (worst-case suppression error) comparison — the analytic
+    // version of the same story, as an ablation of the shared-noise trick.
+    let mut t2 = Table::new(
+        "E3b analytic thresholds vs k",
+        &["k", "PMG threshold", "Chan threshold", "BK threshold"],
+    );
+    for k in [8usize, 32, 128, 512, 2048] {
+        t2.row(&[
+            k.to_string(),
+            f2(pmg.threshold()),
+            f2(chan.threshold(k)),
+            f2(bk.threshold(k)),
+        ]);
+    }
+    t2.emit(&out_dir()).unwrap();
+}

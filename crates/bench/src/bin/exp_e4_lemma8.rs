@@ -1,0 +1,169 @@
+//! **E4 — Lemma 8:** for every pair of neighbouring streams, the paper's
+//! Misra-Gries variant produces sketches that (i) share at least `k − 2`
+//! keys, (ii) have counters ≤ 1 outside the intersection, and (iii) differ
+//! either by one on a single counter or by one on all counters (the S1–S6
+//! state machine). Verified by exhaustive enumeration over a small universe
+//! and by randomized large-stream sampling.
+
+use dpmg_bench::{banner, out_dir, trials, verdict};
+use dpmg_eval::experiment::Table;
+use dpmg_sketch::misra_gries::{MisraGries, Slot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Checks the Lemma 8 invariants on a neighbour pair; returns which case
+/// (1 = all counters −1, 2 = single counter +1, 0 = identical) applies, or
+/// `None` on violation.
+fn check_lemma8(full: &MisraGries<u64>, neighbour: &MisraGries<u64>, k: usize) -> Option<u8> {
+    let a: BTreeMap<Slot<u64>, u64> = full.slots().into_iter().collect();
+    let b: BTreeMap<Slot<u64>, u64> = neighbour.slots().into_iter().collect();
+
+    let shared: Vec<&Slot<u64>> = a.keys().filter(|s| b.contains_key(*s)).collect();
+    if shared.len() + 2 < k {
+        return None; // |T ∩ T'| ≥ k − 2 violated
+    }
+    // Counters outside the intersection must be ≤ 1.
+    for (slot, &c) in a.iter() {
+        if !b.contains_key(slot) && c > 1 {
+            return None;
+        }
+    }
+    for (slot, &c) in b.iter() {
+        if !a.contains_key(slot) && c > 1 {
+            return None;
+        }
+    }
+
+    // Case analysis on the universe-wide counter vectors (missing = 0).
+    let count = |m: &BTreeMap<Slot<u64>, u64>, s: &Slot<u64>| m.get(s).copied().unwrap_or(0);
+    let mut keys: Vec<Slot<u64>> = a.keys().chain(b.keys()).cloned().collect();
+    keys.sort();
+    keys.dedup();
+
+    // Case (1): c_i = c'_i − 1 for all i ∈ T' and c_j = 0 for j ∉ T'.
+    let case1 = b.iter().all(|(s, &cb)| count(&a, s) + 1 == cb)
+        && keys
+            .iter()
+            .filter(|s| !b.contains_key(*s))
+            .all(|s| count(&a, s) == 0);
+    if case1 {
+        return Some(1);
+    }
+    // Case (2): exactly one i with c_i = c'_i + 1, all others equal.
+    let mut bumped = 0usize;
+    for s in &keys {
+        let (ca, cb) = (count(&a, s), count(&b, s));
+        if ca == cb + 1 {
+            bumped += 1;
+        } else if ca != cb {
+            return None;
+        }
+    }
+    match bumped {
+        0 => Some(0),
+        1 => Some(2),
+        _ => None,
+    }
+}
+
+fn run_pair(stream: &[u64], drop: usize, k: usize) -> Option<u8> {
+    let mut full = MisraGries::new(k).unwrap();
+    let mut neighbour = MisraGries::new(k).unwrap();
+    for (i, &x) in stream.iter().enumerate() {
+        full.update(x);
+        if i != drop {
+            neighbour.update(x);
+        }
+    }
+    check_lemma8(&full, &neighbour, k)
+}
+
+fn main() {
+    banner(
+        "E4",
+        "neighbouring sketches: ≥ k−2 shared keys, off-intersection counters ≤ 1, case (1)/(2) structure (Lemma 8)",
+    );
+
+    // Part 1: exhaustive enumeration — all streams of length ≤ L over a
+    // universe of size 4, all drop positions, k ∈ {1, 2, 3}.
+    let universe = 4u64;
+    let max_len = if dpmg_bench::quick() { 6 } else { 7 };
+    let mut checked = 0u64;
+    let mut violations = 0u64;
+    let mut case_counts = [0u64; 3];
+    for k in 1..=3usize {
+        for len in 1..=max_len {
+            let total = universe.pow(len as u32);
+            for code in 0..total {
+                let mut stream = Vec::with_capacity(len);
+                let mut c = code;
+                for _ in 0..len {
+                    stream.push(1 + c % universe);
+                    c /= universe;
+                }
+                for drop in 0..len {
+                    checked += 1;
+                    match run_pair(&stream, drop, k) {
+                        Some(case) => case_counts[case as usize] += 1,
+                        None => violations += 1,
+                    }
+                }
+            }
+        }
+    }
+    let mut table = Table::new(
+        "E4 Lemma 8 verification",
+        &[
+            "mode",
+            "pairs checked",
+            "violations",
+            "identical",
+            "case all−1",
+            "case single+1",
+        ],
+    );
+    table.row(&[
+        "exhaustive (|U|=4, len≤7, k≤3)".into(),
+        checked.to_string(),
+        violations.to_string(),
+        case_counts[0].to_string(),
+        case_counts[1].to_string(),
+        case_counts[2].to_string(),
+    ]);
+    let exhaustive_ok = violations == 0;
+
+    // Part 2: randomized large streams.
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    let mut rand_checked = 0u64;
+    let mut rand_violations = 0u64;
+    let mut rand_cases = [0u64; 3];
+    for _ in 0..trials(2_000) {
+        let k = rng.random_range(1..=16);
+        let len = rng.random_range(1..=400);
+        let u = rng.random_range(2..=30u64);
+        let stream: Vec<u64> = (0..len).map(|_| rng.random_range(1..=u)).collect();
+        let drop = rng.random_range(0..len);
+        rand_checked += 1;
+        match run_pair(&stream, drop, k) {
+            Some(case) => rand_cases[case as usize] += 1,
+            None => rand_violations += 1,
+        }
+    }
+    table.row(&[
+        "randomized (k≤16, len≤400)".into(),
+        rand_checked.to_string(),
+        rand_violations.to_string(),
+        rand_cases[0].to_string(),
+        rand_cases[1].to_string(),
+        rand_cases[2].to_string(),
+    ]);
+    table.emit(&out_dir()).unwrap();
+
+    verdict("exhaustive check: zero violations", exhaustive_ok);
+    verdict("randomized check: zero violations", rand_violations == 0);
+    verdict(
+        "both Lemma 8 cases actually occur",
+        case_counts[1] > 0 && case_counts[2] > 0,
+    );
+}

@@ -1,0 +1,155 @@
+//! **E9 — Lemma 17 / Corollary 18 / Section 7:** merged-sketch counters for
+//! neighbouring datasets differ by ≤ 1 on ≤ k counters regardless of how
+//! many merges were performed; with an untrusted aggregator the
+//! noise/threshold error grows linearly in the number of merged sketches
+//! while the trusted aggregator's stays flat.
+
+use dpmg_bench::{banner, f2, out_dir, trials, verdict};
+use dpmg_core::merged::{release_trusted_reduced_sum, release_untrusted};
+use dpmg_eval::experiment::{parallel_trials, stats, Table};
+use dpmg_noise::accounting::PrivacyParams;
+use dpmg_sketch::merge::merge_many;
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_sketch::traits::Summary;
+use dpmg_workload::streams::remove_at;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sketch_of(stream: &[u64], k: usize) -> Summary<u64> {
+    let mut s = MisraGries::new(k).unwrap();
+    s.extend(stream.iter().copied());
+    s.summary()
+}
+
+fn main() {
+    banner(
+        "E9",
+        "merged neighbours differ ≤1 on ≤k counters for ANY number of merges; untrusted error ∝ merges",
+    );
+
+    // Part 1: Corollary 18 structure after l merges.
+    let k = 16usize;
+    let mut t1 = Table::new(
+        "E9a merged neighbour structure vs number of streams",
+        &["streams l", "linf diff (≤1)", "num differing (≤k)", "ok"],
+    );
+    let mut rng = StdRng::seed_from_u64(0xE9);
+    let mut structure_ok = true;
+    for &l in &[2usize, 8, 32, 128] {
+        let mut worst_linf = 0u64;
+        let mut worst_count = 0usize;
+        for _ in 0..trials(60) {
+            // l random streams; perturb one element of one stream.
+            let streams: Vec<Vec<u64>> = (0..l)
+                .map(|_| {
+                    let len = rng.random_range(50..300);
+                    (0..len).map(|_| rng.random_range(1..=25u64)).collect()
+                })
+                .collect();
+            let which = rng.random_range(0..l);
+            let drop = rng.random_range(0..streams[which].len());
+
+            let summaries: Vec<Summary<u64>> = streams.iter().map(|s| sketch_of(s, k)).collect();
+            let mut summaries_n = summaries.clone();
+            summaries_n[which] = sketch_of(&remove_at(&streams[which], drop), k);
+
+            let merged = merge_many(&summaries).unwrap();
+            let merged_n = merge_many(&summaries_n).unwrap();
+            let linf = merged.linf_distance(&merged_n);
+            let differing = merged
+                .entries
+                .keys()
+                .chain(merged_n.entries.keys())
+                .collect::<std::collections::BTreeSet<_>>()
+                .iter()
+                .filter(|key| merged.count(key) != merged_n.count(key))
+                .count();
+            worst_linf = worst_linf.max(linf);
+            worst_count = worst_count.max(differing);
+        }
+        let ok = worst_linf <= 1 && worst_count <= k;
+        structure_ok &= ok;
+        t1.row(&[
+            l.to_string(),
+            worst_linf.to_string(),
+            worst_count.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    t1.emit(&out_dir()).unwrap();
+    verdict(
+        "merged sensitivity structure independent of the number of merges",
+        structure_ok,
+    );
+
+    // Part 2: untrusted vs trusted error as l grows. Per-stream counts sit
+    // just below the PMG threshold so each per-sketch release suppresses
+    // them (the worst case the paper describes).
+    let params = PrivacyParams::new(1.0, 1e-8).unwrap();
+    let mut t2 = Table::new(
+        "E9b aggregate error vs number of streams (worst-case input)",
+        &["streams l", "untrusted err", "trusted err", "untrusted/l"],
+    );
+    let reps = trials(40);
+    let mut untrusted_grows = Vec::new();
+    let mut trusted_flat = Vec::new();
+    for &l in &[4usize, 16, 64] {
+        let sketches: Vec<MisraGries<u64>> = (0..l)
+            .map(|_| {
+                let mut s = MisraGries::new(64).unwrap();
+                for _ in 0..30 {
+                    for key in 1..=4u64 {
+                        s.update(key);
+                    }
+                }
+                s
+            })
+            .collect();
+        let summaries: Vec<Summary<u64>> = sketches.iter().map(|s| s.summary()).collect();
+        // Baselines isolating the NOISE/THRESHOLD error (the quantity
+        // Section 7 says grows with l only in the untrusted model). The
+        // sketching error itself (γ subtractions, decrements) accumulates
+        // with total data in *both* models and is not at issue here.
+        let untrusted_baseline = l as f64 * 30.0; // non-private merged count
+        let trusted_baseline: f64 = summaries
+            .iter()
+            .map(|s| dpmg_sketch::sensitivity_reduce::reduce(s).count(&1))
+            .sum();
+
+        let e_untrusted = stats(&parallel_trials(reps, 0x0E91 + l as u64, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let hist = release_untrusted(&sketches, params, &mut rng).unwrap();
+            (1..=4u64)
+                .map(|key| (hist.estimate(&key) - untrusted_baseline).abs())
+                .fold(0.0, f64::max)
+        }))
+        .mean;
+        let e_trusted = stats(&parallel_trials(reps, 0x0E92 + l as u64, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let hist = release_trusted_reduced_sum(&summaries, params, &mut rng).unwrap();
+            (1..=4u64)
+                .map(|key| (hist.estimate(&key) - trusted_baseline).abs())
+                .fold(0.0, f64::max)
+        }))
+        .mean;
+        untrusted_grows.push(e_untrusted);
+        trusted_flat.push(e_trusted);
+        t2.row(&[
+            l.to_string(),
+            f2(e_untrusted),
+            f2(e_trusted),
+            f2(e_untrusted / l as f64),
+        ]);
+    }
+    t2.emit(&out_dir()).unwrap();
+    let grow = untrusted_grows.last().unwrap() / untrusted_grows.first().unwrap();
+    verdict(
+        "untrusted error grows ~linearly in l (16× streams → ≥8× error)",
+        grow >= 8.0,
+    );
+    let flat = trusted_flat.last().unwrap() / trusted_flat.first().unwrap();
+    verdict(
+        "trusted error grows sublinearly (<4× over 16× streams)",
+        flat < 4.0,
+    );
+}

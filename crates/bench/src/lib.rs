@@ -1,0 +1,89 @@
+//! Shared infrastructure for the experiment binaries (`src/bin/exp_*.rs`)
+//! and criterion benches.
+//!
+//! Every experiment in DESIGN.md §3 is a binary target printing the
+//! table(s) recorded in EXPERIMENTS.md and writing CSVs under
+//! [`out_dir`]. Trial counts scale down under `DPMG_QUICK=1` so the full
+//! suite stays runnable in CI.
+
+use dpmg_sketch::exact::ExactHistogram;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to
+/// (`target/experiments`, overridable via `DPMG_EXPERIMENT_DIR`).
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("DPMG_EXPERIMENT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
+/// Scales a default trial count down by 10× when `DPMG_QUICK=1` (minimum 8).
+pub fn trials(default: usize) -> usize {
+    if quick() {
+        (default / 10).max(8)
+    } else {
+        default
+    }
+}
+
+/// Whether quick mode is on.
+pub fn quick() -> bool {
+    std::env::var("DPMG_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Exact ground truth of an element stream.
+pub fn ground_truth(stream: &[u64]) -> ExactHistogram<u64> {
+    ExactHistogram::from_stream(stream.iter().copied())
+}
+
+/// Formats a float with 2 decimals for table cells.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 significant-ish decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Prints the standard experiment header.
+pub fn banner(id: &str, claim: &str) {
+    println!("################################################################");
+    println!("# Experiment {id}");
+    println!("# Claim under test: {claim}");
+    println!("################################################################\n");
+}
+
+/// Prints a PASS/FAIL shape-check line (the per-experiment verdict recorded
+/// in EXPERIMENTS.md).
+pub fn verdict(label: &str, ok: bool) {
+    println!("[{}] {label}", if ok { "SHAPE-OK " } else { "SHAPE-FAIL" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_counts() {
+        let t = ground_truth(&[1, 1, 2]);
+        assert_eq!(t.count(&1), 2);
+        assert_eq!(t.count(&2), 1);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(2.5), "2.500");
+    }
+
+    #[test]
+    fn trials_scaling() {
+        // Without DPMG_QUICK the default passes through.
+        if !quick() {
+            assert_eq!(trials(100), 100);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration tests for the `dpmg` CLI binary, exercised through real
+//! process invocations (cargo exposes the built binary path via
+//! `CARGO_BIN_EXE_dpmg`).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn dpmg() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dpmg"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = dpmg()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dpmg");
+    // Best-effort: commands that fail argument validation exit before
+    // reading stdin, closing the pipe (EPIPE) — that is fine.
+    let _ = child.stdin.as_mut().unwrap().write_all(stdin.as_bytes());
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// A stream with one dominant key, as stdin text.
+fn heavy_stream_text() -> String {
+    let mut s = String::from("# demo stream\n\n");
+    for i in 0..5000u64 {
+        s.push_str("7\n");
+        s.push_str(&format!("{}\n", 100 + i % 50));
+    }
+    s
+}
+
+#[test]
+fn release_finds_heavy_key() {
+    let (stdout, stderr, ok) = run_with_stdin(
+        &["release", "--k", "64", "--eps", "1.0", "--delta", "1e-8", "--seed", "3"],
+        &heavy_stream_text(),
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.starts_with("key,estimate"));
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("7,"))
+        .expect("key 7 released");
+    let est: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+    assert!(est > 4_000.0, "estimate {est}");
+    assert!(stderr.contains("(1, 1e-8)-DP"));
+}
+
+#[test]
+fn hh_applies_threshold() {
+    let (stdout, _, ok) = run_with_stdin(
+        &[
+            "hh", "--k", "64", "--eps", "1.0", "--delta", "1e-8", "--threshold", "3000",
+            "--seed", "3",
+        ],
+        &heavy_stream_text(),
+    );
+    assert!(ok);
+    // Only the dominant key clears 3000.
+    let data_lines: Vec<&str> = stdout.lines().skip(1).collect();
+    assert_eq!(data_lines.len(), 1, "{data_lines:?}");
+    assert!(data_lines[0].starts_with("7,"));
+}
+
+#[test]
+fn sketch_is_nonprivate_and_exact_here() {
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["sketch", "--k", "64"], "1\n1\n1\n2\n");
+    assert!(ok);
+    assert!(stdout.contains("1,3"));
+    assert!(stdout.contains("2,1"));
+    assert!(stderr.contains("NON-PRIVATE"));
+}
+
+#[test]
+fn generate_then_release_pipeline() {
+    let out = dpmg()
+        .args(["generate", "--zipf", "1.3", "--n", "20000", "--universe", "1000", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stream = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stream.lines().count(), 20000);
+
+    let (stdout, _, ok) = run_with_stdin(
+        &["release", "--k", "128", "--eps", "1.0", "--delta", "1e-8"],
+        &stream,
+    );
+    assert!(ok);
+    // Rank 1 must be released with a large count.
+    let est: f64 = stdout
+        .lines()
+        .find(|l| l.starts_with("1,"))
+        .expect("rank 1 released")
+        .split(',')
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(est > 2_000.0);
+}
+
+#[test]
+fn geometric_flag_yields_integral_estimates() {
+    let (stdout, _, ok) = run_with_stdin(
+        &[
+            "release", "--k", "32", "--eps", "1.0", "--delta", "1e-8", "--geometric",
+            "--seed", "9",
+        ],
+        &heavy_stream_text(),
+    );
+    assert!(ok);
+    for line in stdout.lines().skip(1) {
+        let est: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+        assert!((est - est.round()).abs() < 1e-9, "{line}");
+    }
+}
+
+#[test]
+fn errors_are_reported_with_exit_code() {
+    let (_, stderr, ok) = run_with_stdin(&["release", "--k", "64"], "1\n");
+    assert!(!ok);
+    assert!(stderr.contains("--eps required"));
+
+    let (_, stderr, ok) = run_with_stdin(&["frobnicate"], "");
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, ok) = run_with_stdin(
+        &["release", "--k", "64", "--eps", "1.0", "--delta", "1e-8"],
+        "not-a-number\n",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("line 1"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (_, stderr, ok) = run_with_stdin(&["--help"], "");
+    assert!(!ok); // help goes to stderr with exit 2, by design
+    assert!(stderr.contains("USAGE"));
+}

@@ -1,0 +1,464 @@
+//! The prior mechanisms the paper compares against (Sections 1 and 4).
+//!
+//! * [`ChanMechanism`] — Chan, Li, Shi & Xu \[11\]: the MG sketch has global
+//!   ℓ1-sensitivity `k`, so they add `Laplace(k/ε)` to **every universe
+//!   element's** estimate and keep the top-`k` noisy counts. Expected max
+//!   error `O(k·log(d)/ε)` under `ε`-DP — the noise grows with the sketch
+//!   size, which is exactly what the paper's PMG avoids.
+//! * [`ChanThresholded`] — the straightforward `(ε, δ)` improvement the
+//!   paper mentions ("this can be easily improved to `O(k·log(1/δ)/ε)` with
+//!   a thresholding technique"): noise `Laplace(k/ε)` on the stored counters
+//!   only plus a threshold hiding key-set differences.
+//! * [`BkAsPublished`] — Böhler & Kerschbaum \[7\] **as published**: they
+//!   scaled noise to the sensitivity of the *exact histogram* (1) instead of
+//!   the sketch's (`k`). The paper's "Relation to \[7\]" paragraph explains
+//!   why this does **not** satisfy the claimed `(ε, δ)`-DP; this
+//!   implementation exists so the empirical privacy auditor (experiment E5)
+//!   can demonstrate the violation. **Do not use for actual privacy.**
+//! * [`BkCorrected`] — \[7\] with the sensitivity fixed to `k` as the paper
+//!   prescribes: noise `Laplace(k/ε)`, threshold `O(k·log(k/δ)/ε)`.
+//! * [`StabilityHistogram`] — the Korolova et al. \[22\]-style release of an
+//!   *exact* histogram: `Laplace(1/ε)` on non-zero counts plus a stability
+//!   threshold. This is the "best private non-streaming" reference whose
+//!   noise magnitude Theorem 14 matches up to constants.
+
+use crate::pmg::PrivateHistogram;
+use crate::pure::top_laplace_order_statistics;
+use dpmg_noise::accounting::PrivacyParams;
+use dpmg_noise::laplace::Laplace;
+use dpmg_noise::NoiseError;
+use dpmg_sketch::exact::ExactHistogram;
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_sketch::traits::Item;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn require_approx(params: PrivacyParams) -> Result<PrivacyParams, NoiseError> {
+    if params.is_pure() {
+        return Err(NoiseError::InvalidPrivacyParameter {
+            name: "delta",
+            value: 0.0,
+        });
+    }
+    Ok(params)
+}
+
+/// Chan et al. \[11\]: `Laplace(k/ε)` on every universe element, top-`k`
+/// released. Pure `ε`-DP.
+#[derive(Debug, Clone)]
+pub struct ChanMechanism {
+    epsilon: f64,
+    universe_size: u64,
+}
+
+impl ChanMechanism {
+    /// Creates the mechanism over the integer universe `[1, d]`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive `ε` or an empty universe.
+    pub fn new(epsilon: f64, universe_size: u64) -> Result<Self, NoiseError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(NoiseError::InvalidPrivacyParameter {
+                name: "epsilon",
+                value: epsilon,
+            });
+        }
+        if universe_size == 0 {
+            return Err(NoiseError::InvalidPrivacyParameter {
+                name: "universe_size",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            epsilon,
+            universe_size,
+        })
+    }
+
+    /// The per-element noise scale `k/ε` — linear in the sketch size, the
+    /// crux of the comparison with PMG.
+    pub fn noise_scale(&self, k: usize) -> f64 {
+        k as f64 / self.epsilon
+    }
+
+    /// Releases the sketch: every universe element's (possibly zero)
+    /// estimate plus `Laplace(k/ε)`, top-`k` kept. Implemented with the same
+    /// order-statistics trick as the pure-DP release so huge universes are
+    /// cheap.
+    pub fn release<R: Rng + ?Sized>(
+        &self,
+        sketch: &MisraGries<u64>,
+        rng: &mut R,
+    ) -> PrivateHistogram<u64> {
+        let summary = sketch.summary();
+        let k = summary.k;
+        let lap = Laplace::new(self.noise_scale(k)).expect("validated scale");
+
+        let mut candidates: Vec<(f64, u64)> = summary
+            .entries
+            .iter()
+            .map(|(&key, &c)| (c as f64 + lap.sample(rng), key))
+            .collect();
+        let stored: BTreeSet<u64> = summary.entries.keys().copied().collect();
+        let zero_count = self.universe_size - stored.len() as u64;
+        let mut used = stored;
+        for value in top_laplace_order_statistics(zero_count, k, &lap, rng) {
+            let key = loop {
+                let candidate = rng.random_range(1..=self.universe_size);
+                if used.insert(candidate) {
+                    break candidate;
+                }
+            };
+            candidates.push((value, key));
+        }
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        candidates.truncate(k);
+        let entries: BTreeMap<u64, f64> = candidates.into_iter().map(|(v, key)| (key, v)).collect();
+        PrivateHistogram::from_parts(entries, 0.0)
+    }
+
+    /// Expected-max-error scale `O(k·log(d)/ε)` for display in experiment
+    /// tables.
+    pub fn expected_max_error(&self, k: usize) -> f64 {
+        self.noise_scale(k) * (self.universe_size as f64).ln()
+    }
+}
+
+/// Chan et al. improved to `(ε, δ)`-DP with a threshold: `Laplace(k/ε)`
+/// noise on the stored counters only, counts below the threshold removed.
+///
+/// The threshold must hide every key that can differ between neighbouring
+/// sketches. For the paper's Algorithm 1 variant at most 4 keys lie outside
+/// the shared intersection (Lemma 8), each with counter ≤ 1 and one noise
+/// sample each, so budgeting `δ/4` per key gives
+/// `t = 1 + (k/ε)·ln(2/δ)`.
+#[derive(Debug, Clone)]
+pub struct ChanThresholded {
+    params: PrivacyParams,
+}
+
+impl ChanThresholded {
+    /// Creates the mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Rejects pure-DP parameters (`δ = 0`).
+    pub fn new(params: PrivacyParams) -> Result<Self, NoiseError> {
+        Ok(Self {
+            params: require_approx(params)?,
+        })
+    }
+
+    /// The threshold `1 + (k/ε)·ln(2/δ)`.
+    pub fn threshold(&self, k: usize) -> f64 {
+        1.0 + (k as f64 / self.params.epsilon()) * (2.0 / self.params.delta()).ln()
+    }
+
+    /// Releases a sketch.
+    pub fn release<K: Item, R: Rng + ?Sized>(
+        &self,
+        sketch: &MisraGries<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
+        let summary = sketch.summary();
+        let k = summary.k;
+        let lap = Laplace::new(k as f64 / self.params.epsilon()).expect("validated");
+        let threshold = self.threshold(k);
+        let entries = summary
+            .entries
+            .iter()
+            .filter_map(|(key, &c)| {
+                let noisy = c as f64 + lap.sample(rng);
+                (noisy >= threshold).then(|| (key.clone(), noisy))
+            })
+            .collect();
+        PrivateHistogram::from_parts(entries, threshold)
+    }
+}
+
+/// Böhler & Kerschbaum \[7\] **as published** — adds `Laplace(1/ε)` to the
+/// sketch counters (the sensitivity of the exact histogram, *not* of the
+/// sketch) and thresholds at `1 + 2·ln(1/(2δ))/ε`.
+///
+/// **This mechanism does not satisfy the claimed `(ε, δ)`-DP** (the paper's
+/// "Relation to \[7\]"): the MG sketch's ℓ1-sensitivity is `k`, so the true
+/// privacy loss is roughly `k·ε`. It exists so experiment E5 can exhibit the
+/// violation with an empirical distinguisher.
+#[derive(Debug, Clone)]
+pub struct BkAsPublished {
+    params: PrivacyParams,
+}
+
+impl BkAsPublished {
+    /// Creates the (broken) mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Rejects pure-DP parameters.
+    pub fn new(params: PrivacyParams) -> Result<Self, NoiseError> {
+        Ok(Self {
+            params: require_approx(params)?,
+        })
+    }
+
+    /// The (insufficient) threshold.
+    pub fn threshold(&self) -> f64 {
+        1.0 + 2.0 * (1.0 / (2.0 * self.params.delta())).ln() / self.params.epsilon()
+    }
+
+    /// Releases a sketch with the published (insufficient) noise.
+    pub fn release<K: Item, R: Rng + ?Sized>(
+        &self,
+        sketch: &MisraGries<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
+        let summary = sketch.summary();
+        let lap = Laplace::new(1.0 / self.params.epsilon()).expect("validated");
+        let threshold = self.threshold();
+        let entries = summary
+            .entries
+            .iter()
+            .filter_map(|(key, &c)| {
+                let noisy = c as f64 + lap.sample(rng);
+                (noisy >= threshold).then(|| (key.clone(), noisy))
+            })
+            .collect();
+        PrivateHistogram::from_parts(entries, threshold)
+    }
+}
+
+/// Böhler & Kerschbaum with the sensitivity corrected to `k`, as the paper
+/// prescribes: noise `Laplace(k/ε)` and threshold scaled accordingly, giving
+/// error `O(k·log(k/δ)/ε)`.
+#[derive(Debug, Clone)]
+pub struct BkCorrected {
+    params: PrivacyParams,
+}
+
+impl BkCorrected {
+    /// Creates the corrected mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Rejects pure-DP parameters.
+    pub fn new(params: PrivacyParams) -> Result<Self, NoiseError> {
+        Ok(Self {
+            params: require_approx(params)?,
+        })
+    }
+
+    /// Threshold `1 + (k/ε)·ln(k/δ)`: the per-key suppression budget is
+    /// `δ/k` because up to `k` keys can differ for classic sketches.
+    pub fn threshold(&self, k: usize) -> f64 {
+        1.0 + (k as f64 / self.params.epsilon()) * (k as f64 / self.params.delta()).ln()
+    }
+
+    /// Releases a sketch.
+    pub fn release<K: Item, R: Rng + ?Sized>(
+        &self,
+        sketch: &MisraGries<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
+        let summary = sketch.summary();
+        let k = summary.k;
+        let lap = Laplace::new(k as f64 / self.params.epsilon()).expect("validated");
+        let threshold = self.threshold(k);
+        let entries = summary
+            .entries
+            .iter()
+            .filter_map(|(key, &c)| {
+                let noisy = c as f64 + lap.sample(rng);
+                (noisy >= threshold).then(|| (key.clone(), noisy))
+            })
+            .collect();
+        PrivateHistogram::from_parts(entries, threshold)
+    }
+}
+
+/// Korolova et al. \[22\]-style stability histogram over **exact** counts:
+/// `Laplace(1/ε)` on every non-zero count, threshold `1 + ln(1/(2δ))/ε`.
+///
+/// This is legitimate `(ε, δ)`-DP because the exact histogram really does
+/// have sensitivity 1 under add/remove neighbours. It is the non-streaming
+/// reference point: Theorem 14's noise matches it up to constants while
+/// using only `2k` words instead of `Θ(distinct elements)`.
+#[derive(Debug, Clone)]
+pub struct StabilityHistogram {
+    params: PrivacyParams,
+}
+
+impl StabilityHistogram {
+    /// Creates the mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Rejects pure-DP parameters.
+    pub fn new(params: PrivacyParams) -> Result<Self, NoiseError> {
+        Ok(Self {
+            params: require_approx(params)?,
+        })
+    }
+
+    /// The stability threshold `1 + ln(1/(2δ))/ε`.
+    pub fn threshold(&self) -> f64 {
+        1.0 + (1.0 / (2.0 * self.params.delta())).ln() / self.params.epsilon()
+    }
+
+    /// Releases an exact histogram.
+    pub fn release<K: Item, R: Rng + ?Sized>(
+        &self,
+        histogram: &ExactHistogram<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
+        let lap = Laplace::new(1.0 / self.params.epsilon()).expect("validated");
+        let threshold = self.threshold();
+        let entries = histogram
+            .iter()
+            .filter_map(|(key, c)| {
+                let noisy = c as f64 + lap.sample(rng);
+                (noisy >= threshold).then(|| (key.clone(), noisy))
+            })
+            .collect();
+        PrivateHistogram::from_parts(entries, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> PrivacyParams {
+        PrivacyParams::new(1.0, 1e-8).unwrap()
+    }
+
+    fn heavy_sketch(k: usize) -> MisraGries<u64> {
+        let mut sketch = MisraGries::new(k).unwrap();
+        for i in 0..200_000u64 {
+            sketch.update(if i % 2 == 0 {
+                1 + (i / 2) % 4
+            } else {
+                5 + i % 1000
+            });
+        }
+        sketch
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(ChanMechanism::new(0.0, 100).is_err());
+        assert!(ChanMechanism::new(1.0, 0).is_err());
+        let pure = PrivacyParams::pure(1.0).unwrap();
+        assert!(ChanThresholded::new(pure).is_err());
+        assert!(BkAsPublished::new(pure).is_err());
+        assert!(BkCorrected::new(pure).is_err());
+        assert!(StabilityHistogram::new(pure).is_err());
+    }
+
+    #[test]
+    fn chan_noise_scales_with_k() {
+        let mech = ChanMechanism::new(0.5, 1_000).unwrap();
+        assert!((mech.noise_scale(64) - 128.0).abs() < 1e-12);
+        assert!(mech.expected_max_error(64) > mech.expected_max_error(8));
+    }
+
+    #[test]
+    fn chan_release_recovers_very_heavy_keys() {
+        // With k = 16, noise scale is 16/ε = 16; keys 1..=4 have count
+        // ≈ 25_000 each, far above the noise floor.
+        let sketch = heavy_sketch(16);
+        let mech = ChanMechanism::new(1.0, 100_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let hist = mech.release(&sketch, &mut rng);
+        for key in 1..=4u64 {
+            assert!(hist.estimate(&key) > 10_000.0, "key {key}");
+        }
+        assert!(hist.len() <= 16);
+    }
+
+    #[test]
+    fn chan_thresholded_threshold_scales_with_k() {
+        let mech = ChanThresholded::new(params()).unwrap();
+        assert!(mech.threshold(128) > 8.0 * mech.threshold(16) * 0.9);
+        let sketch = heavy_sketch(16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let hist = mech.release(&sketch, &mut rng);
+        for key in 1..=4u64 {
+            assert!(hist.estimate(&key) > 10_000.0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn bk_published_adds_only_unit_noise() {
+        // The bug: noise does NOT grow with k. We verify the implementation
+        // is faithful to the published (broken) mechanism by checking the
+        // deviation stays ~1/ε even for large k.
+        let sketch = heavy_sketch(256);
+        let mech = BkAsPublished::new(params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut worst: f64 = 0.0;
+        for _ in 0..50 {
+            let hist = mech.release(&sketch, &mut rng);
+            for key in 1..=4u64 {
+                worst = worst.max((hist.estimate(&key) - sketch.count(&key) as f64).abs());
+            }
+        }
+        assert!(
+            worst < 15.0,
+            "noise too large for the published variant: {worst}"
+        );
+    }
+
+    #[test]
+    fn bk_corrected_noise_grows_with_k() {
+        let sketch = heavy_sketch(256);
+        let mech = BkCorrected::new(params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut total_dev = 0.0;
+        let trials = 50;
+        for _ in 0..trials {
+            let hist = mech.release(&sketch, &mut rng);
+            for key in 1..=4u64 {
+                total_dev += (hist.estimate(&key) - sketch.count(&key) as f64).abs();
+            }
+        }
+        let mean_dev = total_dev / (trials as f64 * 4.0);
+        // Laplace(k/ε) has mean |noise| = k/ε = 256.
+        assert!(
+            mean_dev > 100.0,
+            "mean deviation {mean_dev} too small for k = 256"
+        );
+    }
+
+    #[test]
+    fn stability_histogram_matches_theory() {
+        let mut hist = ExactHistogram::new();
+        for i in 0..10_000u64 {
+            hist.update(i % 3);
+        }
+        hist.update(999); // count 1, must be suppressed w.h.p.
+        let mech = StabilityHistogram::new(params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = mech.release(&hist, &mut rng);
+        for key in 0..3u64 {
+            assert!((out.estimate(&key) - hist.count(&key) as f64).abs() < 20.0);
+        }
+        assert!(!out.contains(&999));
+    }
+
+    #[test]
+    fn thresholds_ordering_pmg_vs_baselines() {
+        // The whole point of the paper: PMG's threshold is O(log(1/δ)/ε),
+        // the k-scaled baselines are k× worse.
+        let p = params();
+        let pmg = crate::pmg::PrivateMisraGries::new(p).unwrap();
+        let bk = BkCorrected::new(p).unwrap();
+        let chan = ChanThresholded::new(p).unwrap();
+        for k in [16usize, 64, 256] {
+            assert!(pmg.threshold() < bk.threshold(k) / 4.0, "k = {k}");
+            assert!(pmg.threshold() < chan.threshold(k) / 4.0, "k = {k}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Heavy-hitter extraction — the headline application (paper title).
+//!
+//! A `φ`-heavy hitter of a stream of length `n` is an element with frequency
+//! at least `φ·n`. Given any released histogram (the output of `PMG`, the
+//! pure-DP release, a baseline, …) this module extracts the elements whose
+//! *noisy* estimates clear a query threshold, and provides the accuracy
+//! vocabulary (which true heavy hitters can be missed, which non-heavy
+//! elements can intrude) implied by the error window of the producing
+//! mechanism.
+
+use crate::pmg::PrivateHistogram;
+use dpmg_sketch::traits::Item;
+
+/// One extracted heavy hitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyHitter<K> {
+    /// The element.
+    pub key: K,
+    /// Its noisy frequency estimate.
+    pub estimate: f64,
+}
+
+/// Returns the released keys whose estimate is at least `threshold`, sorted
+/// by descending estimate (ties toward smaller keys).
+///
+/// ```
+/// use dpmg_core::heavy_hitters::heavy_hitters;
+/// use dpmg_core::pmg::PrivateMisraGries;
+/// use dpmg_noise::accounting::PrivacyParams;
+/// use dpmg_sketch::misra_gries::MisraGries;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut sketch = MisraGries::new(16).unwrap();
+/// for _ in 0..10_000 { sketch.update(5u64); }
+/// let mech = PrivateMisraGries::new(PrivacyParams::new(1.0, 1e-8).unwrap()).unwrap();
+/// let hist = mech.release(&sketch, &mut StdRng::seed_from_u64(1));
+/// let hh = heavy_hitters(&hist, 5_000.0);
+/// assert_eq!(hh.len(), 1);
+/// assert_eq!(hh[0].key, 5);
+/// ```
+pub fn heavy_hitters<K: Item>(
+    histogram: &PrivateHistogram<K>,
+    threshold: f64,
+) -> Vec<HeavyHitter<K>> {
+    let mut out: Vec<HeavyHitter<K>> = histogram
+        .iter()
+        .filter(|&(_, est)| est >= threshold)
+        .map(|(key, est)| HeavyHitter {
+            key: key.clone(),
+            estimate: est,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.estimate
+            .partial_cmp(&a.estimate)
+            .unwrap()
+            .then(a.key.cmp(&b.key))
+    });
+    out
+}
+
+/// Returns `φ`-heavy hitters: estimates at least `φ·n`.
+pub fn phi_heavy_hitters<K: Item>(
+    histogram: &PrivateHistogram<K>,
+    phi: f64,
+    n: u64,
+) -> Vec<HeavyHitter<K>> {
+    heavy_hitters(histogram, phi * n as f64)
+}
+
+/// The *soundness/completeness window* for heavy-hitter queries against a
+/// mechanism whose estimates satisfy
+/// `f̂(x) ∈ [f(x) − down, f(x) + up]`:
+///
+/// * every element with `f(x) ≥ t + down` is reported (completeness), and
+/// * no element with `f(x) < t − up` is reported (soundness),
+///
+/// when querying at threshold `t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyHitterWindow {
+    /// Maximum underestimation of the mechanism (`n/(k+1) + noise + threshold`).
+    pub down: f64,
+    /// Maximum overestimation (noise only, for the paper's mechanisms).
+    pub up: f64,
+}
+
+impl HeavyHitterWindow {
+    /// The window implied by Theorem 14 for `PMG` with failure probability
+    /// `β`: down = `2·ln((k+1)/β)/ε + 1 + 2·ln(3/δ)/ε + n/(k+1)`,
+    /// up = `2·ln((k+1)/β)/ε`.
+    pub fn pmg(epsilon: f64, delta: f64, k: usize, n: u64, beta: f64) -> Self {
+        let noise = 2.0 * ((k as f64 + 1.0) / beta).ln() / epsilon;
+        let threshold = 1.0 + 2.0 * (3.0 / delta).ln() / epsilon;
+        Self {
+            down: noise + threshold + n as f64 / (k as f64 + 1.0),
+            up: noise,
+        }
+    }
+
+    /// Smallest true frequency guaranteed to be reported at query threshold
+    /// `t`.
+    pub fn completeness_bound(&self, t: f64) -> f64 {
+        t + self.down
+    }
+
+    /// Largest true frequency that can still be (wrongly) excluded— i.e.
+    /// reported elements are guaranteed to have `f(x) ≥ t − up`.
+    pub fn soundness_bound(&self, t: f64) -> f64 {
+        t - self.up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmg::PrivateMisraGries;
+    use dpmg_noise::accounting::PrivacyParams;
+    use dpmg_sketch::misra_gries::MisraGries;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn hist(entries: &[(u64, f64)]) -> PrivateHistogram<u64> {
+        let map: BTreeMap<u64, f64> = entries.iter().copied().collect();
+        PrivateHistogram::from_parts(map, 0.0)
+    }
+
+    #[test]
+    fn extracts_above_threshold_sorted() {
+        let h = hist(&[(1, 100.0), (2, 50.0), (3, 100.0), (4, 10.0)]);
+        let hh = heavy_hitters(&h, 50.0);
+        assert_eq!(hh.iter().map(|h| h.key).collect::<Vec<_>>(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn phi_heavy_hitters_scale_by_n() {
+        let h = hist(&[(1, 100.0), (2, 40.0)]);
+        let hh = phi_heavy_hitters(&h, 0.05, 1000); // threshold 50
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].key, 1);
+    }
+
+    #[test]
+    fn empty_histogram_yields_nothing() {
+        let h = hist(&[]);
+        assert!(heavy_hitters(&h, 0.0).is_empty());
+    }
+
+    #[test]
+    fn window_bounds_are_consistent() {
+        let w = HeavyHitterWindow::pmg(1.0, 1e-8, 64, 1_000_000, 0.05);
+        assert!(w.down > w.up); // underestimation includes sketch + threshold
+        let t = 1000.0;
+        assert!(w.completeness_bound(t) > t);
+        assert!(w.soundness_bound(t) < t);
+    }
+
+    #[test]
+    fn end_to_end_precision_and_recall() {
+        // Stream: keys 1..=5 heavy (each ≈ n/10), 1000 tail keys light.
+        let n = 200_000u64;
+        let mut sketch = MisraGries::new(128).unwrap();
+        for i in 0..n {
+            let x = if i % 2 == 0 {
+                1 + (i / 2) % 5
+            } else {
+                100 + i % 1000
+            };
+            sketch.update(x);
+        }
+        let mech = PrivateMisraGries::new(PrivacyParams::new(1.0, 1e-8).unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let released = mech.release(&sketch, &mut rng);
+        let hh = phi_heavy_hitters(&released, 0.05, n); // threshold 10_000
+        let keys: Vec<u64> = hh.iter().map(|h| h.key).collect();
+        // All five heavy keys recovered (each has f = 20_000 ≫ window)…
+        for key in 1..=5u64 {
+            assert!(keys.contains(&key), "missing heavy hitter {key}");
+        }
+        // …and nothing else (tail keys have f ≤ 100 ≪ threshold − up).
+        assert_eq!(keys.len(), 5, "extra keys: {keys:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # dpmg-core
+//!
+//! The differentially private release mechanisms of
+//! [Lebeda & Tětek, *Better Differentially Private Approximate Histograms and
+//! Heavy Hitters using the Misra-Gries Sketch*, PODS 2023].
+//!
+//! * [`pmg`] — **Algorithm 2** (`PMG`), the paper's main contribution: an
+//!   `(ε, δ)`-DP release of a Misra-Gries sketch whose noise magnitude is
+//!   independent of the sketch size `k` (Theorem 14). Includes the
+//!   Section 5.1 variant for classic Misra-Gries sketches and the
+//!   Section 5.2 variant with discrete (geometric) noise.
+//! * [`pure`] — Section 6: pure `ε`-DP release via the sensitivity-reduction
+//!   post-processing (Algorithm 3) plus `Laplace(2/ε)` noise over the
+//!   universe, with an `O((k + log d)·log d)`-time top-k noise sampler, and
+//!   the `(ε, δ)` thresholded release of the reduced sketch.
+//! * [`merged`] — Section 7: privately releasing merged sketches, in both
+//!   the trusted- and untrusted-aggregator models.
+//! * [`gshm`] — the Gaussian Sparse Histogram Mechanism with the exact
+//!   `(ε, δ)` characterisation of Theorem 23 (following \[30\]) and the
+//!   loose closed-form parameters of Lemma 24.
+//! * [`user_level`] — Section 8: user-level privacy when each user
+//!   contributes up to `m` distinct elements — flattened PMG under group
+//!   privacy (Lemma 20), pure-DP with `m`-scaled noise (Lemma 22), and the
+//!   PAMG + GSHM release of Theorem 30.
+//! * [`baselines`] — the mechanisms the paper compares against: Chan et
+//!   al. \[11\] (noise `k/ε`), Böhler–Kerschbaum \[7\] (both as published —
+//!   *not actually private* — and with corrected sensitivity), and the
+//!   Korolova-style stability histogram \[22\] over exact counts.
+//! * [`heavy_hitters`] — extracting heavy hitters from any released
+//!   histogram.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod continual;
+pub mod gshm;
+pub mod heavy_hitters;
+pub mod merged;
+pub mod oracle_hh;
+pub mod pmg;
+pub mod pure;
+pub mod user_level;
+
+pub use gshm::GaussianSparseHistogram;
+pub use pmg::{PrivateHistogram, PrivateMisraGries};

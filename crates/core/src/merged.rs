@@ -1,0 +1,303 @@
+//! Privately releasing **merged** sketches (Section 7).
+//!
+//! Setting: `l` streams (e.g. one per server), each summarised by a local
+//! Misra-Gries sketch of size `k`; an aggregator combines them with the
+//! merge of Agarwal et al. (see [`dpmg_sketch::merge`]).
+//!
+//! * **Untrusted aggregator** — each server releases its sketch privately
+//!   (with [`crate::pmg::PrivateMisraGries`]) *before* merging; the
+//!   aggregator merges the noisy histograms. Privacy is per-stream and free
+//!   under merging (post-processing), but the error from the `l` thresholds
+//!   adds up: `O(l·log(1/δ)/ε)` for worst-case inputs.
+//! * **Trusted aggregator** — the aggregator first merges raw sketches, then
+//!   releases once. Corollary 18 bounds the merged sketch's sensitivity:
+//!   counters differ by at most 1 on at most `k` counts (one-sided), so the
+//!   aggregator can release with `Laplace(k/ε)` + threshold (the \[11\]
+//!   approach the paper improves for this setting), or — exploiting the
+//!   ℓ2-sensitivity `√k` — with the Gaussian Sparse Histogram Mechanism,
+//!   which the paper recommends at the end of Section 7.
+//! * **Trusted, memory-rich aggregator** — apply Algorithm 3 to every local
+//!   sketch and *sum* (no capping): the sum of `l` reduced sketches still
+//!   has ℓ1-sensitivity `< 2` (only one stream differs between neighbouring
+//!   datasets), so one `Laplace(2/ε)` + threshold release suffices — optimal
+//!   error at the cost of up to `l·k` counters of aggregator memory.
+
+use crate::gshm::{GaussianSparseHistogram, GshmParams};
+use crate::pmg::{PrivateHistogram, PrivateMisraGries};
+use dpmg_noise::accounting::PrivacyParams;
+use dpmg_noise::laplace::Laplace;
+use dpmg_noise::NoiseError;
+use dpmg_sketch::merge::merge_many;
+use dpmg_sketch::traits::{Item, Summary};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Untrusted aggregator: PMG-release each sketch, then merge the noisy
+/// histograms with the same subtract-the-(k+1)-th-largest rule (adapted to
+/// real-valued counts).
+///
+/// Returns the merged noisy histogram. Satisfies `(ε, δ)`-DP for each
+/// contributing stream by post-processing of its PMG release.
+pub fn release_untrusted<K: Item, R: Rng + ?Sized>(
+    sketches: &[dpmg_sketch::misra_gries::MisraGries<K>],
+    params: PrivacyParams,
+    rng: &mut R,
+) -> Result<PrivateHistogram<K>, NoiseError> {
+    let mech = PrivateMisraGries::new(params)?;
+    let released: Vec<PrivateHistogram<K>> = sketches
+        .iter()
+        .map(|sketch| mech.release(sketch, rng))
+        .collect();
+    let k = sketches.first().map(|s| s.k()).unwrap_or(0);
+    Ok(merge_noisy(&released, k))
+}
+
+/// Merges real-valued histograms with the Agarwal et al. rule.
+fn merge_noisy<K: Item>(histograms: &[PrivateHistogram<K>], k: usize) -> PrivateHistogram<K> {
+    let mut combined: BTreeMap<K, f64> = BTreeMap::new();
+    for hist in histograms {
+        for (key, value) in hist.iter() {
+            *combined.entry(key.clone()).or_insert(0.0) += value;
+        }
+    }
+    if combined.len() > k && k > 0 {
+        let mut values: Vec<f64> = combined.values().copied().collect();
+        values.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let pivot = values[k];
+        combined.retain(|_, v| {
+            *v -= pivot;
+            *v > 0.0
+        });
+    }
+    PrivateHistogram::from_parts(combined, 0.0)
+}
+
+/// Trusted aggregator, Laplace route: merge raw sketches, then add
+/// `Laplace(k/ε)` to each merged counter and threshold at
+/// `1 + (k/ε)·ln(k/(2δ))` (up to `k` keys can differ between neighbouring
+/// merged sketches — Corollary 18 — each by at most 1, so a per-key budget
+/// of `δ/k` hides them).
+pub fn release_trusted_laplace<K: Item, R: Rng + ?Sized>(
+    summaries: &[Summary<K>],
+    params: PrivacyParams,
+    rng: &mut R,
+) -> Result<PrivateHistogram<K>, NoiseError> {
+    if params.is_pure() {
+        return Err(NoiseError::InvalidPrivacyParameter {
+            name: "delta",
+            value: 0.0,
+        });
+    }
+    let merged = merge_many(summaries).unwrap_or_else(|| Summary::empty(0));
+    let k = merged.k.max(1);
+    let lap = Laplace::new(k as f64 / params.epsilon())?;
+    let threshold = 1.0 + (k as f64 / params.epsilon()) * (k as f64 / (2.0 * params.delta())).ln();
+    let entries = merged
+        .entries
+        .iter()
+        .filter_map(|(key, &c)| {
+            let noisy = c as f64 + lap.sample(rng);
+            (noisy >= threshold).then(|| (key.clone(), noisy))
+        })
+        .collect();
+    Ok(PrivateHistogram::from_parts(entries, threshold))
+}
+
+/// Trusted aggregator, Gaussian route (the paper's recommendation at the end
+/// of Section 7): Corollary 18 gives ℓ2-sensitivity `√k` with one-sided ±1
+/// structure, exactly the Theorem 23 precondition with `l = k`, so the GSHM
+/// applies with `σ = Θ(√k·…)` instead of the Laplace `k`.
+pub fn release_trusted_gshm<K: Item, R: Rng + ?Sized>(
+    summaries: &[Summary<K>],
+    params: PrivacyParams,
+    rng: &mut R,
+) -> Result<PrivateHistogram<K>, NoiseError> {
+    let merged = merge_many(summaries).unwrap_or_else(|| Summary::empty(0));
+    let l = merged.k.max(1);
+    let gshm_params = GshmParams::calibrate(params.epsilon(), params.delta(), l)?;
+    let mech = GaussianSparseHistogram::new(gshm_params);
+    Ok(mech.release(merged.entries.iter().map(|(key, &c)| (key.clone(), c)), rng))
+}
+
+/// Trusted aggregator with unbounded memory: Algorithm 3 on every local
+/// sketch, sum the reduced counters, release once with `Laplace(2/ε)` and
+/// the real-valued threshold `4 + 2·ln(1/δ)/ε` (the sum of reduced sketches
+/// keeps ℓ1-sensitivity `< 2` because only one stream changes between
+/// neighbouring datasets).
+pub fn release_trusted_reduced_sum<K: Item, R: Rng + ?Sized>(
+    summaries: &[Summary<K>],
+    params: PrivacyParams,
+    rng: &mut R,
+) -> Result<PrivateHistogram<K>, NoiseError> {
+    if params.is_pure() {
+        return Err(NoiseError::InvalidPrivacyParameter {
+            name: "delta",
+            value: 0.0,
+        });
+    }
+    let mut combined: BTreeMap<K, f64> = BTreeMap::new();
+    for summary in summaries {
+        let reduced = dpmg_sketch::sensitivity_reduce::reduce(summary);
+        for (key, value) in reduced.entries {
+            *combined.entry(key).or_insert(0.0) += value;
+        }
+    }
+    let sensitivity = 2.0;
+    let lap = Laplace::new(sensitivity / params.epsilon())?;
+    let threshold = 4.0 + 2.0 * (1.0 / params.delta()).ln() / params.epsilon();
+    let entries = combined
+        .into_iter()
+        .filter_map(|(key, value)| {
+            // Probabilistic rounding of sub-sensitivity values, as in
+            // [3, Algorithm 9] (same rationale as ReducedThresholdRelease).
+            let rounded = if value >= sensitivity {
+                value
+            } else if rng.random::<f64>() < value / sensitivity {
+                sensitivity
+            } else {
+                return None;
+            };
+            let noisy = rounded + lap.sample(rng);
+            (noisy >= threshold).then_some((key, noisy))
+        })
+        .collect();
+    Ok(PrivateHistogram::from_parts(entries, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmg_sketch::misra_gries::MisraGries;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> PrivacyParams {
+        PrivacyParams::new(1.0, 1e-8).unwrap()
+    }
+
+    /// `l` streams sharing four global heavy hitters plus per-stream tails.
+    fn make_sketches(l: usize, k: usize, per_stream: u64) -> Vec<MisraGries<u64>> {
+        (0..l)
+            .map(|s| {
+                let mut mg = MisraGries::new(k).unwrap();
+                for i in 0..per_stream {
+                    let x = if i % 2 == 0 {
+                        1 + (i / 2) % 4
+                    } else {
+                        100 + ((i * (s as u64 + 7)) % 400)
+                    };
+                    mg.update(x);
+                }
+                mg
+            })
+            .collect()
+    }
+
+    #[test]
+    fn untrusted_release_recovers_global_heavy_hitters() {
+        let sketches = make_sketches(8, 32, 50_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let hist = release_untrusted(&sketches, params(), &mut rng).unwrap();
+        // Each stream has keys 1..=4 with count ≈ 6250; global ≈ 50_000.
+        for key in 1..=4u64 {
+            assert!(hist.estimate(&key) > 20_000.0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn trusted_laplace_release_works() {
+        let sketches = make_sketches(8, 32, 50_000);
+        let summaries: Vec<_> = sketches.iter().map(|s| s.summary()).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let hist = release_trusted_laplace(&summaries, params(), &mut rng).unwrap();
+        for key in 1..=4u64 {
+            assert!(hist.estimate(&key) > 20_000.0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn trusted_gshm_release_works() {
+        let sketches = make_sketches(8, 32, 50_000);
+        let summaries: Vec<_> = sketches.iter().map(|s| s.summary()).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let hist =
+            release_trusted_gshm(&summaries, PrivacyParams::new(0.9, 1e-8).unwrap(), &mut rng)
+                .unwrap();
+        for key in 1..=4u64 {
+            assert!(hist.estimate(&key) > 20_000.0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn trusted_reduced_sum_release_works() {
+        let sketches = make_sketches(8, 32, 50_000);
+        let summaries: Vec<_> = sketches.iter().map(|s| s.summary()).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let hist = release_trusted_reduced_sum(&summaries, params(), &mut rng).unwrap();
+        for key in 1..=4u64 {
+            assert!(hist.estimate(&key) > 20_000.0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn trusted_error_beats_untrusted_for_many_streams() {
+        // The paper's point for Section 7: with an untrusted aggregator the
+        // *thresholding* error accumulates linearly in the number of
+        // sketches — per-stream counts below the PMG threshold are
+        // suppressed in every one of the l releases. A trusted aggregator
+        // sums first and thresholds once. Workload: every stream holds keys
+        // 1..=4 exactly 30 times (30 < PMG threshold ≈ 40 for ε=1, δ=1e-8),
+        // with k = 64 so the sketches are exact (no decrements).
+        let l = 32usize;
+        let sketches: Vec<MisraGries<u64>> = (0..l)
+            .map(|_| {
+                let mut mg = MisraGries::new(64).unwrap();
+                for _ in 0..30 {
+                    for key in 1..=4u64 {
+                        mg.update(key);
+                    }
+                }
+                mg
+            })
+            .collect();
+        let summaries: Vec<_> = sketches.iter().map(|s| s.summary()).collect();
+        let truth = l as f64 * 30.0; // 960 per key
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 8;
+        let (mut err_untrusted, mut err_trusted) = (0.0, 0.0);
+        for _ in 0..trials {
+            let u = release_untrusted(&sketches, params(), &mut rng).unwrap();
+            let t = release_trusted_reduced_sum(&summaries, params(), &mut rng).unwrap();
+            for key in 1..=4u64 {
+                err_untrusted += (u.estimate(&key) - truth).abs();
+                err_trusted += (t.estimate(&key) - truth).abs();
+            }
+        }
+        // Untrusted suppresses everything (error ≈ truth per key); trusted
+        // keeps the aggregate (error ≈ l·γ + noise ≪ truth).
+        assert!(
+            err_trusted < err_untrusted / 2.0,
+            "trusted {err_trusted} ≥ untrusted {err_untrusted} / 2"
+        );
+    }
+
+    #[test]
+    fn pure_params_rejected_where_needed() {
+        let sketches = make_sketches(2, 8, 100);
+        let summaries: Vec<_> = sketches.iter().map(|s| s.summary()).collect();
+        let pure = PrivacyParams::pure(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(release_untrusted(&sketches, pure, &mut rng).is_err());
+        assert!(release_trusted_laplace(&summaries, pure, &mut rng).is_err());
+        assert!(release_trusted_reduced_sum(&summaries, pure, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_release_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let hist = release_untrusted::<u64, _>(&[], params(), &mut rng).unwrap();
+        assert!(hist.is_empty());
+        let hist = release_trusted_laplace::<u64, _>(&[], params(), &mut rng).unwrap();
+        assert!(hist.is_empty());
+    }
+}

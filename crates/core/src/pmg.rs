@@ -1,0 +1,516 @@
+//! The Private Misra-Gries mechanism (**Algorithm 2**, Section 5) — the
+//! paper's main contribution.
+//!
+//! Given a Misra-Gries sketch `T, c` of size `k`, the release is:
+//!
+//! 1. sample a *shared* noise value `η ~ Laplace(1/ε)`;
+//! 2. for every stored key `x ∈ T` add `η + Laplace(1/ε)` (a fresh
+//!    per-counter sample plus the shared one);
+//! 3. keep only noisy counters `≥ 1 + 2·ln(3/δ)/ε`.
+//!
+//! Why two layers of noise? Lemma 8 shows neighbouring sketches differ
+//! either (case 1) by 1 on a *single* counter or (case 2) by 1 on *all*
+//! counters simultaneously. The per-counter noise hides case 1 and the
+//! shared noise hides case 2 (Lemma 9 / Corollary 10); the threshold hides
+//! the ≤ 2 keys that may differ between the stored sets (Lemma 11). Together
+//! this yields `(ε, δ)`-DP with noise of magnitude `O(1/ε)` per counter —
+//! *independent of `k`*, unlike the `k/ε` of Chan et al. — and the error
+//! bounds of Theorem 14.
+//!
+//! Variants provided, mirroring the paper:
+//!
+//! * **Section 5.1** — releasing a *classic* Misra-Gries sketch (zero
+//!   counters removed eagerly): neighbouring key sets may then differ in up
+//!   to `k` keys, so the threshold rises to `1 + 2·ln((k+1)/(2δ))/ε`.
+//! * **Section 5.2** — replacing the real-valued Laplace noise by the
+//!   two-sided geometric distribution for finite-computer safety, with
+//!   threshold `1 + 2·⌈ln(6e^ε/((e^ε+1)δ))/ε⌉`.
+
+use dpmg_noise::accounting::PrivacyParams;
+use dpmg_noise::geometric::TwoSidedGeometric;
+use dpmg_noise::laplace::Laplace;
+use dpmg_noise::NoiseError;
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_sketch::misra_gries_classic::ClassicMisraGries;
+use dpmg_sketch::traits::{FrequencyOracle, Item};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A differentially private histogram released by one of the mechanisms in
+/// this crate: keys with noisy counts that survived thresholding.
+///
+/// Keys not present estimate to 0, matching the paper's convention that
+/// `c_j = 0` for `j ∉ T̃`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivateHistogram<K: Ord> {
+    entries: BTreeMap<K, f64>,
+    threshold: f64,
+}
+
+impl<K: Item> PrivateHistogram<K> {
+    /// Builds a histogram from surviving entries (used by the mechanisms in
+    /// this crate; not a privacy boundary by itself).
+    pub(crate) fn from_parts(entries: BTreeMap<K, f64>, threshold: f64) -> Self {
+        Self { entries, threshold }
+    }
+
+    /// The threshold that was applied to noisy counts (0.0 when the
+    /// producing mechanism does not threshold).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Point estimate for `key`; 0 for keys that were not released.
+    pub fn estimate(&self, key: &K) -> f64 {
+        self.entries.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Whether `key` was released.
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of released keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no key survived the threshold.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(key, noisy count)` in ascending key order — the fixed
+    /// output order required by Section 5.2 (iteration order must not depend
+    /// on the stream order).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, f64)> {
+        self.entries.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Released keys sorted by descending estimate (ties toward smaller
+    /// keys) — the usual presentation for heavy hitters.
+    pub fn by_estimate_desc(&self) -> Vec<(K, f64)> {
+        let mut v: Vec<(K, f64)> = self.entries.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl<K: Item> FrequencyOracle<K> for PrivateHistogram<K> {
+    fn estimate(&self, key: &K) -> f64 {
+        PrivateHistogram::estimate(self, key)
+    }
+}
+
+/// Which noise distribution Algorithm 2 draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseKind {
+    /// Continuous `Laplace(1/ε)` noise — the paper's presentation.
+    Laplace,
+    /// Two-sided geometric (discrete Laplace) noise — the Section 5.2
+    /// finite-computer variant with its adjusted threshold.
+    Geometric,
+}
+
+/// The PMG mechanism (Algorithm 2) with its Section 5.1/5.2 variants.
+///
+/// ```
+/// use dpmg_core::pmg::PrivateMisraGries;
+/// use dpmg_noise::accounting::PrivacyParams;
+/// use dpmg_sketch::misra_gries::MisraGries;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut sketch = MisraGries::new(32).unwrap();
+/// sketch.extend((0..5_000u64).map(|i| if i % 3 == 0 { 1 } else { i }));
+///
+/// let mech = PrivateMisraGries::new(PrivacyParams::new(1.0, 1e-8).unwrap()).unwrap();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let hist = mech.release(&sketch, &mut rng);
+/// assert!(hist.estimate(&1) > 1_000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrivateMisraGries {
+    params: PrivacyParams,
+    noise: NoiseKind,
+}
+
+impl PrivateMisraGries {
+    /// Creates the mechanism with Laplace noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `δ = 0`: Algorithm 2 relies on thresholding and
+    /// is inherently approximate-DP; use [`crate::pure`] for `ε`-DP.
+    pub fn new(params: PrivacyParams) -> Result<Self, NoiseError> {
+        if params.is_pure() {
+            return Err(NoiseError::InvalidPrivacyParameter {
+                name: "delta",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            params,
+            noise: NoiseKind::Laplace,
+        })
+    }
+
+    /// Switches to the Section 5.2 geometric-noise variant.
+    pub fn with_geometric_noise(mut self) -> Self {
+        self.noise = NoiseKind::Geometric;
+        self
+    }
+
+    /// The privacy parameters this mechanism satisfies (Lemma 12).
+    pub fn params(&self) -> PrivacyParams {
+        self.params
+    }
+
+    /// The noise kind in use.
+    pub fn noise_kind(&self) -> NoiseKind {
+        self.noise
+    }
+
+    /// The Algorithm 2 threshold for the paper's MG variant:
+    /// `1 + 2·ln(3/δ)/ε` for Laplace noise, or the Section 5.2 value
+    /// `1 + 2·⌈ln(6e^ε/((e^ε+1)δ))/ε⌉` for geometric noise.
+    pub fn threshold(&self) -> f64 {
+        let eps = self.params.epsilon();
+        let delta = self.params.delta();
+        match self.noise {
+            NoiseKind::Laplace => 1.0 + 2.0 * (3.0 / delta).ln() / eps,
+            NoiseKind::Geometric => {
+                let inner = (6.0 * eps.exp() / ((eps.exp() + 1.0) * delta)).ln() / eps;
+                1.0 + 2.0 * inner.ceil()
+            }
+        }
+    }
+
+    /// The Section 5.1 threshold for classic Misra-Gries sketches:
+    /// `1 + 2·ln((k+1)/(2δ))/ε` (neighbouring key sets can differ in up to
+    /// `k` keys, all with count 1, so the per-key suppression budget shrinks
+    /// from `δ/3`-style constants to `δ/(k+1)`-style ones).
+    pub fn threshold_classic(&self, k: usize) -> f64 {
+        let eps = self.params.epsilon();
+        let delta = self.params.delta();
+        1.0 + 2.0 * ((k as f64 + 1.0) / (2.0 * delta)).ln() / eps
+    }
+
+    /// Releases the paper's Misra-Gries sketch (Algorithm 2 verbatim).
+    ///
+    /// Noise is added to **every** slot, dummy slots included, in sorted
+    /// slot order; dummy slots are removed as post-processing exactly as the
+    /// paper prescribes. The output therefore never contains elements absent
+    /// from the stream.
+    pub fn release<K: Item, R: Rng + ?Sized>(
+        &self,
+        sketch: &MisraGries<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
+        let threshold = self.threshold();
+        let slots = sketch.slots();
+        let noisy = self.noise_all(slots.iter().map(|&(_, c)| c as f64), rng);
+        let entries = slots
+            .into_iter()
+            .zip(noisy)
+            .filter_map(|((slot, _), value)| {
+                // Post-processing: drop dummies; thresholding: drop small.
+                let key = slot.item()?.clone();
+                (value >= threshold).then_some((key, value))
+            })
+            .collect();
+        PrivateHistogram::from_parts(entries, threshold)
+    }
+
+    /// Releases a classic Misra-Gries sketch (Section 5.1): same noise, the
+    /// raised threshold [`Self::threshold_classic`].
+    pub fn release_classic<K: Item, R: Rng + ?Sized>(
+        &self,
+        sketch: &ClassicMisraGries<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
+        let threshold = self.threshold_classic(sketch.k());
+        let summary = sketch.summary();
+        let noisy = self.noise_all(summary.entries.values().map(|&c| c as f64), rng);
+        let entries = summary
+            .entries
+            .keys()
+            .cloned()
+            .zip(noisy)
+            .filter(|&(_, value)| value >= threshold)
+            .collect();
+        PrivateHistogram::from_parts(entries, threshold)
+    }
+
+    /// Releases a [`dpmg_sketch::traits::Summary`] — the counter map shape
+    /// produced by merging (Section 7) or by deserializing a shipped sketch.
+    ///
+    /// Uses the Section 5.1 (classic) threshold `1 + 2·ln((k+1)/(2δ))/ε`:
+    /// a summary carries no dummy slots and neighbouring summaries may
+    /// disagree on up to `k` keys, exactly the classic-variant situation.
+    pub fn release_summary<K: Item, R: Rng + ?Sized>(
+        &self,
+        summary: &dpmg_sketch::traits::Summary<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
+        let threshold = self.threshold_classic(summary.k);
+        let noisy = self.noise_all(summary.entries.values().map(|&c| c as f64), rng);
+        let entries = summary
+            .entries
+            .keys()
+            .cloned()
+            .zip(noisy)
+            .filter(|&(_, value)| value >= threshold)
+            .collect();
+        PrivateHistogram::from_parts(entries, threshold)
+    }
+
+    /// Adds the two-layer Algorithm 2 noise (shared `η` + fresh per counter)
+    /// to a sequence of counts, preserving order.
+    fn noise_all<R: Rng + ?Sized>(
+        &self,
+        counts: impl Iterator<Item = f64>,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let eps = self.params.epsilon();
+        match self.noise {
+            NoiseKind::Laplace => {
+                let lap = Laplace::for_epsilon(1.0, eps).expect("validated at construction");
+                let shared = lap.sample(rng);
+                counts.map(|c| c + shared + lap.sample(rng)).collect()
+            }
+            NoiseKind::Geometric => {
+                let geo =
+                    TwoSidedGeometric::for_epsilon(1.0, eps).expect("validated at construction");
+                let shared = geo.sample(rng);
+                counts
+                    .map(|c| c + (shared + geo.sample(rng)) as f64)
+                    .collect()
+            }
+        }
+    }
+
+    /// The Lemma 13 high-probability error bound of the released counts
+    /// *relative to the non-private sketch*: with probability ≥ `1 − β`,
+    /// every released count is within `2·ln((k+1)/β)/ε` above and
+    /// `2·ln((k+1)/β)/ε + 1 + 2·ln(3/δ)/ε` below its sketch counter.
+    pub fn noise_error_bound(&self, k: usize, beta: f64) -> f64 {
+        2.0 * ((k as f64 + 1.0) / beta).ln() / self.params.epsilon()
+    }
+
+    /// The Theorem 14 bound on the mean squared error against the *true*
+    /// frequency for a stream of length `n`:
+    /// `3·(1 + (2 + 2·ln(3/δ))/ε + n/(k+1))²`.
+    pub fn mse_bound(&self, n: u64, k: usize) -> f64 {
+        let eps = self.params.epsilon();
+        let delta = self.params.delta();
+        let term = 1.0 + (2.0 + 2.0 * (3.0 / delta).ln()) / eps + n as f64 / (k as f64 + 1.0);
+        3.0 * term * term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> PrivacyParams {
+        PrivacyParams::new(1.0, 1e-8).unwrap()
+    }
+
+    #[test]
+    fn rejects_pure_dp() {
+        assert!(PrivateMisraGries::new(PrivacyParams::pure(1.0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn threshold_formula_matches_paper() {
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        let want = 1.0 + 2.0 * (3.0f64 / 1e-8).ln() / 1.0;
+        assert!((mech.threshold() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_threshold_is_larger() {
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        for k in [1usize, 16, 256, 4096] {
+            assert!(
+                mech.threshold_classic(k) > mech.threshold() - 2.0 * (6.0f64).ln(),
+                "k = {k}"
+            );
+            // Grows with k:
+            assert!(mech.threshold_classic(4 * k) > mech.threshold_classic(k));
+        }
+    }
+
+    #[test]
+    fn geometric_threshold_matches_section_5_2() {
+        let mech = PrivateMisraGries::new(params())
+            .unwrap()
+            .with_geometric_noise();
+        let eps = 1.0f64;
+        let delta = 1e-8f64;
+        let want = 1.0 + 2.0 * ((6.0 * eps.exp() / ((eps.exp() + 1.0) * delta)).ln() / eps).ceil();
+        assert!((mech.threshold() - want).abs() < 1e-9);
+        assert_eq!(mech.noise_kind(), NoiseKind::Geometric);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_release() {
+        let mut sketch = MisraGries::new(32).unwrap();
+        // One element with frequency 5000, noise magnitude ~ 40.
+        for i in 0..10_000u64 {
+            sketch.update(if i % 2 == 0 { 7 } else { i });
+        }
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let hist = mech.release(&sketch, &mut rng);
+        let est = hist.estimate(&7);
+        assert!(est > 4_000.0, "estimate = {est}");
+        // The estimate is close to the sketch's own counter.
+        let sketch_count = sketch.count(&7) as f64;
+        assert!((est - sketch_count).abs() < 200.0);
+    }
+
+    #[test]
+    fn small_counts_are_suppressed() {
+        let mut sketch = MisraGries::new(16).unwrap();
+        for x in 0..16u64 {
+            sketch.update(x); // every counter is 1, far below the threshold
+        }
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let hist = mech.release(&sketch, &mut rng);
+        assert!(hist.is_empty(), "released {:?}", hist.by_estimate_desc());
+    }
+
+    #[test]
+    fn dummies_never_released() {
+        // Sketch with only 2 of 8 slots holding real keys with huge counts.
+        let mut sketch = MisraGries::new(8).unwrap();
+        for _ in 0..100_000 {
+            sketch.update(1u64);
+            sketch.update(2u64);
+        }
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let hist = mech.release(&sketch, &mut rng);
+        // Only real stream elements can appear.
+        for (key, _) in hist.iter() {
+            assert!([1u64, 2].contains(key));
+        }
+    }
+
+    #[test]
+    fn release_classic_works() {
+        let mut sketch = ClassicMisraGries::new(16).unwrap();
+        for i in 0..20_000u64 {
+            sketch.update(if i % 2 == 0 { 3 } else { i });
+        }
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let hist = mech.release_classic(&sketch, &mut rng);
+        assert!(hist.estimate(&3) > 8_000.0);
+        assert!((hist.threshold() - mech.threshold_classic(16)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_release_returns_integer_offsets() {
+        let mut sketch = MisraGries::new(8).unwrap();
+        for _ in 0..50_000 {
+            sketch.update(42u64);
+        }
+        let mech = PrivateMisraGries::new(params())
+            .unwrap()
+            .with_geometric_noise();
+        let mut rng = StdRng::seed_from_u64(5);
+        let hist = mech.release(&sketch, &mut rng);
+        let est = hist.estimate(&42);
+        assert!(est > 49_000.0);
+        // count + integer noise stays integral.
+        assert!((est - est.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_is_deterministic_under_seed() {
+        let mut sketch = MisraGries::new(8).unwrap();
+        sketch.extend((0..1000u64).map(|i| i % 5));
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        let a = mech.release(&sketch, &mut StdRng::seed_from_u64(123));
+        let b = mech.release(&sketch, &mut StdRng::seed_from_u64(123));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lemma_13_bound_holds_empirically() {
+        // Compare released counts against the sketch's own counters over
+        // many trials; the deviation must respect the Lemma 13 budget.
+        let mut sketch = MisraGries::new(16).unwrap();
+        for i in 0..50_000u64 {
+            sketch.update(i % 4); // four heavy keys, counts ≈ 12_500
+        }
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        let beta = 0.05;
+        let bound_up = mech.noise_error_bound(16, beta);
+        let threshold_extra = mech.threshold();
+        let mut rng = StdRng::seed_from_u64(71);
+        let trials = 400;
+        let mut violations = 0;
+        for _ in 0..trials {
+            let hist = mech.release(&sketch, &mut rng);
+            for x in 0..4u64 {
+                let c = sketch.count(&x) as f64;
+                let e = hist.estimate(&x);
+                if e > c + bound_up || e < c - bound_up - threshold_extra {
+                    violations += 1;
+                    break;
+                }
+            }
+        }
+        let rate = violations as f64 / trials as f64;
+        assert!(rate <= beta + 0.05, "violation rate {rate}");
+    }
+
+    #[test]
+    fn mse_bound_formula() {
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        let bound = mech.mse_bound(1000, 99);
+        let term = 1.0 + (2.0 + 2.0 * (3.0f64 / 1e-8).ln()) / 1.0 + 10.0;
+        assert!((bound - 3.0 * term * term).abs() < 1e-6);
+    }
+
+    #[test]
+    fn release_summary_matches_classic_threshold() {
+        let summary =
+            dpmg_sketch::traits::Summary::from_entries(16, (1..=4u64).map(|x| (x, 100_000)));
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        let hist = mech.release_summary(&summary, &mut rng);
+        assert!((hist.threshold() - mech.threshold_classic(16)).abs() < 1e-12);
+        for key in 1..=4u64 {
+            assert!((hist.estimate(&key) - 100_000.0).abs() < 100.0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn release_summary_suppresses_small_counts() {
+        let summary = dpmg_sketch::traits::Summary::from_entries(8, (1..=8u64).map(|x| (x, 1)));
+        let mech = PrivateMisraGries::new(params()).unwrap();
+        let mut rng = StdRng::seed_from_u64(62);
+        assert!(mech.release_summary(&summary, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn histogram_accessors() {
+        let entries: BTreeMap<u64, f64> = [(1u64, 5.0), (2, 9.0)].into_iter().collect();
+        let h = PrivateHistogram::from_parts(entries, 1.5);
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+        assert!(h.contains(&1));
+        assert!(!h.contains(&3));
+        assert_eq!(h.threshold(), 1.5);
+        assert_eq!(h.by_estimate_desc(), vec![(2, 9.0), (1, 5.0)]);
+        let keys: Vec<u64> = h.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2]); // ascending key order
+    }
+}

@@ -1,0 +1,200 @@
+//! Empirical differential-privacy auditing.
+//!
+//! A mechanism `M` is `(ε, δ)`-DP only if for **every** event `Z` and every
+//! pair of neighbouring inputs, `Pr[M(S) ∈ Z] ≤ e^ε·Pr[M(S') ∈ Z] + δ`.
+//! Running `M` many times on a *specific* worst-case neighbouring pair and
+//! estimating the probabilities of threshold events yields a **lower bound**
+//! on the true privacy loss — enough to falsify a privacy claim, which is
+//! exactly what experiment E5 does to the Böhler–Kerschbaum mechanism
+//! (its published noise ignores the sketch's sensitivity `k`; the paper's
+//! "Relation to \[7\]" paragraph predicts the violation this auditor
+//! exhibits).
+//!
+//! The auditor projects each output to a scalar statistic (for sketch
+//! mechanisms: the sum of released counters, which moves by `k` between the
+//! decrement-neighbour streams), collects `N` samples per input, and
+//! reports
+//!
+//! ```text
+//! ε̂ = max over thresholds t, both directions, both tails of
+//!       ln( (Pr̂[stat ≥ t] − δ) / Pr̂'[stat ≥ t] )
+//! ```
+//!
+//! with conservative small-sample guards (events with too few hits are
+//! skipped, so sampling noise cannot inflate ε̂).
+
+/// Configuration for the threshold-event auditor.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Number of threshold probes between the two sample medians.
+    pub probes: usize,
+    /// Minimum hits required on the *denominator* side for a probe to
+    /// count (guards against log-of-tiny-noise).
+    pub min_hits: usize,
+    /// The δ to subtract from the numerator (the claimed δ of the audited
+    /// mechanism).
+    pub delta: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            probes: 200,
+            min_hits: 20,
+            delta: 0.0,
+        }
+    }
+}
+
+/// Estimates a lower bound on the privacy loss `ε` distinguishing the two
+/// sample sets. Larger = more distinguishable; a mechanism claiming
+/// `(ε, δ)`-DP must satisfy `ε̂ ≲ ε` up to sampling error.
+///
+/// # Panics
+///
+/// Panics if either sample set is empty.
+pub fn estimate_epsilon(samples_a: &[f64], samples_b: &[f64], config: &AuditConfig) -> f64 {
+    assert!(!samples_a.is_empty() && !samples_b.is_empty());
+    let mut a = samples_a.to_vec();
+    let mut b = samples_b.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+
+    let lo = a[0].min(b[0]);
+    let hi = a[a.len() - 1].max(b[b.len() - 1]);
+    if lo == hi {
+        return 0.0; // identical point masses — indistinguishable
+    }
+
+    let tail_ge = |sorted: &[f64], t: f64| -> f64 {
+        let below = sorted.partition_point(|&x| x < t);
+        (sorted.len() - below) as f64 / sorted.len() as f64
+    };
+    let tail_lt = |sorted: &[f64], t: f64| -> f64 { 1.0 - tail_ge(sorted, t) };
+
+    let mut best = 0.0_f64;
+    let min_mass_b = config.min_hits as f64 / b.len() as f64;
+    let min_mass_a = config.min_hits as f64 / a.len() as f64;
+    for i in 0..=config.probes {
+        let t = lo + (hi - lo) * i as f64 / config.probes as f64;
+        // Four event families: {≥ t} and {< t}, in both input directions.
+        let events = [
+            (tail_ge(&a, t), tail_ge(&b, t)),
+            (tail_lt(&a, t), tail_lt(&b, t)),
+            (tail_ge(&b, t), tail_ge(&a, t)),
+            (tail_lt(&b, t), tail_lt(&a, t)),
+        ];
+        for (p_num, p_den) in events {
+            if p_den < min_mass_b.max(min_mass_a) {
+                continue;
+            }
+            let adjusted = p_num - config.delta;
+            if adjusted > p_den {
+                best = best.max((adjusted / p_den).ln());
+            }
+        }
+    }
+    best
+}
+
+/// Runs a mechanism-as-closure `trials` times on each of two inputs and
+/// audits the resulting scalar statistics. The closures receive a trial
+/// seed; they are expected to construct their own seeded RNG so the audit
+/// is reproducible.
+pub fn audit_mechanism<FA, FB>(
+    trials: usize,
+    base_seed: u64,
+    config: &AuditConfig,
+    run_a: FA,
+    run_b: FB,
+) -> f64
+where
+    FA: Fn(u64) -> f64 + Sync,
+    FB: Fn(u64) -> f64 + Sync,
+{
+    let samples_a = crate::experiment::parallel_trials(trials, base_seed, run_a);
+    let samples_b =
+        crate::experiment::parallel_trials(trials, base_seed.wrapping_add(0xdead_beef), run_b);
+    estimate_epsilon(&samples_a, &samples_b, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmg_noise::laplace::Laplace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Shifted Laplace pairs have known privacy loss: Laplace(b) vs
+    /// Laplace(b) + s is (s/b)-indistinguishable.
+    fn laplace_pair(shift: f64, scale: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let lap = Laplace::new(scale).unwrap();
+        let mut rng = StdRng::seed_from_u64(12345);
+        let a: Vec<f64> = (0..n).map(|_| lap.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..n).map(|_| lap.sample(&mut rng) + shift).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn identical_distributions_audit_near_zero() {
+        let (a, _) = laplace_pair(0.0, 1.0, 50_000);
+        let (b, _) = laplace_pair(0.0, 1.0, 50_000);
+        let eps = estimate_epsilon(&a, &b, &AuditConfig::default());
+        assert!(eps < 0.15, "ε̂ = {eps} should be ≈ 0");
+    }
+
+    #[test]
+    fn unit_shift_laplace_audits_close_to_one() {
+        // True privacy loss is exactly 1.0; the empirical estimate must be
+        // a lower bound in expectation and in the right ballpark.
+        let (a, b) = laplace_pair(1.0, 1.0, 200_000);
+        let eps = estimate_epsilon(&a, &b, &AuditConfig::default());
+        assert!(eps > 0.5, "ε̂ = {eps} too low");
+        assert!(eps < 1.3, "ε̂ = {eps} exceeds the true loss by too much");
+    }
+
+    #[test]
+    fn large_shift_is_detected_as_large_epsilon() {
+        let (a, b) = laplace_pair(10.0, 1.0, 50_000);
+        let eps = estimate_epsilon(&a, &b, &AuditConfig::default());
+        assert!(eps > 3.0, "ε̂ = {eps} should be large");
+    }
+
+    #[test]
+    fn delta_subtraction_reduces_estimate() {
+        let (a, b) = laplace_pair(1.0, 1.0, 50_000);
+        let strict = estimate_epsilon(&a, &b, &AuditConfig::default());
+        let lenient = estimate_epsilon(
+            &a,
+            &b,
+            &AuditConfig {
+                delta: 0.05,
+                ..Default::default()
+            },
+        );
+        assert!(lenient <= strict);
+    }
+
+    #[test]
+    fn point_masses_are_indistinguishable() {
+        let a = vec![3.0; 100];
+        let b = vec![3.0; 100];
+        assert_eq!(estimate_epsilon(&a, &b, &AuditConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn audit_mechanism_end_to_end() {
+        // Counting query released with Laplace(1/ε): audited loss ≤ ε.
+        let eps_target = 1.0;
+        let run = |value: f64| {
+            move |seed: u64| {
+                let lap = Laplace::for_epsilon(1.0, eps_target).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed);
+                value + lap.sample(&mut rng)
+            }
+        };
+        let eps_hat = audit_mechanism(40_000, 7, &AuditConfig::default(), run(100.0), run(101.0));
+        assert!(eps_hat <= eps_target * 1.35, "ε̂ = {eps_hat}");
+        assert!(eps_hat > 0.4, "ε̂ = {eps_hat} suspiciously small");
+    }
+}

@@ -1,0 +1,195 @@
+//! Error metrics against exact ground truth.
+
+use dpmg_sketch::exact::ExactHistogram;
+use dpmg_sketch::traits::{FrequencyOracle, Item};
+use std::collections::BTreeSet;
+
+/// Maximum absolute error `max_x |f̂(x) − f(x)|` over all keys appearing in
+/// the truth histogram **and** all keys the oracle released (callers pass
+/// the released keys; keys in neither contribute 0 − 0 = 0).
+pub fn max_error<K: Item>(
+    oracle: &impl FrequencyOracle<K>,
+    released_keys: &[K],
+    truth: &ExactHistogram<K>,
+) -> f64 {
+    let mut worst = 0.0_f64;
+    for (key, count) in truth.iter() {
+        worst = worst.max((oracle.estimate(key) - count as f64).abs());
+    }
+    for key in released_keys {
+        worst = worst.max((oracle.estimate(key) - truth.count(key) as f64).abs());
+    }
+    worst
+}
+
+/// Signed error decomposition: `(max overestimate, max underestimate)`,
+/// both non-negative. The paper's sketches never overestimate before noise,
+/// so the overestimate isolates the noise contribution.
+pub fn signed_errors<K: Item>(
+    oracle: &impl FrequencyOracle<K>,
+    released_keys: &[K],
+    truth: &ExactHistogram<K>,
+) -> (f64, f64) {
+    let mut over = 0.0_f64;
+    let mut under = 0.0_f64;
+    let mut probe = |key: &K| {
+        let diff = oracle.estimate(key) - truth.count(key) as f64;
+        if diff > 0.0 {
+            over = over.max(diff);
+        } else {
+            under = under.max(-diff);
+        }
+    };
+    for (key, _) in truth.iter() {
+        probe(key);
+    }
+    for key in released_keys {
+        probe(key);
+    }
+    (over, under)
+}
+
+/// Mean squared error over the keys of the truth histogram.
+pub fn mse<K: Item>(oracle: &impl FrequencyOracle<K>, truth: &ExactHistogram<K>) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (key, c) in truth.iter() {
+        let diff = oracle.estimate(key) - c as f64;
+        total += diff * diff;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Absolute-error quantile (e.g. `q = 0.5` for the median error,
+/// `q = 0.95`) over the truth keys.
+pub fn error_quantile<K: Item>(
+    oracle: &impl FrequencyOracle<K>,
+    truth: &ExactHistogram<K>,
+    q: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    let mut errors: Vec<f64> = truth
+        .iter()
+        .map(|(key, c)| (oracle.estimate(key) - c as f64).abs())
+        .collect();
+    if errors.is_empty() {
+        return 0.0;
+    }
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((errors.len() - 1) as f64 * q).round() as usize;
+    errors[idx]
+}
+
+/// Heavy-hitter retrieval quality of a reported key set against the true
+/// `φ`-heavy hitters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HhQuality {
+    /// Fraction of reported keys that are true heavy hitters (1.0 when
+    /// nothing is reported).
+    pub precision: f64,
+    /// Fraction of true heavy hitters that were reported (1.0 when none
+    /// exist).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes precision/recall/F1 of `reported` against the elements with
+/// true frequency ≥ `threshold`.
+pub fn hh_quality<K: Item>(reported: &[K], truth: &ExactHistogram<K>, threshold: u64) -> HhQuality {
+    let actual: BTreeSet<K> = truth
+        .heavy_hitters(threshold)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    let reported: BTreeSet<K> = reported.iter().cloned().collect();
+    let hits = reported.intersection(&actual).count() as f64;
+    let precision = if reported.is_empty() {
+        1.0
+    } else {
+        hits / reported.len() as f64
+    };
+    let recall = if actual.is_empty() {
+        1.0
+    } else {
+        hits / actual.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    HhQuality {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmg_sketch::traits::Summary;
+
+    fn truth() -> ExactHistogram<u64> {
+        ExactHistogram::from_stream([1u64, 1, 1, 1, 2, 2, 3])
+    }
+
+    #[test]
+    fn max_error_covers_both_directions() {
+        // Oracle: 1 → 6 (over by 2), 2 → 0 (under by 2), 3 → 1, spurious 9 → 5.
+        let oracle = Summary::from_entries(4, [(1u64, 6), (3, 1), (9, 5)]);
+        let t = truth();
+        let released = vec![1u64, 3, 9];
+        assert_eq!(max_error(&oracle, &released, &t), 5.0); // the spurious key
+        let (over, under) = signed_errors(&oracle, &released, &t);
+        assert_eq!(over, 5.0);
+        assert_eq!(under, 2.0);
+    }
+
+    #[test]
+    fn mse_averages_squared_errors() {
+        let oracle = Summary::from_entries(4, [(1u64, 5), (2, 2), (3, 0)]);
+        // errors: 1, 0, 1 → mse = 2/3
+        assert!((mse(&oracle, &truth()) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let oracle = Summary::from_entries(4, [(1u64, 5), (2, 2), (3, 0)]);
+        // sorted abs errors: [0, 1, 1]
+        assert_eq!(error_quantile(&oracle, &truth(), 0.0), 0.0);
+        assert_eq!(error_quantile(&oracle, &truth(), 1.0), 1.0);
+        assert_eq!(error_quantile(&oracle, &truth(), 0.5), 1.0);
+    }
+
+    #[test]
+    fn hh_quality_cases() {
+        let t = truth(); // heavy ≥ 2: {1, 2}
+        let q = hh_quality(&[1u64, 2], &t, 2);
+        assert_eq!((q.precision, q.recall, q.f1), (1.0, 1.0, 1.0));
+        let q = hh_quality(&[1u64, 3], &t, 2); // one hit, one false positive
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 0.5);
+        let q = hh_quality::<u64>(&[], &t, 2);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1, 0.0);
+        let q = hh_quality::<u64>(&[], &t, 100); // no true HH at all
+        assert_eq!((q.precision, q.recall), (1.0, 1.0));
+    }
+
+    #[test]
+    fn empty_truth() {
+        let t = ExactHistogram::<u64>::new();
+        let oracle = Summary::from_entries(4, []);
+        assert_eq!(mse(&oracle, &t), 0.0);
+        assert_eq!(error_quantile(&oracle, &t, 0.5), 0.0);
+        assert_eq!(max_error(&oracle, &[], &t), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal ASCII plotting for experiment binaries.
+//!
+//! The experiment tables are the primary record; a log-log ASCII chart next
+//! to them makes growth orders (linear vs logarithmic in `k`, the central
+//! comparison of the paper) visible at a glance in terminal output without
+//! any plotting dependency.
+
+/// A single named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; its first character is the plot glyph.
+    pub label: String,
+    /// Data points (must be positive for log-scaled axes).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Renders series on a `width × height` character grid. Axes are
+/// log-scaled when `log_x`/`log_y` are set (points must then be > 0).
+pub fn render(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+) -> String {
+    assert!(width >= 8 && height >= 4, "plot too small");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let tx = |x: f64| if log_x { x.ln() } else { x };
+    let ty = |y: f64| {
+        if log_y {
+            y.max(f64::MIN_POSITIVE).ln()
+        } else {
+            y
+        }
+    };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(tx(x));
+        x_max = x_max.max(tx(x));
+        y_min = y_min.min(ty(y));
+        y_max = y_max.max(ty(y));
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            let cx = (((tx(x) - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((ty(y) - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let y_hi = if log_y { y_max.exp() } else { y_max };
+    let y_lo = if log_y { y_min.exp() } else { y_min };
+    out.push_str(&format!("y_max = {y_hi:.2}\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("y_min = {y_lo:.2}   legend: "));
+    for s in series {
+        out.push_str(&format!(
+            "[{}] {}  ",
+            s.label.chars().next().unwrap_or('*'),
+            s.label
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_on_grid() {
+        let s = Series::new("pmg", vec![(1.0, 1.0), (10.0, 2.0), (100.0, 3.0)]);
+        let plot = render("demo", &[s], 40, 10, true, false);
+        assert!(plot.contains("demo"));
+        assert!(plot.matches('p').count() >= 3);
+        assert!(plot.contains("legend"));
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a = Series::new("alpha", vec![(1.0, 1.0), (2.0, 10.0)]);
+        let b = Series::new("beta", vec![(1.0, 5.0), (2.0, 6.0)]);
+        let plot = render("t", &[a, b], 30, 8, false, false);
+        assert!(plot.contains('a'));
+        assert!(plot.contains('b'));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let plot = render("t", &[Series::new("x", vec![])], 30, 8, false, false);
+        assert!(plot.contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = Series::new("c", vec![(1.0, 5.0), (2.0, 5.0)]);
+        let plot = render("t", &[s], 20, 6, false, false);
+        assert!(plot.contains('c'));
+    }
+
+    #[test]
+    #[should_panic(expected = "plot too small")]
+    fn rejects_tiny_grid() {
+        let _ = render("t", &[], 4, 2, false, false);
+    }
+
+    #[test]
+    fn log_scale_spreads_exponential_data() {
+        // On a log-x axis, points at x = 1, 10, 100 should be evenly
+        // spaced; find their column positions.
+        let s = Series::new("z", vec![(1.0, 1.0), (10.0, 1.0), (100.0, 1.0)]);
+        let plot = render("t", &[s], 41, 5, true, false);
+        let line = plot
+            .lines()
+            .find(|l| l.contains('z'))
+            .expect("row with points");
+        let cols: Vec<usize> = line
+            .char_indices()
+            .filter(|&(_, c)| c == 'z')
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(cols.len(), 3);
+        let gap1 = cols[1] - cols[0];
+        let gap2 = cols[2] - cols[1];
+        assert!((gap1 as i64 - gap2 as i64).abs() <= 1, "{cols:?}");
+    }
+}

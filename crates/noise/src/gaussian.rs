@@ -1,0 +1,187 @@
+//! Gaussian noise for the Gaussian Sparse Histogram Mechanism (Section 8).
+//!
+//! When users contribute up to `m` *distinct* elements, the ℓ2-sensitivity of
+//! the exact frequency vector is only `√m` while the ℓ1-sensitivity is `m`
+//! (Section 8). Gaussian noise calibrates to the ℓ2-sensitivity, which is why
+//! Theorem 30 releases the PAMG sketch with Gaussian rather than Laplace
+//! noise. Sampling uses the Marsaglia polar method (no external
+//! distribution crates are permitted in this workspace).
+
+use crate::NoiseError;
+use rand::Rng;
+
+/// A Gaussian distribution `N(0, σ²)` centred at zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates a zero-mean Gaussian with standard deviation `σ > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::InvalidScale`] unless `σ` is finite and positive.
+    pub fn new(sigma: f64) -> Result<Self, NoiseError> {
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(NoiseError::InvalidScale(sigma));
+        }
+        Ok(Self { sigma })
+    }
+
+    /// The standard deviation `σ`.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The variance `σ²`.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Draws one standard-normal variate via the Marsaglia polar method and
+    /// scales it by `σ`.
+    ///
+    /// The polar method produces pairs; we deliberately discard the second
+    /// variate instead of caching it so that the sampler stays stateless and
+    /// the consumed RNG stream depends only on the number of calls, keeping
+    /// seeded experiments easy to reason about.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u = 2.0 * rng.random::<f64>() - 1.0;
+            let v = 2.0 * rng.random::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.sigma * u * factor;
+            }
+        }
+    }
+
+    /// Fills `out` with independent samples.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+
+    /// CDF of this Gaussian at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        crate::special::normal_cdf(x / self.sigma)
+    }
+
+    /// Survival function `Pr[X > x]` with relative accuracy preserved in the
+    /// upper tail (used when the tail *is* the `δ` being budgeted, as in the
+    /// proof of Lemma 24).
+    pub fn sf(&self, x: f64) -> f64 {
+        crate::special::normal_sf(x / self.sigma)
+    }
+
+    /// The bound `t` such that `n` independent samples all satisfy `|X| ≤ t`
+    /// with probability at least `1 − β` (union bound over two-sided tails).
+    ///
+    /// Theorem 30 instantiates this with `n = k` and `β = δ` to bound the
+    /// error of the released PAMG sketch by `τ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `β ∈ (0, 1)` and `n ≥ 1`.
+    pub fn union_abs_bound(&self, n: usize, beta: f64) -> Result<f64, NoiseError> {
+        if !(beta > 0.0 && beta < 1.0) {
+            return Err(NoiseError::InvalidProbability(beta));
+        }
+        if n == 0 {
+            return Err(NoiseError::InvalidProbability(0.0));
+        }
+        let per_sample = beta / (2.0 * n as f64);
+        Ok(self.sigma * crate::special::normal_quantile(1.0 - per_sample))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(Gaussian::new(0.0).is_err());
+        assert!(Gaussian::new(-1.0).is_err());
+        assert!(Gaussian::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn moments_converge() {
+        let g = Gaussian::new(2.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(31337);
+        let n = 300_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = g.sample(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!(
+            (var - g.variance()).abs() / g.variance() < 0.02,
+            "var = {var}"
+        );
+    }
+
+    #[test]
+    fn empirical_cdf_tracks_analytic() {
+        let g = Gaussian::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 150_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &x in &[-2.0, -1.0, 0.0, 0.5, 1.5] {
+            let emp = samples.partition_point(|&s| s <= x) as f64 / n as f64;
+            assert!((emp - g.cdf(x)).abs() < 0.01, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn union_bound_holds_empirically() {
+        let g = Gaussian::new(3.0).unwrap();
+        let k = 64;
+        let beta = 0.1;
+        let t = g.union_abs_bound(k, beta).unwrap();
+        let mut rng = StdRng::seed_from_u64(5150);
+        let trials = 4_000;
+        let mut violations = 0;
+        for _ in 0..trials {
+            let any_large = (0..k).any(|_| g.sample(&mut rng).abs() > t);
+            if any_large {
+                violations += 1;
+            }
+        }
+        // Union bound is conservative; empirical rate must be ≤ β + slack.
+        let rate = violations as f64 / trials as f64;
+        assert!(
+            rate < beta + 0.03,
+            "violation rate {rate} exceeds β = {beta}"
+        );
+    }
+
+    #[test]
+    fn sf_matches_complement() {
+        let g = Gaussian::new(1.7).unwrap();
+        for &x in &[-3.0, 0.0, 1.0, 4.0] {
+            assert!((g.sf(x) + g.cdf(x) - 1.0).abs() < 2e-7);
+        }
+    }
+
+    #[test]
+    fn union_bound_rejects_bad_args() {
+        let g = Gaussian::new(1.0).unwrap();
+        assert!(g.union_abs_bound(0, 0.1).is_err());
+        assert!(g.union_abs_bound(10, 0.0).is_err());
+        assert!(g.union_abs_bound(10, 1.0).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! The two-sided geometric distribution (discrete Laplace).
+//!
+//! Section 5.2 of the paper ("Tips for practitioners") notes that the
+//! real-valued Laplace distribution cannot be represented exactly on a finite
+//! computer and that precision-based attacks exist against naive floating
+//! point implementations. Because the Misra-Gries counters are integers, the
+//! paper recommends replacing Laplace noise with the geometric mechanism of
+//! Ghosh, Roughgarden & Sundararajan \[19\], adjusting the threshold to
+//! `1 + 2⌈ln(6e^ε/((e^ε+1)δ))/ε⌉` so that Lemma 11 still holds.
+//!
+//! For a scale `b` (so that the mechanism is `ε`-DP for sensitivity-1 queries
+//! when `b = 1/ε`), let `α = e^{-1/b}`. The two-sided geometric distribution
+//! has
+//!
+//! ```text
+//! Pr[X = x] = (1 − α)/(1 + α) · α^{|x|},   x ∈ ℤ.
+//! ```
+
+use crate::NoiseError;
+use rand::Rng;
+
+/// Two-sided geometric ("discrete Laplace") distribution centred at zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoSidedGeometric {
+    /// `α = e^{-1/b}` where `b` is the Laplace-equivalent scale.
+    alpha: f64,
+    scale: f64,
+}
+
+impl TwoSidedGeometric {
+    /// Creates a distribution with Laplace-equivalent scale `b > 0`
+    /// (i.e. `α = e^{-1/b}`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::InvalidScale`] unless `b` is finite and positive.
+    pub fn new(scale: f64) -> Result<Self, NoiseError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(NoiseError::InvalidScale(scale));
+        }
+        Ok(Self {
+            alpha: (-1.0 / scale).exp(),
+            scale,
+        })
+    }
+
+    /// The geometric mechanism for a sensitivity-`Δ1` integer query at
+    /// privacy level `ε` uses scale `Δ1/ε`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive `ε` or sensitivity.
+    pub fn for_epsilon(sensitivity: f64, epsilon: f64) -> Result<Self, NoiseError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(NoiseError::InvalidPrivacyParameter {
+                name: "epsilon",
+                value: epsilon,
+            });
+        }
+        Self::new(sensitivity / epsilon)
+    }
+
+    /// The decay parameter `α ∈ (0, 1)`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The Laplace-equivalent scale `b` this distribution was built from.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Probability mass at `x`.
+    pub fn pmf(&self, x: i64) -> f64 {
+        (1.0 - self.alpha) / (1.0 + self.alpha) * self.alpha.powi(x.unsigned_abs() as i32)
+    }
+
+    /// `Pr[X ≤ x]`.
+    ///
+    /// For `x < 0`: `α^{|x|}/(1+α)`; for `x ≥ 0`: `1 − α^{x+1}/(1+α)`.
+    pub fn cdf(&self, x: i64) -> f64 {
+        if x < 0 {
+            self.alpha.powi(x.unsigned_abs() as i32) / (1.0 + self.alpha)
+        } else {
+            1.0 - self.alpha.powi(x as i32 + 1) / (1.0 + self.alpha)
+        }
+    }
+
+    /// Two-sided tail `Pr[|X| ≥ t]` for integer `t ≥ 1`, which equals
+    /// `2α^t/(1+α)`.
+    pub fn tail_two_sided(&self, t: i64) -> f64 {
+        debug_assert!(t >= 1);
+        2.0 * self.alpha.powi(t as i32) / (1.0 + self.alpha)
+    }
+
+    /// Variance `2α/(1−α)²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.alpha / ((1.0 - self.alpha) * (1.0 - self.alpha))
+    }
+
+    /// Draws one sample.
+    ///
+    /// With probability `(1−α)/(1+α)` the sample is `0`; otherwise a uniform
+    /// sign is attached to a magnitude `1 + Geometric(1−α)` where the
+    /// geometric counts failures (support `{0, 1, …}`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        let p_zero = (1.0 - self.alpha) / (1.0 + self.alpha);
+        if rng.random::<f64>() < p_zero {
+            return 0;
+        }
+        // Magnitude m ≥ 1 with Pr[m] ∝ α^{m−1}: inverse-CDF of the geometric.
+        let mut u: f64 = rng.random();
+        while u == 0.0 {
+            u = rng.random();
+        }
+        let magnitude = 1 + (u.ln() / self.alpha.ln()).floor() as i64;
+        if rng.random::<bool>() {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+
+    /// Fills `out` with independent samples.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [i64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(TwoSidedGeometric::new(0.0).is_err());
+        assert!(TwoSidedGeometric::new(-3.0).is_err());
+        assert!(TwoSidedGeometric::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let g = TwoSidedGeometric::new(1.0).unwrap();
+        let total: f64 = (-200..=200).map(|x| g.pmf(x)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "total = {total}");
+    }
+
+    #[test]
+    fn pmf_is_symmetric_and_decaying() {
+        let g = TwoSidedGeometric::new(2.0).unwrap();
+        for x in 1..20 {
+            assert!((g.pmf(x) - g.pmf(-x)).abs() < 1e-15);
+            assert!(g.pmf(x) < g.pmf(x - 1));
+        }
+    }
+
+    #[test]
+    fn cdf_consistent_with_pmf() {
+        let g = TwoSidedGeometric::new(1.7).unwrap();
+        let mut acc = 0.0;
+        for x in -60..=60 {
+            acc += g.pmf(x);
+            // Accumulating from -inf: the missing lower tail is tiny at -60.
+            assert!((g.cdf(x) - acc).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn geometric_mechanism_likelihood_ratio_is_exp_eps() {
+        // ε-DP of the geometric mechanism: pmf(x)/pmf(x−1) ∈ [e^{−ε}, e^{ε}]
+        // for scale 1/ε, which is exactly α = e^{−ε} between adjacent points.
+        let eps = 0.9;
+        let g = TwoSidedGeometric::for_epsilon(1.0, eps).unwrap();
+        for x in -10..10i64 {
+            let ratio = g.pmf(x) / g.pmf(x + 1);
+            assert!(
+                ratio <= (eps).exp() + 1e-12 && ratio >= (-eps).exp() - 1e-12,
+                "x = {x}, ratio = {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_matches_closed_form() {
+        let g = TwoSidedGeometric::new(1.0).unwrap();
+        // Pr[|X| ≥ t] computed by summation vs closed form.
+        for t in 1..15i64 {
+            let summed: f64 = (t..400).map(|x| g.pmf(x)).sum::<f64>() * 2.0;
+            assert!((summed - g.tail_two_sided(t)).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn sample_moments_converge() {
+        let g = TwoSidedGeometric::new(1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 300_000;
+        let mut sum = 0i64;
+        let mut sumsq = 0f64;
+        for _ in 0..n {
+            let x = g.sample(&mut rng);
+            sum += x;
+            sumsq += (x * x) as f64;
+        }
+        let mean = sum as f64 / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!(
+            (var - g.variance()).abs() < 0.2,
+            "var = {var} vs {}",
+            g.variance()
+        );
+    }
+
+    #[test]
+    fn empirical_pmf_tracks_analytic() {
+        let g = TwoSidedGeometric::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000usize;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(g.sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        for x in -3..=3i64 {
+            let emp = *counts.get(&x).unwrap_or(&0) as f64 / n as f64;
+            assert!((emp - g.pmf(x)).abs() < 0.01, "x = {x}, emp = {emp}");
+        }
+    }
+
+    #[test]
+    fn variance_approaches_laplace_variance_for_large_scale() {
+        // As b grows the discrete Laplace converges to the continuous one,
+        // whose variance is 2b².
+        let b = 40.0;
+        let g = TwoSidedGeometric::new(b).unwrap();
+        let rel = (g.variance() - 2.0 * b * b).abs() / (2.0 * b * b);
+        assert!(rel < 0.01, "relative gap = {rel}");
+    }
+}

@@ -1,0 +1,313 @@
+//! The continuous Laplace distribution (Definition 5 of the paper).
+//!
+//! The paper's main mechanism (Algorithm 2, `PMG`) adds two independent
+//! samples of `Laplace(1/ε)` to every stored counter — one fresh per counter
+//! and one shared across all counters — and then thresholds. The pure-DP
+//! release of Section 6 adds `Laplace(2/ε)` to every universe element.
+//!
+//! The density and CDF follow Definition 5:
+//!
+//! ```text
+//! f_b(x)                = exp(-|x|/b) / (2b)
+//! Pr[Laplace(b) ≤ x]    = ½·exp(x/b)        for x < 0
+//!                       = 1 − ½·exp(−x/b)   for x ≥ 0
+//! ```
+
+use crate::NoiseError;
+use rand::Rng;
+
+/// A Laplace distribution centred at zero with scale parameter `b > 0`.
+///
+/// Construct one per mechanism invocation; sampling borrows a caller-supplied
+/// RNG so that experiments stay reproducible under fixed seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with the given scale `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::InvalidScale`] if `b` is not finite and positive.
+    pub fn new(scale: f64) -> Result<Self, NoiseError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(NoiseError::InvalidScale(scale));
+        }
+        Ok(Self { scale })
+    }
+
+    /// Creates the distribution `Laplace(sensitivity/ε)` used by the Laplace
+    /// mechanism for a function with ℓ1-sensitivity `sensitivity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ε` or the sensitivity is non-positive.
+    pub fn for_epsilon(sensitivity: f64, epsilon: f64) -> Result<Self, NoiseError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(NoiseError::InvalidPrivacyParameter {
+                name: "epsilon",
+                value: epsilon,
+            });
+        }
+        Self::new(sensitivity / epsilon)
+    }
+
+    /// The scale parameter `b`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance `2b²`.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Draws one sample by inverse-CDF transform.
+    ///
+    /// `u` is drawn uniformly from `(-½, ½]` and mapped through the Laplace
+    /// quantile function `x = -b·sgn(u)·ln(1 − 2|u|)`; the `u = ½` endpoint is
+    /// re-mapped to avoid `ln(0)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // `random::<f64>()` is uniform on [0, 1); shift to [-0.5, 0.5).
+        let mut u: f64 = rng.random::<f64>() - 0.5;
+        // Guard the single atom that would produce ln(0) = -inf.
+        while u == -0.5 {
+            u = rng.random::<f64>() - 0.5;
+        }
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln_1p_safe()
+    }
+
+    /// Fills `out` with independent samples (the `Laplace(1/ε)^{⊗k}` vector
+    /// of Algorithm 2).
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+
+    /// Probability density `f_b(x) = exp(-|x|/b)/(2b)`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-x.abs() / self.scale).exp() / (2.0 * self.scale)
+    }
+
+    /// Cumulative distribution function (Definition 5).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.scale).exp()
+        }
+    }
+
+    /// Survival function `Pr[X > x]`.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            1.0 - 0.5 * (x / self.scale).exp()
+        } else {
+            0.5 * (-x / self.scale).exp()
+        }
+    }
+
+    /// Two-sided tail probability `Pr[|X| ≥ t]` for `t ≥ 0`, which equals
+    /// `exp(-t/b)`. This is the bound used throughout Lemmas 11 and 13.
+    pub fn tail_two_sided(&self, t: f64) -> f64 {
+        debug_assert!(t >= 0.0);
+        (-t / self.scale).exp()
+    }
+
+    /// Quantile function: the unique `x` with `cdf(x) = p`, `p ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::InvalidProbability`] unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, NoiseError> {
+        if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
+            return Err(NoiseError::InvalidProbability(p));
+        }
+        Ok(if p < 0.5 {
+            self.scale * (2.0 * p).ln()
+        } else {
+            -self.scale * (2.0 * (1.0 - p)).ln()
+        })
+    }
+
+    /// The bound `t` such that `n` independent samples all satisfy `|X| ≤ t`
+    /// with probability at least `1 − β` (union bound).
+    ///
+    /// Used in Lemma 13: with `n = k + 1` samples the bound is
+    /// `ln((k+1)/β)/ε` and the error contributed by *two* samples per counter
+    /// is at most twice that.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `β ∉ (0, 1)` or `n = 0`.
+    pub fn union_abs_bound(&self, n: usize, beta: f64) -> Result<f64, NoiseError> {
+        if !(beta > 0.0 && beta < 1.0) {
+            return Err(NoiseError::InvalidProbability(beta));
+        }
+        if n == 0 {
+            return Err(NoiseError::InvalidProbability(0.0));
+        }
+        Ok(self.scale * (n as f64 / beta).ln())
+    }
+}
+
+/// Extension trait providing a numerically careful `ln(x)` wrapper for the
+/// inverse-CDF sampler: `x` here is always in `(0, 1]`, so a plain `ln` is
+/// fine, but keeping the call behind one site makes that precondition
+/// auditable.
+trait LnSafe {
+    fn ln_1p_safe(self) -> f64;
+}
+
+impl LnSafe for f64 {
+    #[inline]
+    fn ln_1p_safe(self) -> f64 {
+        debug_assert!(self > 0.0 && self <= 1.0);
+        self.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed)
+    }
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(Laplace::new(0.0).is_err());
+        assert!(Laplace::new(-1.0).is_err());
+        assert!(Laplace::new(f64::NAN).is_err());
+        assert!(Laplace::new(f64::INFINITY).is_err());
+        assert!(Laplace::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn for_epsilon_matches_scale() {
+        let l = Laplace::for_epsilon(1.0, 0.5).unwrap();
+        assert!((l.scale() - 2.0).abs() < 1e-12);
+        assert!(Laplace::for_epsilon(1.0, 0.0).is_err());
+        assert!(Laplace::for_epsilon(1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn cdf_matches_definition_5() {
+        let l = Laplace::new(2.0).unwrap();
+        // x < 0 branch: ½ e^{x/b}
+        assert!((l.cdf(-2.0) - 0.5 * (-1.0f64).exp()).abs() < 1e-15);
+        // x ≥ 0 branch: 1 − ½ e^{−x/b}
+        assert!((l.cdf(2.0) - (1.0 - 0.5 * (-1.0f64).exp())).abs() < 1e-15);
+        assert!((l.cdf(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sf_is_one_minus_cdf() {
+        let l = Laplace::new(0.7).unwrap();
+        for &x in &[-3.0, -0.1, 0.0, 0.4, 5.0] {
+            assert!((l.sf(x) - (1.0 - l.cdf(x))).abs() < 1e-15, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let l = Laplace::new(1.3).unwrap();
+        for &p in &[1e-6, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0 - 1e-6] {
+            let x = l.quantile(p).unwrap();
+            assert!((l.cdf(x) - p).abs() < 1e-9, "p = {p}");
+        }
+        assert!(l.quantile(0.0).is_err());
+        assert!(l.quantile(1.0).is_err());
+        assert!(l.quantile(-0.5).is_err());
+    }
+
+    #[test]
+    fn tail_bound_matches_lemma_11_constant() {
+        // Lemma 11 uses Pr[Laplace(1/ε) ≥ ln(3/δ)/ε] = δ/6.
+        let eps = 0.8;
+        let delta = 1e-6_f64;
+        let l = Laplace::new(1.0 / eps).unwrap();
+        let t = (3.0 / delta).ln() / eps;
+        let p_one_sided = l.sf(t);
+        assert!((p_one_sided - delta / 6.0).abs() < 1e-18);
+        // Two-sided helper is twice the one-sided tail.
+        assert!((l.tail_two_sided(t) - 2.0 * p_one_sided).abs() < 1e-18);
+    }
+
+    #[test]
+    fn union_abs_bound_matches_lemma_13() {
+        // Lemma 13: Pr[|Laplace(1/ε)| ≥ ln((k+1)/β)/ε] = β/(k+1).
+        let eps = 1.0;
+        let l = Laplace::new(1.0 / eps).unwrap();
+        let k = 31usize;
+        let beta = 0.05;
+        let t = l.union_abs_bound(k + 1, beta).unwrap();
+        assert!((t - ((k as f64 + 1.0) / beta).ln()).abs() < 1e-12);
+        assert!((l.tail_two_sided(t) - beta / (k as f64 + 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sample_mean_and_variance_converge() {
+        let l = Laplace::new(1.5).unwrap();
+        let mut r = rng();
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = l.sample(&mut r);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - l.variance()).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn empirical_cdf_tracks_analytic_cdf() {
+        let l = Laplace::new(1.0).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| l.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Kolmogorov-Smirnov-style check at a few probe points.
+        for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+            let emp = samples.partition_point(|&s| s <= x) as f64 / n as f64;
+            assert!((emp - l.cdf(x)).abs() < 0.01, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn sample_into_fills_slice() {
+        let l = Laplace::new(1.0).unwrap();
+        let mut r = rng();
+        let mut buf = [0.0f64; 16];
+        l.sample_into(&mut r, &mut buf);
+        assert!(buf.iter().all(|x| x.is_finite()));
+        // Overwhelmingly unlikely that two iid continuous samples coincide.
+        assert!(buf[0] != buf[1]);
+    }
+
+    #[test]
+    fn samples_are_deterministic_under_seed() {
+        let l = Laplace::new(1.0).unwrap();
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..10).map(|_| l.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..10).map(|_| l.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,90 @@
+//! # dpmg-noise
+//!
+//! Differential-privacy noise primitives and privacy accounting used by the
+//! mechanisms in [Lebeda & Tětek, *Better Differentially Private Approximate
+//! Histograms and Heavy Hitters using the Misra-Gries Sketch*, PODS 2023].
+//!
+//! The crate provides:
+//!
+//! * [`laplace`] — the continuous Laplace distribution (Definition 5 of the
+//!   paper): sampling, density, CDF, quantile and tail bounds. This is the
+//!   noise used by the main mechanism (Algorithm 2) and the pure-DP release
+//!   of Section 6.
+//! * [`geometric`] — the two-sided geometric distribution (a.k.a. discrete
+//!   Laplace) of Ghosh, Roughgarden & Sundararajan, recommended by the paper
+//!   (Section 5.2) for finite-computer deployments where sampling real-valued
+//!   Laplace noise is vulnerable to precision-based attacks.
+//! * [`gaussian`] — Gaussian sampling plus the special-function machinery
+//!   (`erf`, `erfc`, normal CDF/quantile) needed for the exact calibration of
+//!   the Gaussian Sparse Histogram Mechanism (Theorem 23 / Lemma 24).
+//! * [`staircase`] — the staircase mechanism of Geng et al. \[17\] (cited
+//!   by the paper among prior private-histogram mechanisms): the
+//!   ℓ1-optimal additive noise for pure DP.
+//! * [`accounting`] — `(ε, δ)` parameter handling, group privacy
+//!   (Lemma 19) and sequential composition.
+//!
+//! All samplers take a caller-supplied [`rand::Rng`] so that experiments are
+//! reproducible under fixed seeds.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dpmg_noise::laplace::Laplace;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let lap = Laplace::new(1.0 / 0.5).unwrap(); // scale 1/ε for ε = 0.5
+//! let noise = lap.sample(&mut rng);
+//! assert!(noise.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod gaussian;
+pub mod geometric;
+pub mod laplace;
+pub mod special;
+pub mod staircase;
+
+pub use accounting::PrivacyParams;
+pub use gaussian::Gaussian;
+pub use geometric::TwoSidedGeometric;
+pub use laplace::Laplace;
+pub use staircase::Staircase;
+
+/// Errors produced when constructing noise distributions or privacy
+/// parameters with invalid arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseError {
+    /// A scale parameter was non-positive or non-finite.
+    InvalidScale(f64),
+    /// A privacy parameter (`ε` or `δ`) was outside its valid range.
+    InvalidPrivacyParameter {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A probability argument was outside `(0, 1)`.
+    InvalidProbability(f64),
+}
+
+impl std::fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NoiseError::InvalidScale(b) => {
+                write!(f, "scale parameter must be finite and positive, got {b}")
+            }
+            NoiseError::InvalidPrivacyParameter { name, value } => {
+                write!(f, "privacy parameter {name} out of range: {value}")
+            }
+            NoiseError::InvalidProbability(p) => {
+                write!(f, "probability must lie strictly inside (0, 1), got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NoiseError {}

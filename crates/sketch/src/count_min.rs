@@ -1,0 +1,293 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan, 2005).
+//!
+//! A hashed frequency *oracle*: unlike Misra-Gries it stores no keys, so
+//! recovering heavy hitters requires iterating candidate keys (or the whole
+//! universe). Sections 1 and 4 of the paper discuss why private heavy
+//! hitters via frequency oracles lead to worse error than the PMG mechanism
+//! (the sensitivity of the oracle blows up to the number of hash rows, and
+//! key recovery costs extra error); this implementation lets the benches
+//! make that comparison concrete.
+//!
+//! Guarantees: with width `w` and depth `d`, for any key
+//! `f(x) ≤ f̂(x) ≤ f(x) + 2n/w` with probability `1 − 2^{-d}` per query.
+
+use crate::traits::{FrequencyOracle, Item, SketchError};
+use std::hash::{Hash, Hasher};
+
+/// Multiply-shift style per-row hashing seeded from a user seed via
+/// SplitMix64, applied on top of the std `DefaultHasher` digest of the key.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn key_digest<K: Hash>(key: &K) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Count-Min sketch with `depth` rows of `width` counters.
+#[derive(Debug, Clone)]
+pub struct CountMin<K> {
+    width: usize,
+    depth: usize,
+    /// Row-major `depth × width` counter table.
+    table: Vec<u64>,
+    /// Per-row multipliers for multiply-style mixing of the key digest.
+    row_seeds: Vec<u64>,
+    n: u64,
+    /// If set, uses conservative update: only raise the minimal counters.
+    conservative: bool,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: Item> CountMin<K> {
+    /// Creates a sketch with the given dimensions, deriving per-row hash
+    /// seeds from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidDimension`] if `width` or `depth` is 0.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
+        if width == 0 {
+            return Err(SketchError::InvalidDimension { name: "width" });
+        }
+        if depth == 0 {
+            return Err(SketchError::InvalidDimension { name: "depth" });
+        }
+        let mut s = seed;
+        let row_seeds = (0..depth)
+            .map(|_| {
+                s = splitmix64(s);
+                // Force odd so the multiplicative mix is a bijection.
+                s | 1
+            })
+            .collect();
+        Ok(Self {
+            width,
+            depth,
+            table: vec![0; width * depth],
+            row_seeds,
+            n: 0,
+            conservative: false,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Creates a sketch sized for additive error `≈ 2n/width ≤ ε·n` with
+    /// failure probability `2^{-depth}`: `width = ⌈2/ε⌉`, `depth =
+    /// ⌈log2(1/δ)⌉` (the classic parameterisation; `ε`, `δ` here are
+    /// *accuracy* parameters, not privacy ones).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SketchError::InvalidDimension`] for degenerate requests.
+    pub fn with_accuracy(epsilon: f64, delta: f64, seed: u64) -> Result<Self, SketchError> {
+        let width = (2.0 / epsilon).ceil().max(1.0) as usize;
+        let depth = (1.0 / delta).log2().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    /// Enables conservative update (only raise counters that equal the
+    /// current minimum), reducing overestimation at the same space.
+    pub fn conservative(mut self) -> Self {
+        self.conservative = true;
+        self
+    }
+
+    /// Sketch width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth (number of rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Stream length processed.
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    #[inline]
+    fn bucket(&self, row: usize, digest: u64) -> usize {
+        let mixed = splitmix64(digest.wrapping_mul(self.row_seeds[row]));
+        (mixed % self.width as u64) as usize
+    }
+
+    /// Processes one element.
+    pub fn update(&mut self, x: &K) {
+        self.n += 1;
+        let digest = key_digest(x);
+        if self.conservative {
+            let est = self.query_digest(digest);
+            for row in 0..self.depth {
+                let idx = row * self.width + self.bucket(row, digest);
+                if self.table[idx] == est {
+                    self.table[idx] += 1;
+                }
+            }
+        } else {
+            for row in 0..self.depth {
+                let idx = row * self.width + self.bucket(row, digest);
+                self.table[idx] += 1;
+            }
+        }
+    }
+
+    /// Processes a whole stream.
+    pub fn extend<'a>(&mut self, stream: impl IntoIterator<Item = &'a K>)
+    where
+        K: 'a,
+    {
+        for x in stream {
+            self.update(x);
+        }
+    }
+
+    fn query_digest(&self, digest: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.table[row * self.width + self.bucket(row, digest)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Point query: the minimum counter across rows (an overestimate).
+    pub fn count(&self, x: &K) -> u64 {
+        self.query_digest(key_digest(x))
+    }
+
+    /// The raw counter table, row-major (`depth × width`). Exposed for the
+    /// private Count-Min release, which adds noise cell-wise.
+    pub fn raw_cells(&self) -> &[u64] {
+        &self.table
+    }
+
+    /// The flat table indices the key `x` hashes to, one per row. Stable
+    /// across sketches constructed with the same `(width, depth, seed)` —
+    /// the hashing structure is public.
+    pub fn cell_indices(&self, x: &K) -> Vec<usize> {
+        let digest = key_digest(x);
+        (0..self.depth)
+            .map(|row| row * self.width + self.bucket(row, digest))
+            .collect()
+    }
+}
+
+impl<K: Item> FrequencyOracle<K> for CountMin<K> {
+    fn estimate(&self, key: &K) -> f64 {
+        self.count(key) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(CountMin::<u64>::new(0, 4, 1).is_err());
+        assert!(CountMin::<u64>::new(16, 0, 1).is_err());
+    }
+
+    #[test]
+    fn with_accuracy_sizes_table() {
+        let cm = CountMin::<u64>::with_accuracy(0.01, 0.01, 7).unwrap();
+        assert_eq!(cm.width(), 200);
+        assert_eq!(cm.depth(), 7); // ⌈log2 100⌉
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMin::new(32, 4, 99).unwrap();
+        let stream: Vec<u64> = (0..1000).map(|i| i % 50).collect();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for x in &stream {
+            cm.update(x);
+            *truth.entry(*x).or_insert(0) += 1;
+        }
+        for (x, &f) in &truth {
+            assert!(cm.count(x) >= f, "key {x}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_on_average() {
+        let width = 64;
+        let mut cm = CountMin::new(width, 5, 3).unwrap();
+        let stream: Vec<u64> = (0..4000u64).map(|i| i % 200).collect();
+        for x in &stream {
+            cm.update(x);
+        }
+        let n = stream.len() as u64;
+        let bound = 2 * n / width as u64;
+        let mut violations = 0;
+        for x in 0..200u64 {
+            if cm.count(&x) > 20 + bound {
+                violations += 1;
+            }
+        }
+        // Markov-style guarantee: only a tiny fraction may exceed the bound.
+        assert!(violations <= 4, "violations = {violations}");
+    }
+
+    #[test]
+    fn conservative_update_is_tighter() {
+        let stream: Vec<u64> = (0..3000u64).map(|i| i % 97).collect();
+        let plain = {
+            let mut cm = CountMin::new(48, 4, 5).unwrap();
+            cm.extend(stream.iter());
+            cm
+        };
+        let cons = {
+            let mut cm = CountMin::new(48, 4, 5).unwrap().conservative();
+            cm.extend(stream.iter());
+            cm
+        };
+        let total_plain: u64 = (0..97u64).map(|x| plain.count(&x)).sum();
+        let total_cons: u64 = (0..97u64).map(|x| cons.count(&x)).sum();
+        assert!(total_cons <= total_plain);
+        // Conservative update still never underestimates.
+        for x in 0..97u64 {
+            assert!(cons.count(&x) >= stream.iter().filter(|&&y| y == x).count() as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = CountMin::new(32, 4, 42).unwrap();
+        let mut b = CountMin::new(32, 4, 42).unwrap();
+        for x in 0..100u64 {
+            a.update(&x);
+            b.update(&x);
+        }
+        for x in 0..100u64 {
+            assert_eq!(a.count(&x), b.count(&x));
+        }
+    }
+
+    proptest! {
+        /// The oracle never underestimates on random streams.
+        #[test]
+        fn prop_overestimate_only(
+            stream in proptest::collection::vec(0u64..40, 0..300),
+            seed in 0u64..1000,
+        ) {
+            let mut cm = CountMin::new(16, 3, seed).unwrap();
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for &x in &stream {
+                cm.update(&x);
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            for (x, &f) in &truth {
+                prop_assert!(cm.count(x) >= f);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The Count-Sketch (Charikar, Chen & Farach-Colton, 2002).
+//!
+//! The second canonical hashed frequency oracle; unlike Count-Min its error
+//! is two-sided and unbiased (each row adds a random ±1 sign), and the point
+//! estimate is the *median* across rows. Pagh & Thorup \[25\] analyse the
+//! differentially private Count-Sketch; the paper cites this line of work in
+//! Section 4 as the frequency-oracle alternative whose heavy-hitter recovery
+//! costs extra error. Included for the comparison benches.
+
+use crate::traits::{FrequencyOracle, Item, SketchError};
+use std::hash::{Hash, Hasher};
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn key_digest<K: Hash>(key: &K) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Count-Sketch with `depth` rows of `width` signed counters.
+#[derive(Debug, Clone)]
+pub struct CountSketch<K> {
+    width: usize,
+    depth: usize,
+    table: Vec<i64>,
+    /// Per-row seeds; bucket and sign derive from independent mixes.
+    row_seeds: Vec<(u64, u64)>,
+    n: u64,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: Item> CountSketch<K> {
+    /// Creates a sketch with the given dimensions and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidDimension`] if `width` or `depth` is 0.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
+        if width == 0 {
+            return Err(SketchError::InvalidDimension { name: "width" });
+        }
+        if depth == 0 {
+            return Err(SketchError::InvalidDimension { name: "depth" });
+        }
+        let mut s = seed;
+        let row_seeds = (0..depth)
+            .map(|_| {
+                s = splitmix64(s);
+                let a = s | 1;
+                s = splitmix64(s);
+                let b = s | 1;
+                (a, b)
+            })
+            .collect();
+        Ok(Self {
+            width,
+            depth,
+            table: vec![0; width * depth],
+            row_seeds,
+            n: 0,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Sketch width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Stream length processed.
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    #[inline]
+    fn bucket_and_sign(&self, row: usize, digest: u64) -> (usize, i64) {
+        let (a, b) = self.row_seeds[row];
+        let bucket = (splitmix64(digest.wrapping_mul(a)) % self.width as u64) as usize;
+        let sign = if splitmix64(digest.wrapping_mul(b)) & 1 == 0 {
+            1
+        } else {
+            -1
+        };
+        (bucket, sign)
+    }
+
+    /// Processes one element.
+    pub fn update(&mut self, x: &K) {
+        self.n += 1;
+        let digest = key_digest(x);
+        for row in 0..self.depth {
+            let (bucket, sign) = self.bucket_and_sign(row, digest);
+            self.table[row * self.width + bucket] += sign;
+        }
+    }
+
+    /// Processes a whole stream.
+    pub fn extend<'a>(&mut self, stream: impl IntoIterator<Item = &'a K>)
+    where
+        K: 'a,
+    {
+        for x in stream {
+            self.update(x);
+        }
+    }
+
+    /// Point query: median across rows of the signed counters.
+    pub fn count(&self, x: &K) -> i64 {
+        let digest = key_digest(x);
+        let mut row_estimates: Vec<i64> = (0..self.depth)
+            .map(|row| {
+                let (bucket, sign) = self.bucket_and_sign(row, digest);
+                sign * self.table[row * self.width + bucket]
+            })
+            .collect();
+        row_estimates.sort_unstable();
+        let mid = self.depth / 2;
+        if self.depth % 2 == 1 {
+            row_estimates[mid]
+        } else {
+            // Average of the middle pair, rounded toward zero.
+            (row_estimates[mid - 1] + row_estimates[mid]) / 2
+        }
+    }
+}
+
+impl<K: Item> FrequencyOracle<K> for CountSketch<K> {
+    fn estimate(&self, key: &K) -> f64 {
+        self.count(key) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(CountSketch::<u64>::new(0, 3, 1).is_err());
+        assert!(CountSketch::<u64>::new(8, 0, 1).is_err());
+    }
+
+    #[test]
+    fn single_heavy_key_recovered() {
+        let mut cs = CountSketch::new(64, 5, 11).unwrap();
+        for _ in 0..500 {
+            cs.update(&7u64);
+        }
+        for x in 0..50u64 {
+            cs.update(&x);
+        }
+        let est = cs.count(&7);
+        assert!((est - 501).abs() <= 25, "estimate {est} too far from 501");
+    }
+
+    #[test]
+    fn estimates_are_near_truth_on_zipf_like_stream() {
+        let mut cs = CountSketch::new(128, 7, 3).unwrap();
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        // Heavy head: key x appears 1000/x times for x in 1..=40.
+        for x in 1..=40u64 {
+            for _ in 0..(1000 / x) {
+                cs.update(&x);
+                *truth.entry(x).or_insert(0) += 1;
+            }
+        }
+        let n: i64 = truth.values().sum();
+        let tolerance = 3 * (n as f64 / 128.0).sqrt().ceil() as i64 + 20;
+        for (x, &f) in &truth {
+            let est = cs.count(x);
+            assert!(
+                (est - f).abs() <= tolerance,
+                "key {x}: est {est}, true {f}, tol {tolerance}"
+            );
+        }
+    }
+
+    #[test]
+    fn unseen_keys_estimate_near_zero() {
+        let mut cs = CountSketch::new(256, 5, 9).unwrap();
+        for x in 0..100u64 {
+            cs.update(&x);
+        }
+        // Unseen keys collide with at most a few singletons per row.
+        for x in 1_000..1_020u64 {
+            assert!(cs.count(&x).abs() <= 10, "key {x}: {}", cs.count(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let build = || {
+            let mut cs = CountSketch::new(32, 3, 77).unwrap();
+            for x in 0..200u64 {
+                cs.update(&(x % 23));
+            }
+            cs
+        };
+        let (a, b) = (build(), build());
+        for x in 0..23u64 {
+            assert_eq!(a.count(&x), b.count(&x));
+        }
+    }
+
+    #[test]
+    fn even_depth_median_is_middle_average() {
+        let mut cs = CountSketch::new(64, 4, 21).unwrap();
+        for _ in 0..100 {
+            cs.update(&5u64);
+        }
+        let est = cs.count(&5);
+        assert!((est - 100).abs() <= 5, "est = {est}");
+    }
+}

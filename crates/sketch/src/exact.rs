@@ -1,0 +1,146 @@
+//! Exact histograms — the non-streaming baseline.
+//!
+//! Every differentially private histogram mechanism the paper compares
+//! against (Korolova et al. \[22\], Balcer–Vadhan \[4\], the Gaussian Sparse
+//! Histogram Mechanism \[30\]) starts from the *exact* histogram and adds
+//! noise. This module provides that exact histogram plus the neighbouring-
+//! stream utilities the test-suite and the privacy auditor build on.
+
+use crate::traits::{FrequencyOracle, Item, TopKSketch};
+use std::collections::BTreeMap;
+
+/// An exact frequency histogram over a stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExactHistogram<K: Ord> {
+    counts: BTreeMap<K, u64>,
+    n: u64,
+}
+
+impl<K: Item> ExactHistogram<K> {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: BTreeMap::new(),
+            n: 0,
+        }
+    }
+
+    /// Builds a histogram from a stream.
+    pub fn from_stream(stream: impl IntoIterator<Item = K>) -> Self {
+        let mut h = Self::new();
+        h.extend(stream);
+        h
+    }
+
+    /// Processes one element.
+    pub fn update(&mut self, x: K) {
+        self.n += 1;
+        *self.counts.entry(x).or_insert(0) += 1;
+    }
+
+    /// Processes a whole stream.
+    pub fn extend(&mut self, stream: impl IntoIterator<Item = K>) {
+        for x in stream {
+            self.update(x);
+        }
+    }
+
+    /// True frequency `f(x)`.
+    pub fn count(&self, x: &K) -> u64 {
+        self.counts.get(x).copied().unwrap_or(0)
+    }
+
+    /// Stream length `n`.
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of distinct elements seen.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over `(key, count)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, &c)| (k, c))
+    }
+
+    /// The `k` most frequent elements, ties broken towards smaller keys,
+    /// sorted by descending count.
+    pub fn top_k(&self, k: usize) -> Vec<(K, u64)> {
+        let mut all: Vec<(K, u64)> = self
+            .counts
+            .iter()
+            .map(|(key, &c)| (key.clone(), c))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Elements with true frequency at least `threshold`.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(key, &c)| (key.clone(), c))
+            .collect()
+    }
+}
+
+impl<K: Item> FrequencyOracle<K> for ExactHistogram<K> {
+    fn estimate(&self, key: &K) -> f64 {
+        self.count(key) as f64
+    }
+}
+
+impl<K: Item> TopKSketch<K> for ExactHistogram<K> {
+    fn stored_keys(&self) -> Vec<K> {
+        self.counts.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_exactly() {
+        let h = ExactHistogram::from_stream([1u64, 2, 1, 3, 1, 2]);
+        assert_eq!(h.count(&1), 3);
+        assert_eq!(h.count(&2), 2);
+        assert_eq!(h.count(&3), 1);
+        assert_eq!(h.count(&4), 0);
+        assert_eq!(h.stream_len(), 6);
+        assert_eq!(h.distinct(), 3);
+    }
+
+    #[test]
+    fn top_k_orders_by_count_then_key() {
+        let h = ExactHistogram::from_stream([5u64, 5, 9, 9, 2, 2, 7]);
+        let top = h.top_k(3);
+        assert_eq!(top, vec![(2, 2), (5, 2), (9, 2)]);
+    }
+
+    #[test]
+    fn heavy_hitters_threshold() {
+        let h = ExactHistogram::from_stream([1u64, 1, 1, 2, 2, 3]);
+        assert_eq!(h.heavy_hitters(2), vec![(1, 3), (2, 2)]);
+        assert_eq!(h.heavy_hitters(4), vec![]);
+    }
+
+    #[test]
+    fn oracle_impl() {
+        let h = ExactHistogram::from_stream([8u64, 8]);
+        assert_eq!(h.estimate(&8), 2.0);
+        assert_eq!(h.stored_keys(), vec![8]);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = ExactHistogram::<u64>::new();
+        assert_eq!(h.stream_len(), 0);
+        assert_eq!(h.top_k(3), vec![]);
+        assert_eq!(h.count(&1), 0);
+    }
+}

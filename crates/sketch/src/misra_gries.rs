@@ -1,0 +1,610 @@
+//! The paper's Misra-Gries variant (**Algorithm 1**).
+//!
+//! Differences from the textbook sketch, both load-bearing for privacy:
+//!
+//! 1. The sketch starts from `k` *dummy* counters (keys outside the universe,
+//!    conceptually `d+1, …, d+k`), so there are always exactly `k` slots.
+//! 2. Keys whose counter has dropped to zero are **kept** until their slot is
+//!    needed, and the slot reclaimed is always the one holding the *smallest*
+//!    zero-count key. The eviction order being a fixed function of the key
+//!    set (not of stream order) is what makes neighbouring sketches differ in
+//!    at most two keys (Lemma 8).
+//!
+//! Per element `x`, one of three branches runs:
+//!
+//! * **Branch 1** — `x` is stored: increment its counter.
+//! * **Branch 2** — `x` is not stored and every counter is ≥ 1: decrement all
+//!   `k` counters.
+//! * **Branch 3** — otherwise: replace the smallest key with count zero by
+//!   `x` with counter 1.
+//!
+//! The frequency estimates equal the textbook sketch's exactly, so Fact 7
+//! (Bose et al.) applies: `f̂(x) ∈ [f(x) − n/(k+1), f(x)]`.
+//!
+//! ## Implementation notes
+//!
+//! Branch 2 touches all `k` counters; executing it literally costs `O(k)`
+//! per decrement and `O(nk)` in the worst case. We instead keep a global
+//! `offset` and store each counter as `stored = effective + offset`, making
+//! Branch 2 a single `offset += 1`. Zero-count keys are exactly those with
+//! `stored == offset`. The smallest zero-count key is found with a lazy
+//! min-heap over `(stored, key)` pairs: entries go stale when a counter is
+//! incremented and are repaired on access, which costs amortized `O(log k)`
+//! per stream element. The [`naive`] submodule contains a literal transcription
+//! of Algorithm 1 used for differential testing.
+
+use crate::traits::{FrequencyOracle, Item, SketchError, Summary, TopKSketch};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A slot key: either a real universe element or one of the `k` initial
+/// dummy counters.
+///
+/// The ordering places every real item *before* every dummy, matching the
+/// paper's convention that dummies are the universe-external keys
+/// `d+1 < d+2 < … < d+k`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Slot<K> {
+    /// A real element of the universe.
+    Item(K),
+    /// The `i`-th dummy counter (`0 ≤ i < k`), ordered after all real items.
+    Dummy(u32),
+}
+
+impl<K> Slot<K> {
+    /// Returns the real item, if this slot holds one.
+    pub fn item(&self) -> Option<&K> {
+        match self {
+            Slot::Item(k) => Some(k),
+            Slot::Dummy(_) => None,
+        }
+    }
+
+    /// Whether this slot is a dummy counter.
+    pub fn is_dummy(&self) -> bool {
+        matches!(self, Slot::Dummy(_))
+    }
+}
+
+/// The paper's Misra-Gries sketch (Algorithm 1).
+///
+/// ```
+/// use dpmg_sketch::misra_gries::MisraGries;
+/// use dpmg_sketch::traits::FrequencyOracle;
+///
+/// let mut mg = MisraGries::new(4).unwrap();
+/// mg.extend([1u64, 1, 1, 2, 2, 3, 4, 5, 1]);
+/// // Estimates are within n/(k+1) below the true frequency and never above.
+/// assert!(mg.estimate(&1) <= 4.0);
+/// assert!(mg.estimate(&1) >= 4.0 - 9.0 / 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MisraGries<K: Item> {
+    k: usize,
+    /// Global decrement offset: effective counter = stored − offset.
+    offset: u64,
+    /// Stored (shifted) counter per slot. Invariant: `stored ≥ offset`,
+    /// `counts.len() == k` at all times.
+    counts: HashMap<Slot<K>, u64>,
+    /// Lazy min-heap over `(stored, key)`; exactly one entry per live slot,
+    /// possibly stale (stored value smaller than the map's). The freshest
+    /// minimum identifies the smallest zero-count key.
+    heap: BinaryHeap<Reverse<(u64, Slot<K>)>>,
+    /// Number of stream elements processed.
+    n: u64,
+    /// Number of Branch-2 (decrement-all) executions, the `α` of Lemma 15.
+    decrements: u64,
+}
+
+impl<K: Item> MisraGries<K> {
+    /// Creates a sketch with `k ≥ 1` counters, initially holding the `k`
+    /// dummy keys with counter 0 (line 1 of Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidK`] when `k = 0`.
+    pub fn new(k: usize) -> Result<Self, SketchError> {
+        if k == 0 {
+            return Err(SketchError::InvalidK(0));
+        }
+        let mut counts = HashMap::with_capacity(k * 2);
+        let mut heap = BinaryHeap::with_capacity(k * 2);
+        for i in 0..k {
+            let slot = Slot::Dummy(i as u32);
+            counts.insert(slot.clone(), 0);
+            heap.push(Reverse((0, slot)));
+        }
+        Ok(Self {
+            k,
+            offset: 0,
+            counts,
+            heap,
+            n: 0,
+            decrements: 0,
+        })
+    }
+
+    /// The sketch size `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stream elements processed so far (`n`).
+    #[inline]
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of decrement-all steps executed so far (Branch 2); this is the
+    /// `α ≤ n/(k+1)` of the Lemma 15 proof.
+    #[inline]
+    pub fn decrement_count(&self) -> u64 {
+        self.decrements
+    }
+
+    /// The worst-case underestimate `⌊n/(k+1)⌋` guaranteed by Fact 7.
+    #[inline]
+    pub fn error_bound(&self) -> u64 {
+        self.n / (self.k as u64 + 1)
+    }
+
+    /// Processes one stream element.
+    pub fn update(&mut self, x: K) {
+        self.n += 1;
+        let key = Slot::Item(x);
+        if let Some(stored) = self.counts.get_mut(&key) {
+            // Branch 1: increment. The heap entry for `key` goes stale and is
+            // repaired lazily on the next minimum query.
+            *stored += 1;
+            return;
+        }
+        let (min_stored, _) = self.fresh_min();
+        if min_stored > self.offset {
+            // Branch 2: every effective counter is ≥ 1; decrement all of
+            // them by bumping the global offset.
+            self.offset += 1;
+            self.decrements += 1;
+        } else {
+            // Branch 3: evict the smallest zero-count key (the fresh heap
+            // minimum, whose stored value equals the offset) and take its
+            // slot.
+            let Reverse((_, victim)) = self.heap.pop().expect("heap holds k entries");
+            let removed = self.counts.remove(&victim);
+            debug_assert_eq!(removed, Some(self.offset));
+            let stored = self.offset + 1;
+            self.counts.insert(key.clone(), stored);
+            self.heap.push(Reverse((stored, key)));
+        }
+    }
+
+    /// Processes a whole stream.
+    pub fn extend(&mut self, stream: impl IntoIterator<Item = K>) {
+        for x in stream {
+            self.update(x);
+        }
+    }
+
+    /// Repairs stale heap entries until the top is fresh, then returns the
+    /// minimum `(stored, key)` pair by value.
+    fn fresh_min(&mut self) -> (u64, Slot<K>) {
+        loop {
+            let Reverse((s, key)) = self.heap.peek().expect("heap holds k entries").clone();
+            let current = *self
+                .counts
+                .get(&key)
+                .expect("heap keys always live in the map");
+            if current == s {
+                return (s, key);
+            }
+            // Stale: the counter was incremented since this entry was
+            // pushed. Replace with the fresh value.
+            debug_assert!(current > s);
+            self.heap.pop();
+            self.heap.push(Reverse((current, key)));
+        }
+    }
+
+    /// Effective counter for `x` (0 if not stored).
+    pub fn count(&self, x: &K) -> u64 {
+        self.counts
+            .get(&Slot::Item(x.clone()))
+            .map(|s| s - self.offset)
+            .unwrap_or(0)
+    }
+
+    /// Whether `x` currently occupies a slot (its counter may be 0 — the
+    /// paper's variant keeps zero-count keys).
+    pub fn contains(&self, x: &K) -> bool {
+        self.counts.contains_key(&Slot::Item(x.clone()))
+    }
+
+    /// All `k` slots with their effective counters, sorted by slot order
+    /// (real items ascending, then dummies). This is the `T, c` pair that
+    /// Algorithm 2 consumes — the private release needs dummy slots too.
+    pub fn slots(&self) -> Vec<(Slot<K>, u64)> {
+        let mut out: Vec<(Slot<K>, u64)> = self
+            .counts
+            .iter()
+            .map(|(slot, &s)| (slot.clone(), s - self.offset))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The stored *real* keys with their effective counters (dummies
+    /// removed as post-processing), including zero-count keys.
+    pub fn summary(&self) -> Summary<K> {
+        Summary::from_entries(
+            self.k,
+            self.counts
+                .iter()
+                .filter_map(|(slot, &s)| slot.item().map(|k| (k.clone(), s - self.offset))),
+        )
+    }
+
+    /// Words of memory the sketch occupies in the paper's accounting:
+    /// `k` keys + `k` counters = `2k` words (Theorem 14).
+    pub fn space_words(&self) -> usize {
+        2 * self.k
+    }
+}
+
+impl<K: Item> FrequencyOracle<K> for MisraGries<K> {
+    fn estimate(&self, key: &K) -> f64 {
+        self.count(key) as f64
+    }
+}
+
+impl<K: Item> TopKSketch<K> for MisraGries<K> {
+    fn stored_keys(&self) -> Vec<K> {
+        let mut keys: Vec<K> = self
+            .counts
+            .keys()
+            .filter_map(|slot| slot.item().cloned())
+            .collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// A literal, unoptimized transcription of Algorithm 1 used as a reference
+/// for differential testing of the production implementation.
+pub mod naive {
+    use super::Slot;
+    use crate::traits::{Item, SketchError};
+
+    /// Reference Misra-Gries: plain vector of `(slot, counter)` pairs,
+    /// `O(k)` per update, exactly the paper's pseudocode.
+    #[derive(Debug, Clone)]
+    pub struct NaiveMisraGries<K: Item> {
+        k: usize,
+        slots: Vec<(Slot<K>, u64)>,
+        n: u64,
+    }
+
+    impl<K: Item> NaiveMisraGries<K> {
+        /// Creates the sketch with `k` dummy counters.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SketchError::InvalidK`] when `k = 0`.
+        pub fn new(k: usize) -> Result<Self, SketchError> {
+            if k == 0 {
+                return Err(SketchError::InvalidK(0));
+            }
+            Ok(Self {
+                k,
+                slots: (0..k).map(|i| (Slot::Dummy(i as u32), 0)).collect(),
+                n: 0,
+            })
+        }
+
+        /// Processes one element by running Algorithm 1's three branches
+        /// with linear scans.
+        pub fn update(&mut self, x: K) {
+            self.n += 1;
+            let key = Slot::Item(x);
+            if let Some(entry) = self.slots.iter_mut().find(|(s, _)| *s == key) {
+                entry.1 += 1; // Branch 1
+                return;
+            }
+            if self.slots.iter().all(|&(_, c)| c >= 1) {
+                for entry in &mut self.slots {
+                    entry.1 -= 1; // Branch 2
+                }
+                return;
+            }
+            // Branch 3: smallest key with counter 0.
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, c))| *c == 0)
+                .min_by(|a, b| a.1 .0.cmp(&b.1 .0))
+                .map(|(i, _)| i)
+                .expect("a zero-count slot exists");
+            self.slots[victim] = (key, 1);
+        }
+
+        /// Processes a whole stream.
+        pub fn extend(&mut self, stream: impl IntoIterator<Item = K>) {
+            for x in stream {
+                self.update(x);
+            }
+        }
+
+        /// The sketch size `k`.
+        pub fn k(&self) -> usize {
+            self.k
+        }
+
+        /// Number of stream elements processed.
+        pub fn stream_len(&self) -> u64 {
+            self.n
+        }
+
+        /// All `k` slots sorted by slot order, for comparison with
+        /// [`super::MisraGries::slots`].
+        pub fn slots(&self) -> Vec<(Slot<K>, u64)> {
+            let mut out = self.slots.clone();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        }
+
+        /// Effective counter for `x`.
+        pub fn count(&self, x: &K) -> u64 {
+            let key = Slot::Item(x.clone());
+            self.slots
+                .iter()
+                .find(|(s, _)| *s == key)
+                .map(|&(_, c)| c)
+                .unwrap_or(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::naive::NaiveMisraGries;
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_k_zero() {
+        assert_eq!(
+            MisraGries::<u64>::new(0).unwrap_err(),
+            SketchError::InvalidK(0)
+        );
+        assert!(NaiveMisraGries::<u64>::new(0).is_err());
+    }
+
+    #[test]
+    fn starts_with_k_dummies() {
+        let mg = MisraGries::<u64>::new(3).unwrap();
+        let slots = mg.slots();
+        assert_eq!(slots.len(), 3);
+        assert!(slots.iter().all(|(s, c)| s.is_dummy() && *c == 0));
+        assert!(mg.summary().is_empty());
+    }
+
+    #[test]
+    fn branch_1_increments() {
+        let mut mg = MisraGries::new(2).unwrap();
+        mg.extend([5u64, 5, 5]);
+        assert_eq!(mg.count(&5), 3);
+        assert_eq!(mg.stream_len(), 3);
+        assert_eq!(mg.decrement_count(), 0);
+    }
+
+    #[test]
+    fn branch_3_evicts_smallest_dummy_first() {
+        let mut mg = MisraGries::new(3).unwrap();
+        mg.update(42u64);
+        // Dummy(0) is the smallest zero-count key and must be the victim.
+        let slots = mg.slots();
+        assert_eq!(slots[0], (Slot::Item(42), 1));
+        assert_eq!(slots[1], (Slot::Dummy(1), 0));
+        assert_eq!(slots[2], (Slot::Dummy(2), 0));
+    }
+
+    #[test]
+    fn branch_2_decrements_all() {
+        let mut mg = MisraGries::new(2).unwrap();
+        mg.extend([1u64, 2, 3]); // 1 and 2 fill the sketch; 3 decrements both.
+        assert_eq!(mg.count(&1), 0);
+        assert_eq!(mg.count(&2), 0);
+        assert_eq!(mg.count(&3), 0);
+        // Zero-count keys are KEPT by the paper's variant.
+        assert!(mg.contains(&1));
+        assert!(mg.contains(&2));
+        assert!(!mg.contains(&3));
+        assert_eq!(mg.decrement_count(), 1);
+    }
+
+    #[test]
+    fn zero_count_keys_can_be_incremented_again() {
+        let mut mg = MisraGries::new(2).unwrap();
+        mg.extend([1u64, 2, 3]); // both counters now 0, keys 1 and 2 kept
+        mg.update(1); // Branch 1 on a zero-count stored key
+        assert_eq!(mg.count(&1), 1);
+        assert_eq!(mg.count(&2), 0);
+    }
+
+    #[test]
+    fn eviction_prefers_smallest_real_key_over_dummy() {
+        let mut mg = MisraGries::new(3).unwrap();
+        // Fill all three slots: 7, 9 and one remaining dummy.
+        mg.extend([7u64, 9, 7, 9]);
+        // counters: 7→2, 9→2, Dummy(2)→0. New key 1 takes the dummy slot
+        // (dummy sorts AFTER real keys but it is the only zero-count key).
+        mg.update(1);
+        assert!(mg.contains(&1));
+        // Now force everything to zero with two decrements.
+        mg.extend([100u64, 100]); // 100 not stored; all counters ≥ 1 → wait
+                                  // After inserting 1: counters 7→2, 9→2, 1→1. Element 100 triggers
+                                  // Branch 2 (all ≥ 1): 7→1, 9→1, 1→0. Second 100: zero exists (key
+                                  // 1 is smallest zero) → Branch 3 replaces 1 with 100.
+        assert!(!mg.contains(&1));
+        assert!(mg.contains(&100));
+        assert_eq!(mg.count(&100), 1);
+        assert_eq!(mg.count(&7), 1);
+    }
+
+    #[test]
+    fn fact_7_error_window_on_adversarial_stream() {
+        // k+1 distinct elements, each n/(k+1) times: MG may estimate as low
+        // as f(x) − n/(k+1) but never above f(x).
+        let k = 4;
+        let reps = 100u64;
+        let mut mg = MisraGries::new(k).unwrap();
+        let mut stream = Vec::new();
+        for r in 0..reps {
+            for e in 0..(k as u64 + 1) {
+                let _ = r;
+                stream.push(e);
+            }
+        }
+        let n = stream.len() as u64;
+        mg.extend(stream);
+        for e in 0..(k as u64 + 1) {
+            let est = mg.count(&e);
+            assert!(est <= reps);
+            assert!(est + n / (k as u64 + 1) >= reps);
+        }
+    }
+
+    #[test]
+    fn estimates_never_exceed_true_frequency() {
+        let mut mg = MisraGries::new(5).unwrap();
+        let stream: Vec<u64> = (0..500).map(|i| i % 13).collect();
+        let mut truth = std::collections::HashMap::new();
+        for &x in &stream {
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        mg.extend(stream.iter().copied());
+        for (x, &f) in &truth {
+            assert!(mg.count(x) <= f, "key {x}");
+            assert!(mg.count(x) + mg.error_bound() >= f, "key {x}");
+        }
+    }
+
+    #[test]
+    fn summary_matches_slots() {
+        let mut mg = MisraGries::new(4).unwrap();
+        mg.extend([3u64, 3, 1, 2]);
+        let summary = mg.summary();
+        assert_eq!(summary.count(&3), 2);
+        assert_eq!(summary.count(&1), 1);
+        assert_eq!(summary.count(&2), 1);
+        assert_eq!(summary.k, 4);
+        // One dummy slot remains, not part of the summary.
+        assert_eq!(summary.len(), 3);
+        assert_eq!(mg.slots().len(), 4);
+    }
+
+    #[test]
+    fn space_is_2k_words() {
+        let mg = MisraGries::<u64>::new(64).unwrap();
+        assert_eq!(mg.space_words(), 128);
+    }
+
+    #[test]
+    fn frequency_oracle_impl() {
+        let mut mg = MisraGries::new(4).unwrap();
+        mg.extend([9u64, 9, 9]);
+        assert_eq!(mg.estimate(&9), 3.0);
+        assert_eq!(mg.estimate(&1), 0.0);
+        assert_eq!(mg.stored_keys(), vec![9]);
+    }
+
+    #[test]
+    fn matches_naive_on_fixed_stream() {
+        let stream: Vec<u64> = vec![1, 2, 3, 4, 1, 1, 5, 6, 7, 1, 2, 2, 8, 9, 1, 3, 3, 3];
+        for k in 1..=6 {
+            let mut fast = MisraGries::new(k).unwrap();
+            let mut slow = NaiveMisraGries::new(k).unwrap();
+            fast.extend(stream.iter().copied());
+            slow.extend(stream.iter().copied());
+            assert_eq!(fast.slots(), slow.slots(), "k = {k}");
+        }
+    }
+
+    proptest! {
+        /// Differential test: the heap/offset implementation agrees with the
+        /// literal Algorithm 1 transcription on every prefix of random
+        /// streams over a small universe (small so collisions are common and
+        /// all three branches fire).
+        #[test]
+        fn prop_fast_matches_naive(
+            stream in proptest::collection::vec(0u64..12, 0..400),
+            k in 1usize..8,
+        ) {
+            let mut fast = MisraGries::new(k).unwrap();
+            let mut slow = NaiveMisraGries::new(k).unwrap();
+            for &x in &stream {
+                fast.update(x);
+                slow.update(x);
+            }
+            prop_assert_eq!(fast.slots(), slow.slots());
+        }
+
+        /// Fact 7: estimates live in [f(x) − n/(k+1), f(x)] for every key.
+        #[test]
+        fn prop_fact7_window(
+            stream in proptest::collection::vec(0u64..30, 1..600),
+            k in 1usize..10,
+        ) {
+            let mut mg = MisraGries::new(k).unwrap();
+            let mut truth = std::collections::HashMap::new();
+            for &x in &stream {
+                mg.update(x);
+                *truth.entry(x).or_insert(0u64) += 1;
+            }
+            let bound = stream.len() as u64 / (k as u64 + 1);
+            for (x, &f) in &truth {
+                let est = mg.count(x);
+                prop_assert!(est <= f);
+                prop_assert!(est + bound >= f);
+            }
+        }
+
+        /// The number of decrement rounds never exceeds n/(k+1).
+        #[test]
+        fn prop_decrement_budget(
+            stream in proptest::collection::vec(0u64..20, 0..500),
+            k in 1usize..8,
+        ) {
+            let mut mg = MisraGries::new(k).unwrap();
+            mg.extend(stream.iter().copied());
+            prop_assert!(mg.decrement_count() <= stream.len() as u64 / (k as u64 + 1));
+        }
+
+        /// Counter-sum identity from the Lemma 15 proof:
+        /// Σ c_x = n − α·(k+1) where α is the decrement count.
+        #[test]
+        fn prop_counter_sum_identity(
+            stream in proptest::collection::vec(0u64..15, 0..500),
+            k in 1usize..8,
+        ) {
+            let mut mg = MisraGries::new(k).unwrap();
+            mg.extend(stream.iter().copied());
+            let total: u64 = mg.slots().iter().map(|&(_, c)| c).sum();
+            prop_assert_eq!(
+                total,
+                stream.len() as u64 - mg.decrement_count() * (k as u64 + 1)
+            );
+        }
+
+        /// The sketch always stores exactly k slots.
+        #[test]
+        fn prop_always_k_slots(
+            stream in proptest::collection::vec(0u64..50, 0..300),
+            k in 1usize..10,
+        ) {
+            let mut mg = MisraGries::new(k).unwrap();
+            mg.extend(stream.iter().copied());
+            prop_assert_eq!(mg.slots().len(), k);
+        }
+    }
+}

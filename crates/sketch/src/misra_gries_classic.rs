@@ -1,0 +1,264 @@
+//! The textbook ("classic") Misra-Gries sketch.
+//!
+//! Differences from the paper's Algorithm 1 (see [`crate::misra_gries`]):
+//! keys whose counter reaches zero are removed *immediately*, so the key set
+//! `T` holds at most `k` real keys and there are no dummy slots. The
+//! frequency estimates are *identical* to the paper's variant (the paper
+//! proves this by induction below Algorithm 1); only the stored key set
+//! differs.
+//!
+//! Section 5.1 shows the private release still works for this variant, but
+//! because neighbouring key sets can now differ in up to `k` keys (one sketch
+//! can hold `k` keys of count 1 while its neighbour is empty), the threshold
+//! must be raised from `1 + 2·ln(3/δ)/ε` to `1 + 2·ln((k+1)/(2δ))/ε`.
+
+use crate::traits::{FrequencyOracle, Item, SketchError, Summary, TopKSketch};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Classic Misra-Gries: at most `k` stored keys, zero counters removed
+/// eagerly.
+///
+/// ```
+/// use dpmg_sketch::misra_gries_classic::ClassicMisraGries;
+///
+/// let mut mg = ClassicMisraGries::new(2).unwrap();
+/// mg.extend([1u64, 2, 3]); // third element decrements both counters to 0
+/// assert_eq!(mg.stored_len(), 0); // classic variant drops zero counters
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassicMisraGries<K: Item> {
+    k: usize,
+    offset: u64,
+    /// Stored (shifted) counters: effective = stored − offset; only keys
+    /// with effective count ≥ 1 are present.
+    counts: HashMap<K, u64>,
+    /// Lazy min-heap over `(stored, key)`, one entry per live key, used to
+    /// sweep out keys that reach zero after a decrement round.
+    heap: BinaryHeap<Reverse<(u64, K)>>,
+    n: u64,
+    decrements: u64,
+}
+
+impl<K: Item> ClassicMisraGries<K> {
+    /// Creates an empty sketch with `k ≥ 1` counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidK`] when `k = 0`.
+    pub fn new(k: usize) -> Result<Self, SketchError> {
+        if k == 0 {
+            return Err(SketchError::InvalidK(0));
+        }
+        Ok(Self {
+            k,
+            offset: 0,
+            counts: HashMap::with_capacity(k * 2),
+            heap: BinaryHeap::with_capacity(k * 2),
+            n: 0,
+            decrements: 0,
+        })
+    }
+
+    /// The sketch size `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stream elements processed.
+    #[inline]
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of decrement-all rounds executed.
+    #[inline]
+    pub fn decrement_count(&self) -> u64 {
+        self.decrements
+    }
+
+    /// Number of keys currently stored (all with counter ≥ 1).
+    pub fn stored_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Processes one element.
+    pub fn update(&mut self, x: K) {
+        self.n += 1;
+        if let Some(stored) = self.counts.get_mut(&x) {
+            *stored += 1;
+            return;
+        }
+        if self.counts.len() < self.k {
+            let stored = self.offset + 1;
+            self.counts.insert(x.clone(), stored);
+            self.heap.push(Reverse((stored, x)));
+            return;
+        }
+        // Sketch full and x unseen: decrement everything and sweep zeros.
+        self.offset += 1;
+        self.decrements += 1;
+        self.sweep_zeros();
+    }
+
+    /// Processes a whole stream.
+    pub fn extend(&mut self, stream: impl IntoIterator<Item = K>) {
+        for x in stream {
+            self.update(x);
+        }
+    }
+
+    /// Removes every key whose effective counter has reached zero.
+    fn sweep_zeros(&mut self) {
+        while let Some(Reverse((s, key))) = self.heap.peek().cloned() {
+            match self.counts.get(&key) {
+                None => {
+                    // Key already removed in an earlier sweep; drop entry.
+                    self.heap.pop();
+                }
+                Some(&current) if current > s => {
+                    // Stale: counter was incremented since the push.
+                    self.heap.pop();
+                    self.heap.push(Reverse((current, key)));
+                }
+                Some(&current) if current == self.offset => {
+                    debug_assert_eq!(current, s);
+                    self.heap.pop();
+                    self.counts.remove(&key);
+                }
+                _ => break, // fresh minimum is positive: nothing to sweep
+            }
+        }
+    }
+
+    /// Effective counter for `x` (0 if not stored).
+    pub fn count(&self, x: &K) -> u64 {
+        self.counts.get(x).map(|s| s - self.offset).unwrap_or(0)
+    }
+
+    /// The stored keys with counters, as a [`Summary`].
+    pub fn summary(&self) -> Summary<K> {
+        Summary::from_entries(
+            self.k,
+            self.counts
+                .iter()
+                .map(|(k, &s)| (k.clone(), s - self.offset)),
+        )
+    }
+}
+
+impl<K: Item> FrequencyOracle<K> for ClassicMisraGries<K> {
+    fn estimate(&self, key: &K) -> f64 {
+        self.count(key) as f64
+    }
+}
+
+impl<K: Item> TopKSketch<K> for ClassicMisraGries<K> {
+    fn stored_keys(&self) -> Vec<K> {
+        let mut keys: Vec<K> = self.counts.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::misra_gries::MisraGries;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_k_zero() {
+        assert!(ClassicMisraGries::<u64>::new(0).is_err());
+    }
+
+    #[test]
+    fn zero_counters_removed_immediately() {
+        let mut mg = ClassicMisraGries::new(2).unwrap();
+        mg.extend([1u64, 2, 3]);
+        assert_eq!(mg.stored_len(), 0);
+        assert_eq!(mg.count(&1), 0);
+        assert_eq!(mg.decrement_count(), 1);
+    }
+
+    #[test]
+    fn refills_after_sweep() {
+        let mut mg = ClassicMisraGries::new(2).unwrap();
+        mg.extend([1u64, 2, 3, 4, 4]);
+        // After the decrement from 3, the sketch is empty; 4 enters fresh.
+        assert_eq!(mg.count(&4), 2);
+        assert_eq!(mg.stored_len(), 1);
+    }
+
+    #[test]
+    fn partial_sweep_keeps_positive_counters() {
+        let mut mg = ClassicMisraGries::new(2).unwrap();
+        mg.extend([1u64, 1, 2, 3]);
+        // counters before 3: {1: 2, 2: 1}; decrement: {1: 1}, 2 swept.
+        assert_eq!(mg.count(&1), 1);
+        assert_eq!(mg.count(&2), 0);
+        assert_eq!(mg.stored_len(), 1);
+    }
+
+    proptest! {
+        /// The classic variant produces EXACTLY the same frequency estimates
+        /// as the paper's Algorithm 1 (the paper proves this equivalence);
+        /// only the stored key sets differ.
+        #[test]
+        fn prop_estimates_match_paper_variant(
+            stream in proptest::collection::vec(0u64..15, 0..500),
+            k in 1usize..8,
+        ) {
+            let mut classic = ClassicMisraGries::new(k).unwrap();
+            let mut paper = MisraGries::new(k).unwrap();
+            for &x in &stream {
+                classic.update(x);
+                paper.update(x);
+                // Check agreement after EVERY prefix, on every key seen.
+            }
+            for x in 0u64..15 {
+                prop_assert_eq!(classic.count(&x), paper.count(&x), "key {}", x);
+            }
+        }
+
+        /// The classic key set is exactly the paper variant's positive-count
+        /// keys.
+        #[test]
+        fn prop_key_set_is_positive_support(
+            stream in proptest::collection::vec(0u64..12, 0..400),
+            k in 1usize..6,
+        ) {
+            let mut classic = ClassicMisraGries::new(k).unwrap();
+            let mut paper = MisraGries::new(k).unwrap();
+            for &x in &stream {
+                classic.update(x);
+                paper.update(x);
+            }
+            let classic_keys = classic.stored_keys();
+            let paper_positive: Vec<u64> = paper
+                .summary()
+                .entries
+                .iter()
+                .filter(|(_, &c)| c > 0)
+                .map(|(k, _)| *k)
+                .collect();
+            prop_assert_eq!(classic_keys, paper_positive);
+        }
+
+        /// Never stores more than k keys, all with positive counters.
+        #[test]
+        fn prop_at_most_k_positive(
+            stream in proptest::collection::vec(0u64..40, 0..400),
+            k in 1usize..8,
+        ) {
+            let mut mg = ClassicMisraGries::new(k).unwrap();
+            for &x in &stream {
+                mg.update(x);
+                prop_assert!(mg.stored_len() <= k);
+                let s = mg.summary();
+                prop_assert!(s.entries.values().all(|&c| c > 0));
+            }
+        }
+    }
+}

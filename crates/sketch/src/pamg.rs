@@ -1,0 +1,403 @@
+//! The Privacy-Aware Misra-Gries sketch (**Algorithm 4**, Section 8).
+//!
+//! In the user-level setting each stream item is a *set* `Sᵢ ⊆ U` of up to
+//! `m` distinct elements contributed by one user. Running plain Misra-Gries
+//! on the flattened stream makes the sketch's sensitivity scale linearly
+//! with `m` — Lemma 25 constructs neighbouring streams whose sketches differ
+//! by `m` on a *single* counter, so no post-processing can fix this.
+//!
+//! PAMG restores the `≤ 1`-per-counter structure by decrementing **at most
+//! once per user** instead of once per element:
+//!
+//! 1. increment (or insert at 1) the counter of every element of `Sᵢ` —
+//!    the key set may temporarily grow to `k + m`;
+//! 2. if more than `k` keys are now stored, decrement *all* counters by one
+//!    and drop the keys that reach zero.
+//!
+//! Lemma 26: the frequency estimates satisfy
+//! `f̂(x) ∈ [f(x) − ⌊N/(k+1)⌋, f(x)]` with `N = Σ|Sᵢ|` — the same guarantee
+//! as Misra-Gries. Lemma 27: neighbouring sketches are pointwise within 1
+//! and one key set contains the other, so the ℓ2-sensitivity is `√k`
+//! *independent of m*, enabling the Gaussian release of Theorem 30.
+//!
+//! PAMG is equivalent to folding each user's own MG sketch into the running
+//! sketch with the merge operation of Section 7, which is why merged PAMG
+//! sketches keep the same neighbour structure (Corollary 28).
+
+use crate::traits::{FrequencyOracle, Item, SketchError, Summary, TopKSketch};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// The Privacy-Aware Misra-Gries sketch over streams of user sets.
+///
+/// ```
+/// use dpmg_sketch::pamg::PrivacyAwareMisraGries;
+///
+/// let mut sketch = PrivacyAwareMisraGries::new(8).unwrap();
+/// sketch.update_set([1u64, 2, 3]); // one user holding three elements
+/// sketch.update_set([1, 4]);
+/// assert_eq!(sketch.count(&1), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrivacyAwareMisraGries<K: Item> {
+    k: usize,
+    offset: u64,
+    /// Stored (shifted) counters; only keys with effective count ≥ 1 are
+    /// present (zeros are dropped at the end of each user step).
+    counts: HashMap<K, u64>,
+    /// Lazy min-heap over `(stored, key)` for sweeping zeros after a
+    /// decrement round.
+    heap: BinaryHeap<Reverse<(u64, K)>>,
+    /// Number of user sets processed (`n`).
+    users: u64,
+    /// Total number of elements across all sets (`N = Σ|Sᵢ|`).
+    total_elements: u64,
+    /// Number of decrement rounds (at most once per user).
+    decrements: u64,
+    /// Scratch buffer reused across `update_set` calls to dedupe input sets
+    /// without allocating per call.
+    scratch: Vec<K>,
+}
+
+impl<K: Item> PrivacyAwareMisraGries<K> {
+    /// Creates an empty sketch with `k ≥ 1` counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidK`] when `k = 0`.
+    pub fn new(k: usize) -> Result<Self, SketchError> {
+        if k == 0 {
+            return Err(SketchError::InvalidK(0));
+        }
+        Ok(Self {
+            k,
+            offset: 0,
+            counts: HashMap::with_capacity(k * 2),
+            heap: BinaryHeap::with_capacity(k * 2),
+            users: 0,
+            total_elements: 0,
+            decrements: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The sketch size `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of user sets processed.
+    #[inline]
+    pub fn user_count(&self) -> u64 {
+        self.users
+    }
+
+    /// Total elements processed across all sets (`N`).
+    #[inline]
+    pub fn total_elements(&self) -> u64 {
+        self.total_elements
+    }
+
+    /// Number of decrement rounds executed (≤ one per user).
+    #[inline]
+    pub fn decrement_count(&self) -> u64 {
+        self.decrements
+    }
+
+    /// The Lemma 26 error bound `⌊N/(k+1)⌋`.
+    #[inline]
+    pub fn error_bound(&self) -> u64 {
+        self.total_elements / (self.k as u64 + 1)
+    }
+
+    /// Processes one user's element set.
+    ///
+    /// Duplicate elements within the set are collapsed (the model of
+    /// Section 8 is a set of up to `m` *distinct* elements; deduplicating
+    /// here keeps the sensitivity analysis honest even for sloppy callers).
+    pub fn update_set(&mut self, set: impl IntoIterator<Item = K>) {
+        self.users += 1;
+        // Dedupe into the scratch buffer.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(set);
+        scratch.sort();
+        scratch.dedup();
+        self.total_elements += scratch.len() as u64;
+
+        // Phase 1: increment every element of the set (lines 3–8).
+        for x in scratch.drain(..) {
+            match self.counts.get_mut(&x) {
+                Some(stored) => *stored += 1,
+                None => {
+                    let stored = self.offset + 1;
+                    self.counts.insert(x.clone(), stored);
+                    self.heap.push(Reverse((stored, x)));
+                }
+            }
+        }
+        self.scratch = scratch;
+
+        // Phase 2: one decrement round if the sketch overflowed (lines 9–13).
+        if self.counts.len() > self.k {
+            self.offset += 1;
+            self.decrements += 1;
+            self.sweep_zeros();
+            debug_assert!(self.counts.len() <= self.k);
+        }
+    }
+
+    /// Processes many user sets.
+    pub fn extend_sets<I, S>(&mut self, sets: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = K>,
+    {
+        for set in sets {
+            self.update_set(set);
+        }
+    }
+
+    /// Removes every key whose effective counter has reached zero.
+    fn sweep_zeros(&mut self) {
+        while let Some(Reverse((s, key))) = self.heap.peek().cloned() {
+            match self.counts.get(&key) {
+                None => {
+                    self.heap.pop();
+                }
+                Some(&current) if current > s => {
+                    self.heap.pop();
+                    self.heap.push(Reverse((current, key)));
+                }
+                Some(&current) if current == self.offset => {
+                    self.heap.pop();
+                    self.counts.remove(&key);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Effective counter for `x` (0 if not stored).
+    pub fn count(&self, x: &K) -> u64 {
+        self.counts.get(x).map(|s| s - self.offset).unwrap_or(0)
+    }
+
+    /// Number of stored keys (≤ `k` between user steps).
+    pub fn stored_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The stored keys with counters, as a [`Summary`].
+    pub fn summary(&self) -> Summary<K> {
+        Summary::from_entries(
+            self.k,
+            self.counts
+                .iter()
+                .map(|(k, &s)| (k.clone(), s - self.offset)),
+        )
+    }
+}
+
+impl<K: Item> FrequencyOracle<K> for PrivacyAwareMisraGries<K> {
+    fn estimate(&self, key: &K) -> f64 {
+        self.count(key) as f64
+    }
+}
+
+impl<K: Item> TopKSketch<K> for PrivacyAwareMisraGries<K> {
+    fn stored_keys(&self) -> Vec<K> {
+        let mut keys: Vec<K> = self.counts.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap as StdMap;
+
+    #[test]
+    fn rejects_k_zero() {
+        assert!(PrivacyAwareMisraGries::<u64>::new(0).is_err());
+    }
+
+    #[test]
+    fn single_set_within_capacity_is_exact() {
+        let mut s = PrivacyAwareMisraGries::new(4).unwrap();
+        s.update_set([1u64, 2, 3]);
+        assert_eq!(s.count(&1), 1);
+        assert_eq!(s.count(&2), 1);
+        assert_eq!(s.count(&3), 1);
+        assert_eq!(s.decrement_count(), 0);
+        assert_eq!(s.total_elements(), 3);
+        assert_eq!(s.user_count(), 1);
+    }
+
+    #[test]
+    fn overflow_triggers_single_decrement() {
+        let mut s = PrivacyAwareMisraGries::new(2).unwrap();
+        s.update_set([1u64, 2, 3]); // 3 keys > k = 2 → decrement all, drop zeros
+        assert_eq!(s.stored_len(), 0);
+        assert_eq!(s.decrement_count(), 1);
+    }
+
+    #[test]
+    fn decrement_happens_at_most_once_per_user() {
+        let mut s = PrivacyAwareMisraGries::new(2).unwrap();
+        s.update_set([1u64, 2]);
+        s.update_set([1, 2]); // counters now 2 each
+        s.update_set([3, 4, 5]); // overflow to 5 keys → ONE decrement
+        assert_eq!(s.decrement_count(), 1);
+        // After decrement: 1→1, 2→1, 3/4/5 dropped.
+        assert_eq!(s.count(&1), 1);
+        assert_eq!(s.count(&2), 1);
+        assert_eq!(s.count(&3), 0);
+        assert_eq!(s.stored_len(), 2);
+    }
+
+    #[test]
+    fn duplicates_within_a_set_are_collapsed() {
+        let mut s = PrivacyAwareMisraGries::new(4).unwrap();
+        s.update_set([7u64, 7, 7]);
+        assert_eq!(s.count(&7), 1);
+        assert_eq!(s.total_elements(), 1);
+    }
+
+    #[test]
+    fn lemma_25_stream_does_not_hurt_pamg() {
+        // The adversarial stream from Lemma 25 makes plain MG differ by m on
+        // one counter between neighbours; PAMG by construction changes any
+        // counter by at most 1 when one user is removed. Reproduce the
+        // stream and verify the ≤1 structure (Lemma 27).
+        let k = 4usize;
+        let m = 3usize;
+        // k users covering k distinct elements m at a time (cyclic), then
+        // the pivotal user with m fresh elements, then singletons {x}.
+        let mut sets: Vec<Vec<u64>> = Vec::new();
+        let base: Vec<u64> = (1..=k as u64).collect();
+        let mut pos = 0usize;
+        for _ in 0..k {
+            let set: Vec<u64> = (0..m).map(|j| base[(pos + j) % k]).collect();
+            pos = (pos + m) % k;
+            sets.push(set);
+        }
+        let pivotal: Vec<u64> = (100..100 + m as u64).collect();
+        let mut with: Vec<Vec<u64>> = sets.clone();
+        with.push(pivotal);
+        let mut without = sets;
+        for _ in 0..10 {
+            with.push(vec![777u64]);
+            without.push(vec![777u64]);
+        }
+        let mut a = PrivacyAwareMisraGries::new(k).unwrap();
+        let mut b = PrivacyAwareMisraGries::new(k).unwrap();
+        a.extend_sets(with.iter().map(|s| s.iter().copied()));
+        b.extend_sets(without.iter().map(|s| s.iter().copied()));
+        let (sa, sb) = (a.summary(), b.summary());
+        assert!(
+            sa.linf_distance(&sb) <= 1,
+            "Lemma 27 violated: {:?} vs {:?}",
+            sa,
+            sb
+        );
+    }
+
+    fn true_frequencies(sets: &[Vec<u64>]) -> StdMap<u64, u64> {
+        let mut f = StdMap::new();
+        for set in sets {
+            let mut uniq = set.clone();
+            uniq.sort();
+            uniq.dedup();
+            for x in uniq {
+                *f.entry(x).or_insert(0) += 1;
+            }
+        }
+        f
+    }
+
+    proptest! {
+        /// Lemma 26: estimates live in [f(x) − ⌊N/(k+1)⌋, f(x)].
+        #[test]
+        fn prop_lemma26_error_window(
+            sets in proptest::collection::vec(
+                proptest::collection::vec(0u64..20, 1..5), 0..120),
+            k in 1usize..8,
+        ) {
+            let mut s = PrivacyAwareMisraGries::new(k).unwrap();
+            s.extend_sets(sets.iter().map(|v| v.iter().copied()));
+            let truth = true_frequencies(&sets);
+            let bound = s.error_bound();
+            for (x, &f) in &truth {
+                let est = s.count(x);
+                prop_assert!(est <= f, "overestimate for {}", x);
+                prop_assert!(est + bound >= f, "underestimate beyond bound for {}", x);
+            }
+        }
+
+        /// Lemma 27: removing one user changes every counter by at most 1,
+        /// and one key set contains the other.
+        #[test]
+        fn prop_lemma27_neighbour_structure(
+            sets in proptest::collection::vec(
+                proptest::collection::vec(0u64..15, 1..5), 1..80),
+            removed_idx in 0usize..80,
+        ) {
+            let removed_idx = removed_idx % sets.len();
+            let mut full = PrivacyAwareMisraGries::new(4).unwrap();
+            let mut neighbour = PrivacyAwareMisraGries::new(4).unwrap();
+            for (i, set) in sets.iter().enumerate() {
+                full.update_set(set.iter().copied());
+                if i != removed_idx {
+                    neighbour.update_set(set.iter().copied());
+                }
+            }
+            let (sf, sn) = (full.summary(), neighbour.summary());
+            prop_assert!(sf.linf_distance(&sn) <= 1);
+            // Containment: one key set is a subset of the other.
+            let f_keys: std::collections::BTreeSet<u64> =
+                sf.entries.keys().copied().collect();
+            let n_keys: std::collections::BTreeSet<u64> =
+                sn.entries.keys().copied().collect();
+            prop_assert!(
+                f_keys.is_subset(&n_keys) || n_keys.is_subset(&f_keys),
+                "neither key set contains the other"
+            );
+        }
+
+        /// Between user steps the sketch never stores more than k keys and
+        /// never stores a zero counter.
+        #[test]
+        fn prop_capacity_and_positivity(
+            sets in proptest::collection::vec(
+                proptest::collection::vec(0u64..25, 1..6), 0..100),
+            k in 1usize..6,
+        ) {
+            let mut s = PrivacyAwareMisraGries::new(k).unwrap();
+            for set in &sets {
+                s.update_set(set.iter().copied());
+                prop_assert!(s.stored_len() <= k);
+                prop_assert!(s.summary().entries.values().all(|&c| c > 0));
+            }
+        }
+
+        /// At most one decrement per user.
+        #[test]
+        fn prop_decrement_at_most_once_per_user(
+            sets in proptest::collection::vec(
+                proptest::collection::vec(0u64..25, 1..6), 0..100),
+            k in 1usize..6,
+        ) {
+            let mut s = PrivacyAwareMisraGries::new(k).unwrap();
+            for set in &sets {
+                let before = s.decrement_count();
+                s.update_set(set.iter().copied());
+                prop_assert!(s.decrement_count() <= before + 1);
+            }
+            prop_assert!(s.decrement_count() <= s.user_count());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Sensitivity-reduction post-processing (**Algorithm 3**, Section 6).
+//!
+//! The plain Misra-Gries sketch has ℓ1-sensitivity `k` — neighbouring
+//! streams can make the decrement branch fire once more on one of them,
+//! changing all `k` counters by 1 (this is Chan et al.'s observation, and
+//! why their mechanism adds `Laplace(k/ε)` noise).
+//!
+//! Algorithm 3 neutralises exactly this case: it subtracts the offset
+//!
+//! ```text
+//! γ = Σ_{x∈T} c_x / (k + 1)
+//! ```
+//!
+//! from every counter and drops the ones that become non-positive. Because
+//! `Σ c_x = n − α(k+1)` (each decrement round removes `k+1` from the sum:
+//! `k` counter decrements plus one ignored element), γ equals
+//! `n/(k+1) − α`, so the subtraction *undoes the variability of the
+//! decrement count α*:
+//!
+//! * **Lemma 15** — the post-processed estimates still satisfy
+//!   `f̂(x) ∈ [f(x) − n/(k+1), f(x)]`;
+//! * **Lemma 16** — the post-processed sketch has ℓ1-sensitivity `< 2`,
+//!   independent of `k`.
+//!
+//! This enables the pure-DP release of Section 6 with `Laplace(2/ε)` noise.
+
+use crate::misra_gries::MisraGries;
+use crate::traits::{Item, Summary};
+use std::collections::BTreeMap;
+
+/// A sensitivity-reduced sketch: real-valued counters obtained by
+/// subtracting `γ` from a Misra-Gries summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReducedSketch<K: Ord> {
+    /// Sketch size `k` of the producing Misra-Gries sketch.
+    pub k: usize,
+    /// The subtracted offset `γ = Σc/(k+1)`.
+    pub gamma: f64,
+    /// Keys with strictly positive post-processed counters `c_x − γ`.
+    pub entries: BTreeMap<K, f64>,
+}
+
+impl<K: Item> ReducedSketch<K> {
+    /// Point query; 0 for keys not stored.
+    pub fn count(&self, key: &K) -> f64 {
+        self.entries.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Number of stored counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no counters survived the offset.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// ℓ1 distance to another reduced sketch, treating both as vectors over
+    /// the whole universe. This is the quantity Lemma 16 bounds by 2.
+    pub fn l1_distance(&self, other: &Self) -> f64 {
+        let mut total = 0.0;
+        for (key, &c) in &self.entries {
+            total += (c - other.count(key)).abs();
+        }
+        for (key, &c) in &other.entries {
+            if !self.entries.contains_key(key) {
+                total += c.abs();
+            }
+        }
+        total
+    }
+
+    /// ℓ∞ distance to another reduced sketch over the whole universe.
+    pub fn linf_distance(&self, other: &Self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (key, &c) in &self.entries {
+            worst = worst.max((c - other.count(key)).abs());
+        }
+        for (key, &c) in &other.entries {
+            if !self.entries.contains_key(key) {
+                worst = worst.max(c.abs());
+            }
+        }
+        worst
+    }
+}
+
+/// Applies Algorithm 3 to a Misra-Gries summary.
+///
+/// ```
+/// use dpmg_sketch::sensitivity_reduce::reduce;
+/// use dpmg_sketch::traits::Summary;
+///
+/// let summary = Summary::from_entries(2, [(1u64, 10), (2, 2)]);
+/// let reduced = reduce(&summary);
+/// // γ = 12/3 = 4: counter 1 becomes 6, counter 2 is dropped.
+/// assert!((reduced.gamma - 4.0).abs() < 1e-12);
+/// assert!((reduced.count(&1) - 6.0).abs() < 1e-12);
+/// assert_eq!(reduced.count(&2), 0.0);
+/// ```
+///
+/// `γ = Σ_{x∈T} c_x / (k+1)`; every counter ≤ γ is dropped, the rest are
+/// reduced by γ.
+pub fn reduce<K: Item>(summary: &Summary<K>) -> ReducedSketch<K> {
+    let gamma = summary.counter_sum() as f64 / (summary.k as f64 + 1.0);
+    let entries = summary
+        .entries
+        .iter()
+        .filter_map(|(key, &c)| {
+            let reduced = c as f64 - gamma;
+            (reduced > 0.0).then(|| (key.clone(), reduced))
+        })
+        .collect();
+    ReducedSketch {
+        k: summary.k,
+        gamma,
+        entries,
+    }
+}
+
+/// Convenience: runs Algorithm 3 directly on a sketch.
+pub fn reduce_sketch<K: Item>(sketch: &MisraGries<K>) -> ReducedSketch<K> {
+    reduce(&sketch.summary())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::misra_gries::MisraGries;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn gamma_equals_n_over_k1_minus_alpha() {
+        // Identity from the Lemma 15 proof: Σc = n − α(k+1), so
+        // γ = n/(k+1) − α.
+        let k = 3;
+        let stream: Vec<u64> = (0..200).map(|i| i % 7).collect();
+        let mut mg = MisraGries::new(k).unwrap();
+        mg.extend(stream.iter().copied());
+        let reduced = reduce_sketch(&mg);
+        let n = stream.len() as f64;
+        let alpha = mg.decrement_count() as f64;
+        assert!((reduced.gamma - (n / (k as f64 + 1.0) - alpha)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_drops_nonpositive() {
+        let summary = Summary::from_entries(2, [(1u64, 10), (2u64, 1)]);
+        // γ = 11/3 ≈ 3.67: key 2 (count 1) is dropped.
+        let r = reduce(&summary);
+        assert_eq!(r.len(), 1);
+        assert!(r.count(&1) > 6.0 && r.count(&1) < 6.5);
+        assert_eq!(r.count(&2), 0.0);
+    }
+
+    #[test]
+    fn empty_summary_reduces_to_empty() {
+        let r = reduce(&Summary::<u64>::empty(4));
+        assert!(r.is_empty());
+        assert_eq!(r.gamma, 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = ReducedSketch {
+            k: 2,
+            gamma: 0.0,
+            entries: [(1u64, 2.0), (2, 1.0)].into_iter().collect(),
+        };
+        let b = ReducedSketch {
+            k: 2,
+            gamma: 0.0,
+            entries: [(1u64, 1.5), (3, 0.5)].into_iter().collect(),
+        };
+        assert!((a.l1_distance(&b) - 2.0).abs() < 1e-12);
+        assert!((a.linf_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    fn neighbour_pair(
+        stream: &[u64],
+        drop: usize,
+        k: usize,
+    ) -> (ReducedSketch<u64>, ReducedSketch<u64>) {
+        let mut full = MisraGries::new(k).unwrap();
+        let mut neighbour = MisraGries::new(k).unwrap();
+        for (i, &x) in stream.iter().enumerate() {
+            full.update(x);
+            if i != drop {
+                neighbour.update(x);
+            }
+        }
+        (reduce_sketch(&full), reduce_sketch(&neighbour))
+    }
+
+    proptest! {
+        /// Lemma 15: the reduced estimates stay within [f(x) − n/(k+1), f(x)].
+        #[test]
+        fn prop_lemma15_error_window(
+            stream in proptest::collection::vec(0u64..25, 1..500),
+            k in 1usize..8,
+        ) {
+            let mut mg = MisraGries::new(k).unwrap();
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for &x in &stream {
+                mg.update(x);
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            let reduced = reduce_sketch(&mg);
+            let n = stream.len() as f64;
+            let bound = n / (k as f64 + 1.0);
+            for (x, &f) in &truth {
+                let est = reduced.count(x);
+                prop_assert!(est <= f as f64 + 1e-9, "overestimate for {}", x);
+                prop_assert!(
+                    est >= f as f64 - bound - 1e-9,
+                    "key {}: {} < {} − {}", x, est, f, bound
+                );
+            }
+        }
+
+        /// Lemma 16: the ℓ1-sensitivity of the reduced sketch is < 2.
+        /// We measure it over random neighbouring streams (remove one
+        /// element); the supremum over adversarial pairs is exercised in the
+        /// E7 experiment binary.
+        #[test]
+        fn prop_lemma16_l1_below_two(
+            stream in proptest::collection::vec(0u64..15, 1..300),
+            drop_idx in 0usize..300,
+            k in 1usize..8,
+        ) {
+            let drop = drop_idx % stream.len();
+            let (a, b) = neighbour_pair(&stream, drop, k);
+            let d = a.l1_distance(&b);
+            prop_assert!(d < 2.0 + 1e-9, "ℓ1 distance {} ≥ 2 (k = {})", d, k);
+        }
+
+        /// Reduced counters are always strictly positive and γ non-negative.
+        #[test]
+        fn prop_reduced_counters_positive(
+            stream in proptest::collection::vec(0u64..25, 0..300),
+            k in 1usize..8,
+        ) {
+            let mut mg = MisraGries::new(k).unwrap();
+            mg.extend(stream.iter().copied());
+            let r = reduce_sketch(&mg);
+            prop_assert!(r.gamma >= 0.0);
+            prop_assert!(r.entries.values().all(|&c| c > 0.0));
+            prop_assert!(r.len() <= k);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Compact wire format for shipping sketch summaries between machines.
+//!
+//! Section 7's distributed setting has every server compute a local
+//! Misra-Gries sketch and send it (noised or raw, depending on whether the
+//! aggregator is trusted) to an aggregator. This module provides the byte
+//! encoding used by the distributed-aggregation example: a fixed header
+//! followed by little-endian `(key, count)` pairs, keys strictly increasing
+//! so decoders can validate canonical form.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   : [u8; 4] = b"DPMG"
+//! version : u8      = 1
+//! k       : u64
+//! len     : u64     (number of entries, ≤ k)
+//! entries : len × (key: u64, count: u64), keys strictly ascending
+//! ```
+
+use crate::traits::{SketchError, Summary};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: [u8; 4] = *b"DPMG";
+const VERSION: u8 = 1;
+const HEADER_LEN: usize = 4 + 1 + 8 + 8;
+
+/// Encodes a `u64`-keyed summary into the wire format.
+pub fn encode(summary: &Summary<u64>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + summary.len() * 16);
+    buf.put_slice(&MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(summary.k as u64);
+    buf.put_u64_le(summary.len() as u64);
+    // BTreeMap iterates in ascending key order — canonical by construction.
+    for (&key, &count) in &summary.entries {
+        buf.put_u64_le(key);
+        buf.put_u64_le(count);
+    }
+    buf.freeze()
+}
+
+/// Decodes a summary from the wire format, validating structure.
+///
+/// # Errors
+///
+/// Returns [`SketchError::Corrupt`] on truncated input, bad magic/version,
+/// `len > k`, non-ascending keys, or trailing bytes.
+pub fn decode(mut bytes: &[u8]) -> Result<Summary<u64>, SketchError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SketchError::Corrupt("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(SketchError::Corrupt("bad magic"));
+    }
+    if bytes.get_u8() != VERSION {
+        return Err(SketchError::Corrupt("unsupported version"));
+    }
+    let k = bytes.get_u64_le();
+    let len = bytes.get_u64_le();
+    if len > k {
+        return Err(SketchError::Corrupt("len exceeds k"));
+    }
+    let k = usize::try_from(k).map_err(|_| SketchError::Corrupt("k overflows usize"))?;
+    let len = len as usize;
+    if bytes.remaining() != len * 16 {
+        return Err(SketchError::Corrupt("entry section length mismatch"));
+    }
+    let mut entries = std::collections::BTreeMap::new();
+    let mut prev: Option<u64> = None;
+    for _ in 0..len {
+        let key = bytes.get_u64_le();
+        let count = bytes.get_u64_le();
+        if let Some(p) = prev {
+            if key <= p {
+                return Err(SketchError::Corrupt("keys not strictly ascending"));
+            }
+        }
+        prev = Some(key);
+        entries.insert(key, count);
+    }
+    Ok(Summary { k, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Summary<u64> {
+        Summary::from_entries(8, [(3u64, 10), (7, 0), (100, 42)])
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        let bytes = encode(&s);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let s = Summary::<u64>::empty(4);
+        assert_eq!(decode(&encode(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode(&sample());
+        for cut in [0, 3, HEADER_LEN - 1, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            SketchError::Corrupt("bad magic")
+        );
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            SketchError::Corrupt("unsupported version")
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_len_exceeding_k() {
+        // Hand-craft a header claiming len > k.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"DPMG");
+        buf.put_u8(1);
+        buf.put_u64_le(1); // k = 1
+        buf.put_u64_le(2); // len = 2
+        buf.put_u64_le(1);
+        buf.put_u64_le(1);
+        buf.put_u64_le(2);
+        buf.put_u64_le(1);
+        assert_eq!(
+            decode(&buf).unwrap_err(),
+            SketchError::Corrupt("len exceeds k")
+        );
+    }
+
+    #[test]
+    fn rejects_unordered_keys() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"DPMG");
+        buf.put_u8(1);
+        buf.put_u64_le(4);
+        buf.put_u64_le(2);
+        buf.put_u64_le(9); // key 9 first
+        buf.put_u64_le(1);
+        buf.put_u64_le(3); // then key 3: not ascending
+        buf.put_u64_le(1);
+        assert_eq!(
+            decode(&buf).unwrap_err(),
+            SketchError::Corrupt("keys not strictly ascending")
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(
+            entries in proptest::collection::btree_map(0u64..1000, 0u64..1_000_000, 0..16),
+        ) {
+            let summary = Summary { k: 16, entries };
+            let back = decode(&encode(&summary)).unwrap();
+            prop_assert_eq!(summary, back);
+        }
+    }
+}

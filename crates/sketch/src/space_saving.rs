@@ -1,0 +1,194 @@
+//! The Space-Saving sketch (Metwally, Agrawal & El Abbadi, 2005).
+//!
+//! Not part of the paper's contribution — included as the other canonical
+//! counter-based heavy-hitter sketch so that examples and benches can show
+//! the Misra-Gries results against a familiar non-private comparator.
+//! Space-Saving keeps `k` counters and, on a miss with a full table, evicts
+//! the key with the *minimum* counter, crediting its count (plus one) to the
+//! newcomer. Estimates are therefore **over**-estimates:
+//! `f(x) ≤ f̂(x) ≤ f(x) + n/k`, the mirror image of Misra-Gries'
+//! underestimates.
+
+use crate::traits::{FrequencyOracle, Item, SketchError, Summary, TopKSketch};
+use std::collections::{BTreeSet, HashMap};
+
+/// Space-Saving sketch with `k` counters.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K: Item> {
+    k: usize,
+    /// key → (count, error) where `error` is the count inherited at
+    /// insertion time; `count − error ≤ f(x) ≤ count`.
+    counts: HashMap<K, (u64, u64)>,
+    /// Counters ordered by (count, key) for O(log k) minimum lookup.
+    ordered: BTreeSet<(u64, K)>,
+    n: u64,
+}
+
+impl<K: Item> SpaceSaving<K> {
+    /// Creates an empty sketch with `k ≥ 1` counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidK`] when `k = 0`.
+    pub fn new(k: usize) -> Result<Self, SketchError> {
+        if k == 0 {
+            return Err(SketchError::InvalidK(0));
+        }
+        Ok(Self {
+            k,
+            counts: HashMap::with_capacity(k * 2),
+            ordered: BTreeSet::new(),
+            n: 0,
+        })
+    }
+
+    /// The sketch size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stream length processed.
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    /// Processes one element.
+    pub fn update(&mut self, x: K) {
+        self.n += 1;
+        if let Some(&(count, err)) = self.counts.get(&x) {
+            self.ordered.remove(&(count, x.clone()));
+            self.counts.insert(x.clone(), (count + 1, err));
+            self.ordered.insert((count + 1, x));
+            return;
+        }
+        if self.counts.len() < self.k {
+            self.counts.insert(x.clone(), (1, 0));
+            self.ordered.insert((1, x));
+            return;
+        }
+        // Evict the minimum-count key; the newcomer inherits its count.
+        let (min_count, victim) = self
+            .ordered
+            .iter()
+            .next()
+            .cloned()
+            .expect("sketch is full, so ordered set is non-empty");
+        self.ordered.remove(&(min_count, victim.clone()));
+        self.counts.remove(&victim);
+        self.counts.insert(x.clone(), (min_count + 1, min_count));
+        self.ordered.insert((min_count + 1, x));
+    }
+
+    /// Processes a whole stream.
+    pub fn extend(&mut self, stream: impl IntoIterator<Item = K>) {
+        for x in stream {
+            self.update(x);
+        }
+    }
+
+    /// Estimated frequency (an overestimate) of `x`; 0 if not stored.
+    pub fn count(&self, x: &K) -> u64 {
+        self.counts.get(x).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// Guaranteed lower bound `count − error ≤ f(x)` for a stored key.
+    pub fn guaranteed_count(&self, x: &K) -> u64 {
+        self.counts.get(x).map(|&(c, e)| c - e).unwrap_or(0)
+    }
+
+    /// The stored keys and (over-)estimates as a [`Summary`].
+    pub fn summary(&self) -> Summary<K> {
+        Summary::from_entries(
+            self.k,
+            self.counts.iter().map(|(k, &(c, _))| (k.clone(), c)),
+        )
+    }
+}
+
+impl<K: Item> FrequencyOracle<K> for SpaceSaving<K> {
+    fn estimate(&self, key: &K) -> f64 {
+        self.count(key) as f64
+    }
+}
+
+impl<K: Item> TopKSketch<K> for SpaceSaving<K> {
+    fn stored_keys(&self) -> Vec<K> {
+        let mut keys: Vec<K> = self.counts.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap as StdMap;
+
+    #[test]
+    fn rejects_k_zero() {
+        assert!(SpaceSaving::<u64>::new(0).is_err());
+    }
+
+    #[test]
+    fn exact_within_capacity() {
+        let mut ss = SpaceSaving::new(4).unwrap();
+        ss.extend([1u64, 2, 1, 1]);
+        assert_eq!(ss.count(&1), 3);
+        assert_eq!(ss.count(&2), 1);
+        assert_eq!(ss.guaranteed_count(&1), 3);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count() {
+        let mut ss = SpaceSaving::new(2).unwrap();
+        ss.extend([1u64, 1, 2, 3]);
+        // 3 evicts 2 (min count 1) and inherits: count 2, error 1.
+        assert_eq!(ss.count(&3), 2);
+        assert_eq!(ss.guaranteed_count(&3), 1);
+        assert_eq!(ss.count(&2), 0);
+    }
+
+    proptest! {
+        /// Space-Saving overestimates: f(x) ≤ f̂(x) ≤ f(x) + n/k for stored
+        /// keys, and every key with f(x) > n/k is stored.
+        #[test]
+        fn prop_overestimate_window(
+            stream in proptest::collection::vec(0u64..25, 1..400),
+            k in 1usize..8,
+        ) {
+            let mut ss = SpaceSaving::new(k).unwrap();
+            let mut truth: StdMap<u64, u64> = StdMap::new();
+            for &x in &stream {
+                ss.update(x);
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            let n = stream.len() as u64;
+            let bound = n / k as u64;
+            for (x, &f) in &truth {
+                let est = ss.count(x);
+                if est > 0 {
+                    prop_assert!(est >= f, "underestimate for {}", x);
+                    prop_assert!(est <= f + bound, "over bound for {}", x);
+                } else {
+                    // Unstored keys must be infrequent.
+                    prop_assert!(f <= bound, "frequent key {} evicted", x);
+                }
+                prop_assert!(ss.guaranteed_count(x) <= f);
+            }
+        }
+
+        /// Never stores more than k keys.
+        #[test]
+        fn prop_capacity(
+            stream in proptest::collection::vec(0u64..50, 0..300),
+            k in 1usize..8,
+        ) {
+            let mut ss = SpaceSaving::new(k).unwrap();
+            for &x in &stream {
+                ss.update(x);
+                prop_assert!(ss.stored_keys().len() <= k);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # dpmg-workload
+//!
+//! Synthetic stream generators for the experiment harness.
+//!
+//! The paper is a theory paper and evaluates on worst-case analysis, not on
+//! datasets; to *measure* the theorems we need streams that realise both
+//! typical behaviour (skewed, heavy-tailed data where heavy hitters exist —
+//! the motivation of the introduction: network monitoring, query logs) and
+//! the adversarial structures the proofs are tight on:
+//!
+//! * [`zipf`] — Zipf-distributed element streams, the standard model of
+//!   skewed real-world frequencies;
+//! * [`streams`] — uniform streams and the adversarial constructions from
+//!   the paper: the `k+1`-distinct-elements stream that makes Fact 7 tight,
+//!   decrement-heavy streams, and neighbouring-stream utilities;
+//! * [`user_sets`] — streams of user *sets* for the Section 8 setting,
+//!   including the Lemma 25 construction that forces a single Misra-Gries
+//!   counter to differ by `m` between neighbours;
+//! * [`traces`] — trace-like streams (synthetic network flows and query
+//!   logs) for the examples, standing in for the proprietary traces such
+//!   systems would monitor in production.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod streams;
+pub mod text;
+pub mod traces;
+pub mod user_sets;
+pub mod zipf;
+
+pub use zipf::Zipf;

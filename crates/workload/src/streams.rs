@@ -1,0 +1,199 @@
+//! Uniform and adversarial element streams, plus neighbouring-stream
+//! utilities.
+//!
+//! The adversarial constructions realise the inputs on which the paper's
+//! bounds are *tight*:
+//!
+//! * [`round_robin`] — `k+1` distinct elements cycled `reps` times: every
+//!   element has frequency `n/(k+1)`, but any size-`k` sketch must assign at
+//!   least one of them estimate 0, matching Fact 7's lower bound exactly.
+//! * [`decrement_neighbor_pair`] — neighbouring streams whose Misra-Gries
+//!   sketches differ by 1 on **all** `k` counters (Lemma 8's case (1)): the
+//!   longer stream triggers one extra decrement round. This is the input
+//!   that breaks Böhler–Kerschbaum's sensitivity-1 assumption and that the
+//!   privacy auditor (experiment E5) distinguishes on.
+//! * [`single_increment_neighbor_pair`] — neighbouring streams differing by
+//!   1 on a single counter (Lemma 8's case (2) mirror).
+
+use rand::Rng;
+
+/// A uniform stream of `n` elements over `[1, d]`.
+pub fn uniform<R: Rng + ?Sized>(n: usize, d: u64, rng: &mut R) -> Vec<u64> {
+    (0..n).map(|_| rng.random_range(1..=d)).collect()
+}
+
+/// The Fact-7-tight stream: elements `1..=k+1` cycled `reps` times
+/// (length `(k+1)·reps`).
+pub fn round_robin(k: usize, reps: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity((k + 1) * reps);
+    for _ in 0..reps {
+        for e in 1..=(k as u64 + 1) {
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Removes the element at `index` from `stream`, producing the canonical
+/// neighbouring stream of Definition 3.
+pub fn remove_at(stream: &[u64], index: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(stream.len().saturating_sub(1));
+    out.extend_from_slice(&stream[..index]);
+    out.extend_from_slice(&stream[index + 1..]);
+    out
+}
+
+/// Neighbouring streams `(s, s')` whose Misra-Gries sketches of size `k`
+/// differ by 1 on **all** `k` counters.
+///
+/// `s` = keys `1..=k`, each `reps ≥ 1` times, followed by one fresh element
+/// `k+1` (which finds all counters ≥ 1 and decrements them all);
+/// `s'` = the same without the final element.
+pub fn decrement_neighbor_pair(k: usize, reps: usize) -> (Vec<u64>, Vec<u64>) {
+    assert!(reps >= 1);
+    let mut base = Vec::with_capacity(k * reps + 1);
+    for key in 1..=k as u64 {
+        for _ in 0..reps {
+            base.push(key);
+        }
+    }
+    let without = base.clone();
+    base.push(k as u64 + 1);
+    (base, without)
+}
+
+/// Neighbouring streams `(s, s')` whose sketches differ by 1 on a single
+/// counter: `s` has one extra copy of key 1 at the end.
+pub fn single_increment_neighbor_pair(k: usize, reps: usize) -> (Vec<u64>, Vec<u64>) {
+    assert!(reps >= 1);
+    let mut base = Vec::with_capacity(k * reps + 1);
+    for key in 1..=k as u64 {
+        for _ in 0..reps {
+            base.push(key);
+        }
+    }
+    let without = base.clone();
+    base.push(1);
+    (base, without)
+}
+
+/// A stream engineered to execute the decrement branch as often as possible:
+/// after seeding `k` counters to 1, it alternates one refill round (raising
+/// every counter back to ≥ 1) with fresh unseen elements that each trigger a
+/// full decrement.
+pub fn decrement_heavy(k: usize, rounds: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    // Seed counters 1..=k to 1.
+    out.extend(1..=k as u64);
+    for round in 0..rounds {
+        // One decrement: a fresh element while everything is ≥ 1.
+        out.push(k as u64 + 1 + round as u64);
+        // Refill: one copy of each tracked key brings counters back to ≥ 1.
+        out.extend(1..=k as u64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmg_sketch_test_support::*;
+
+    /// Local test support: build a Misra-Gries sketch over a stream.
+    mod dpmg_sketch_test_support {
+        pub fn counts(stream: &[u64], k: usize) -> std::collections::BTreeMap<u64, u64> {
+            // Minimal reference MG (paper variant, estimates only) to keep
+            // this crate independent of dpmg-sketch: counts over keys using
+            // the textbook algorithm, which has identical estimates.
+            let mut t: std::collections::BTreeMap<u64, u64> = Default::default();
+            for &x in stream {
+                if let Some(c) = t.get_mut(&x) {
+                    *c += 1;
+                } else if t.len() < k {
+                    t.insert(x, 1);
+                } else {
+                    t.retain(|_, c| {
+                        *c -= 1;
+                        *c > 0
+                    });
+                }
+            }
+            t
+        }
+    }
+
+    #[test]
+    fn round_robin_shape() {
+        let s = round_robin(3, 5);
+        assert_eq!(s.len(), 20);
+        for e in 1..=4u64 {
+            assert_eq!(s.iter().filter(|&&x| x == e).count(), 5);
+        }
+    }
+
+    #[test]
+    fn round_robin_forces_zero_estimates() {
+        // Any k-counter sketch must miss at least one of the k+1 elements.
+        let k = 4;
+        let s = round_robin(k, 50);
+        let c = counts(&s, k);
+        assert!(c.len() <= k);
+    }
+
+    #[test]
+    fn remove_at_works() {
+        let s = vec![1u64, 2, 3];
+        assert_eq!(remove_at(&s, 0), vec![2, 3]);
+        assert_eq!(remove_at(&s, 1), vec![1, 3]);
+        assert_eq!(remove_at(&s, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn decrement_pair_differs_by_one_element() {
+        let (a, b) = decrement_neighbor_pair(4, 3);
+        assert_eq!(a.len(), b.len() + 1);
+        assert_eq!(&a[..b.len()], &b[..]);
+        // The final element triggers a full decrement: sketch counters drop
+        // from 3 to 2 on every key.
+        let ca = counts(&a, 4);
+        let cb = counts(&b, 4);
+        for key in 1..=4u64 {
+            assert_eq!(cb[&key], 3);
+            assert_eq!(ca[&key], 2);
+        }
+    }
+
+    #[test]
+    fn single_increment_pair() {
+        let (a, b) = single_increment_neighbor_pair(4, 3);
+        let ca = counts(&a, 4);
+        let cb = counts(&b, 4);
+        assert_eq!(ca[&1], cb[&1] + 1);
+        for key in 2..=4u64 {
+            assert_eq!(ca[&key], cb[&key]);
+        }
+    }
+
+    #[test]
+    fn decrement_heavy_triggers_many_decrements() {
+        let k = 4;
+        let rounds = 10;
+        let s = decrement_heavy(k, rounds);
+        // After each fresh element all k counters are ≥ 1, so each of the
+        // `rounds` fresh elements triggers a decrement. The sketch keeps the
+        // original keys throughout.
+        let c = counts(&s, k);
+        for key in 1..=k as u64 {
+            assert_eq!(c[&key], 1, "key {key} should cycle back to 1");
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = uniform(500, 9, &mut rng);
+        assert_eq!(s.len(), 500);
+        assert!(s.iter().all(|&x| (1..=9).contains(&x)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Trace-like synthetic streams for the examples.
+//!
+//! The introduction motivates the streaming setting with "high-volume
+//! streams such as when monitoring computer networks, online users,
+//! financial markets". Real traces of that kind are proprietary; these
+//! generators produce streams with the same statistical signatures the
+//! sketching literature attributes to them (heavy-tailed flow sizes,
+//! diurnal drift of query popularity) so that the examples exercise the
+//! mechanisms on plausible inputs. See DESIGN.md for the substitution note.
+
+use crate::zipf::Zipf;
+use rand::Rng;
+
+/// A synthetic packet trace: `flows` flows with Pareto-like sizes over a
+/// `d`-address space, interleaved round-robin (so heavy flows persist across
+/// the whole stream the way elephant flows do).
+///
+/// Returns the stream of flow identifiers (one entry per "packet").
+pub fn network_flows<R: Rng + ?Sized>(flows: usize, d: u64, alpha: f64, rng: &mut R) -> Vec<u64> {
+    assert!(alpha > 0.0);
+    // Flow sizes: discretised Pareto via inverse CDF, capped for sanity.
+    let mut remaining: Vec<(u64, u64)> = (0..flows)
+        .map(|_| {
+            let id = rng.random_range(1..=d);
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            let size = (u.powf(-1.0 / alpha)).min(10_000.0) as u64;
+            (id, size.max(1))
+        })
+        .collect();
+    let mut stream = Vec::new();
+    // Interleave: repeatedly emit one packet from each live flow.
+    while !remaining.is_empty() {
+        remaining.retain_mut(|(id, size)| {
+            stream.push(*id);
+            *size -= 1;
+            *size > 0
+        });
+    }
+    stream
+}
+
+/// A synthetic query log: `n` queries drawn from a Zipf(`s`) distribution
+/// whose head rotates every `period` queries (popularity drift), modelling
+/// trending topics.
+pub fn query_log<R: Rng + ?Sized>(
+    n: usize,
+    d: u64,
+    s: f64,
+    period: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(period > 0);
+    let zipf = Zipf::new(d, s);
+    (0..n)
+        .map(|i| {
+            let rotation = (i / period) as u64;
+            let rank = zipf.sample(rng);
+            // Rotate the identity of the head ranks over time.
+            (rank + rotation * 13) % d + 1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn network_flows_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let stream = network_flows(500, 1_000_000, 1.2, &mut rng);
+        assert!(!stream.is_empty());
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &x in &stream {
+            *counts.entry(x).or_insert(0) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let median = {
+            let mut v: Vec<u64> = counts.values().copied().collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        // Elephant flows: the largest flow dwarfs the median flow.
+        assert!(max >= 10 * median, "max {max}, median {median}");
+    }
+
+    #[test]
+    fn query_log_has_drift() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 20_000;
+        let stream = query_log(n, 10_000, 1.3, n / 2, &mut rng);
+        assert_eq!(stream.len(), n);
+        // The most popular element of the first half differs from the
+        // second half's (the head rotated).
+        let top = |slice: &[u64]| {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for &x in slice {
+                *counts.entry(x).or_insert(0) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        assert_ne!(top(&stream[..n / 2]), top(&stream[n / 2..]));
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let a = network_flows(50, 1000, 1.5, &mut StdRng::seed_from_u64(1));
+        let b = network_flows(50, 1000, 1.5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+        let c = query_log(100, 50, 1.0, 10, &mut StdRng::seed_from_u64(2));
+        let d = query_log(100, 50, 1.0, 10, &mut StdRng::seed_from_u64(2));
+        assert_eq!(c, d);
+    }
+}

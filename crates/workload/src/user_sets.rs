@@ -1,0 +1,136 @@
+//! Streams of user *sets* for the Section 8 user-level setting, including
+//! the Lemma 25 adversarial construction.
+
+use crate::zipf::Zipf;
+use rand::Rng;
+
+/// Random user sets: each of `users` users holds `m` distinct elements drawn
+/// from a Zipf(`s`) distribution over `[1, d]` (re-drawing on collision, so
+/// the set really is distinct).
+///
+/// # Panics
+///
+/// Panics if `m as u64 > d` (cannot pick `m` distinct elements).
+pub fn zipf_user_sets<R: Rng + ?Sized>(
+    users: usize,
+    m: usize,
+    d: u64,
+    s: f64,
+    rng: &mut R,
+) -> Vec<Vec<u64>> {
+    assert!(m as u64 <= d, "set size exceeds universe");
+    let zipf = Zipf::new(d, s);
+    (0..users)
+        .map(|_| {
+            let mut set = Vec::with_capacity(m);
+            while set.len() < m {
+                let x = zipf.sample(rng);
+                if !set.contains(&x) {
+                    set.push(x);
+                }
+            }
+            set.sort_unstable();
+            set
+        })
+        .collect()
+}
+
+/// The Lemma 25 construction: neighbouring set-streams whose flattened
+/// Misra-Gries sketches (size `k`) differ by `m` on a **single** counter.
+///
+/// Construction (following the proof):
+///
+/// * Users `1..=k` cover `k` distinct base elements, `m` at a time,
+///   cyclically — the sketch ends with exactly `m` copies of each base
+///   element spread over the counters... in aggregate each base element has
+///   frequency `m`, and after these users the sketch of the *flattened*
+///   stream holds `k` counters of value `m`.
+/// * The pivotal user (present only in the longer stream) holds `m` fresh
+///   elements, decrementing everything to… eventually emptying the sketch.
+/// * `tail` users each hold the singleton `{x}` (element `x` fresh again).
+///
+/// Returns `(with_pivot, without_pivot, x)` where `x` is the element whose
+/// counter differs by `m` between the two flattened sketches.
+pub fn lemma25_pair(k: usize, m: usize, tail: usize) -> (Vec<Vec<u64>>, Vec<Vec<u64>>, u64) {
+    assert!(m <= k, "Lemma 25 requires m ≤ k");
+    assert!(m >= 1 && k >= 1);
+    let base: Vec<u64> = (1..=k as u64).collect();
+    let x = 10_000;
+    let mut sets: Vec<Vec<u64>> = Vec::new();
+    let mut pos = 0usize;
+    for _ in 0..k {
+        let set: Vec<u64> = (0..m).map(|j| base[(pos + j) % k]).collect();
+        pos = (pos + m) % k;
+        sets.push(set);
+    }
+    let without: Vec<Vec<u64>> = sets
+        .iter()
+        .cloned()
+        .chain(std::iter::repeat_n(vec![x], tail))
+        .collect();
+    let pivot: Vec<u64> = (20_000..20_000 + m as u64).collect();
+    let with: Vec<Vec<u64>> = sets
+        .into_iter()
+        .chain(std::iter::once(pivot))
+        .chain(std::iter::repeat_n(vec![x], tail))
+        .collect();
+    (with, without, x)
+}
+
+/// Flattens user sets in the canonical (ascending within set) order — same
+/// convention as `dpmg_core::user_level::flatten` but kept here so workload
+/// consumers need not depend on the core crate.
+pub fn flatten_sets(sets: &[Vec<u64>]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(sets.iter().map(Vec::len).sum());
+    for set in sets {
+        let mut sorted = set.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        out.extend(sorted);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_sets_are_distinct_and_sized() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sets = zipf_user_sets(100, 5, 1000, 1.1, &mut rng);
+        assert_eq!(sets.len(), 100);
+        for set in &sets {
+            assert_eq!(set.len(), 5);
+            let mut s = set.clone();
+            s.dedup();
+            assert_eq!(s.len(), 5, "duplicate inside a set");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "set size exceeds universe")]
+    fn zipf_sets_reject_impossible_m() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = zipf_user_sets(1, 11, 10, 1.0, &mut rng);
+    }
+
+    #[test]
+    fn lemma25_pair_shapes() {
+        let (with, without, x) = lemma25_pair(6, 3, 10);
+        assert_eq!(with.len(), without.len() + 1);
+        assert_eq!(x, 10_000);
+        // Every pre-pivot user holds exactly m elements.
+        for set in &with[..6] {
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn flatten_is_sorted_within_sets() {
+        let sets = vec![vec![5u64, 1, 3], vec![2, 2, 9]];
+        assert_eq!(flatten_sets(&sets), vec![1, 3, 5, 2, 9]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Zipf-distributed streams.
+//!
+//! Element `r` (rank `r ∈ [1, d]`) is drawn with probability proportional to
+//! `r^{-s}`. Implemented with a precomputed CDF and binary search — exact,
+//! `O(d)` memory, `O(log d)` per sample; ample for the `d ≤ 10⁶` universes
+//! used in the experiments. (The `rand` crate's distributions live in
+//! `rand_distr`, which is not in the permitted dependency set, so this is
+//! implemented from scratch.)
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=d` with exponent `s ≥ 0`.
+///
+/// ```
+/// use dpmg_workload::zipf::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1000, 1.2);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let stream = zipf.stream(10_000, &mut rng);
+/// let ones = stream.iter().filter(|&&x| x == 1).count();
+/// assert!(ones > 1_000); // rank 1 dominates a skewed stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[r-1] = Pr[X ≤ r]`.
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `[1, d]` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d = 0` or `s` is negative or non-finite.
+    pub fn new(d: u64, s: f64) -> Self {
+        assert!(d >= 1, "universe must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be ≥ 0");
+        let mut cdf = Vec::with_capacity(d as usize);
+        let mut acc = 0.0;
+        for r in 1..=d {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Self { cdf, exponent: s }
+    }
+
+    /// The universe size `d`.
+    pub fn universe_size(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of rank `r` (1-indexed); 0 outside the support.
+    pub fn pmf(&self, r: u64) -> f64 {
+        if r == 0 || r > self.universe_size() {
+            return 0.0;
+        }
+        let i = (r - 1) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws one rank in `[1, d]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        // First index with cdf ≥ u.
+        (self.cdf.partition_point(|&p| p < u) + 1) as u64
+    }
+
+    /// Generates a stream of `n` elements.
+    pub fn stream<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (1..=100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(101), 0.0);
+    }
+
+    #[test]
+    fn pmf_is_decreasing_in_rank() {
+        let z = Zipf::new(50, 1.5);
+        for r in 1..50 {
+            assert!(z.pmf(r) > z.pmf(r + 1), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 1..=10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 200_000;
+        let mut counts = [0u64; 21];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for r in 1..=20u64 {
+            let emp = counts[r as usize] as f64 / n as f64;
+            assert!((emp - z.pmf(r)).abs() < 0.01, "rank {r}: {emp}");
+        }
+    }
+
+    #[test]
+    fn stream_has_requested_length_and_support() {
+        let z = Zipf::new(30, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = z.stream(1000, &mut rng);
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|&x| (1..=30).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe must be non-empty")]
+    fn rejects_empty_universe() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be ≥ 0")]
+    fn rejects_negative_exponent() {
+        let _ = Zipf::new(5, -1.0);
+    }
+}

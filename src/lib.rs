@@ -1,0 +1,66 @@
+//! # dp-misra-gries
+//!
+//! A production-quality Rust reproduction of
+//! [Lebeda & Tětek, *Better Differentially Private Approximate Histograms and
+//! Heavy Hitters using the Misra-Gries Sketch*, PODS 2023]
+//! (arXiv:2301.02457).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sketch`] — the non-private streaming substrate: the paper's
+//!   Misra-Gries variant (Algorithm 1), the classic variant, the
+//!   sensitivity-reduction post-processing (Algorithm 3), the Privacy-Aware
+//!   Misra-Gries sketch (Algorithm 4), Agarwal-et-al. merging, plus
+//!   Space-Saving / Count-Min / Count-Sketch comparators.
+//! * [`noise`] — Laplace, two-sided geometric (discrete Laplace) and Gaussian
+//!   noise, special functions, and `(ε, δ)` accounting with group privacy.
+//! * [`core`] — the private release mechanisms: `PMG` (Algorithm 2, the
+//!   paper's main contribution), the pure-DP release of Section 6, private
+//!   merging (Section 7), user-level mechanisms and the Gaussian Sparse
+//!   Histogram Mechanism (Section 8), and the baselines the paper compares
+//!   against (Chan et al., Böhler–Kerschbaum, stability histograms).
+//! * [`workload`] — synthetic stream generators (Zipf, uniform, adversarial,
+//!   user-set, trace-like).
+//! * [`eval`] — error metrics, experiment sweeps, and an empirical privacy
+//!   auditor.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dp_misra_gries::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Stream with one obvious heavy hitter.
+//! let stream: Vec<u64> = (0..10_000u64).map(|i| if i % 2 == 0 { 7 } else { i }).collect();
+//!
+//! // Non-private Misra-Gries sketch with k = 64 counters.
+//! let mut sketch = MisraGries::new(64).unwrap();
+//! sketch.extend(stream.iter().copied());
+//!
+//! // Release under (1.0, 1e-8)-differential privacy.
+//! let params = PrivacyParams::new(1.0, 1e-8).unwrap();
+//! let mechanism = PrivateMisraGries::new(params).unwrap();
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let released = mechanism.release(&sketch, &mut rng);
+//!
+//! // The heavy hitter survives the noise-and-threshold release.
+//! assert!(released.estimate(&7) > 3_000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dpmg_core as core;
+pub use dpmg_eval as eval;
+pub use dpmg_noise as noise;
+pub use dpmg_sketch as sketch;
+pub use dpmg_workload as workload;
+
+/// Convenient glob-import surface covering the common entry points.
+pub mod prelude {
+    pub use dpmg_core::heavy_hitters::{heavy_hitters, HeavyHitter};
+    pub use dpmg_core::pmg::{PrivateHistogram, PrivateMisraGries};
+    pub use dpmg_noise::accounting::PrivacyParams;
+    pub use dpmg_sketch::misra_gries::MisraGries;
+    pub use dpmg_sketch::pamg::PrivacyAwareMisraGries;
+    pub use dpmg_sketch::traits::{FrequencyOracle, TopKSketch};
+}

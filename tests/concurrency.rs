@@ -1,0 +1,124 @@
+//! Concurrency integration tests: the distributed-aggregation flow of
+//! Section 7 under real threads, and thread-safety of the shared
+//! experiment infrastructure.
+
+use crossbeam::channel;
+use dp_misra_gries::core::merged::release_trusted_gshm;
+use dp_misra_gries::eval::experiment::parallel_trials;
+use dp_misra_gries::prelude::*;
+use dp_misra_gries::sketch::serialize::{decode, encode};
+use dp_misra_gries::sketch::traits::Summary;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Eight sketching workers feed one aggregator over a channel; the final
+/// release matches a single-threaded reference merge.
+#[test]
+fn threaded_aggregation_matches_sequential_reference() {
+    let k = 128usize;
+    let shards: Vec<Vec<u64>> = (0..8)
+        .map(|s| {
+            (0..50_000u64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        1 + (i / 2) % 4
+                    } else {
+                        10 + (i * (s + 3)) % 500
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Threaded path.
+    let (tx, rx) = channel::unbounded::<Vec<u8>>();
+    let threaded: Vec<Summary<u64>> = crossbeam::scope(|scope| {
+        for shard in &shards {
+            let tx = tx.clone();
+            scope.spawn(move |_| {
+                let mut sketch = MisraGries::new(k).unwrap();
+                sketch.extend(shard.iter().copied());
+                tx.send(encode(&sketch.summary()).to_vec()).unwrap();
+            });
+        }
+        drop(tx);
+        let mut got: Vec<Summary<u64>> = rx.iter().map(|b| decode(&b).unwrap()).collect();
+        // Channel order is nondeterministic; canonicalize.
+        got.sort_by_key(|s| s.entries.iter().map(|(&k, &c)| (k, c)).collect::<Vec<_>>());
+        got
+    })
+    .unwrap();
+
+    // Sequential reference.
+    let mut reference: Vec<Summary<u64>> = shards
+        .iter()
+        .map(|shard| {
+            let mut sketch = MisraGries::new(k).unwrap();
+            sketch.extend(shard.iter().copied());
+            sketch.summary()
+        })
+        .collect();
+    reference.sort_by_key(|s| s.entries.iter().map(|(&k, &c)| (k, c)).collect::<Vec<_>>());
+
+    assert_eq!(threaded, reference);
+
+    // And the private release over the threaded summaries works.
+    let mut rng = StdRng::seed_from_u64(1);
+    let hist =
+        release_trusted_gshm(&threaded, PrivacyParams::new(0.9, 1e-8).unwrap(), &mut rng).unwrap();
+    // True count per heavy key: 8 shards × 6250 = 50_000; the merged
+    // sketch may undershoot by up to M/(k+1) = 400_000/129 ≈ 3100 plus the
+    // GSHM noise/threshold.
+    for key in 1..=4u64 {
+        let est = hist.estimate(&key);
+        assert!(est > 40_000.0 && est <= 50_500.0, "key {key}: {est}");
+    }
+}
+
+/// Sketches behind a mutex can be updated from many threads (ingest-style
+/// sharing) and the result equals a sequential run over the concatenation.
+#[test]
+fn shared_sketch_under_mutex_is_consistent() {
+    let sketch = Arc::new(Mutex::new(MisraGries::<u64>::new(64).unwrap()));
+    let per_thread = 20_000u64;
+    crossbeam::scope(|scope| {
+        for t in 0..4u64 {
+            let sketch = Arc::clone(&sketch);
+            scope.spawn(move |_| {
+                for i in 0..per_thread {
+                    // Heavy key 7 plus thread-local tail.
+                    let x = if i % 2 == 0 {
+                        7
+                    } else {
+                        100 + t * 1_000 + i % 50
+                    };
+                    sketch.lock().update(x);
+                }
+            });
+        }
+    })
+    .unwrap();
+    let sketch = sketch.lock();
+    assert_eq!(sketch.stream_len(), 4 * per_thread);
+    // Key 7 appears 40_000 times out of 80_000; the sketch error bound is
+    // 80_000/65 ≈ 1231.
+    let est = sketch.count(&7);
+    assert!(est >= 40_000 - sketch.error_bound());
+    assert!(est <= 40_000);
+}
+
+/// The parallel trial runner gives identical results regardless of worker
+/// interleaving (trial-indexed seeding).
+#[test]
+fn parallel_trials_stable_across_runs() {
+    let f = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lap = dp_misra_gries::noise::laplace::Laplace::new(1.0).unwrap();
+        lap.sample(&mut rng)
+    };
+    let a = parallel_trials(500, 99, f);
+    let b = parallel_trials(500, 99, f);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,149 @@
+//! Property-based integration tests of the paper's invariants, exercised
+//! across crate boundaries (workload → sketch → core).
+
+use dp_misra_gries::core::pmg::PrivateMisraGries;
+use dp_misra_gries::prelude::*;
+use dp_misra_gries::sketch::merge::{merge_many, merge_tree, merged_error_bound};
+use dp_misra_gries::sketch::misra_gries_classic::ClassicMisraGries;
+use dp_misra_gries::sketch::sensitivity_reduce::reduce_sketch;
+use dp_misra_gries::sketch::serialize::{decode, encode};
+use dp_misra_gries::sketch::traits::Summary;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn build(stream: &[u64], k: usize) -> MisraGries<u64> {
+    let mut s = MisraGries::new(k).unwrap();
+    s.extend(stream.iter().copied());
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A PMG release never contains a key that was not in the stream, and
+    /// never more than k keys — across random streams and budgets.
+    #[test]
+    fn pmg_release_sound_support(
+        stream in proptest::collection::vec(0u64..50, 1..500),
+        k in 1usize..32,
+        seed in 0u64..1000,
+        eps in 1u32..40,
+    ) {
+        let sketch = build(&stream, k);
+        let params = PrivacyParams::new(eps as f64 / 10.0, 1e-8).unwrap();
+        let mech = PrivateMisraGries::new(params).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hist = mech.release(&sketch, &mut rng);
+        prop_assert!(hist.len() <= k);
+        for (key, _) in hist.iter() {
+            prop_assert!(stream.contains(key), "released unseen key {key}");
+        }
+    }
+
+    /// Serialization round-trips through merging: encode/decode both local
+    /// summaries, merge, and the result matches merging the originals.
+    #[test]
+    fn serialization_commutes_with_merge(
+        a in proptest::collection::vec(0u64..30, 0..300),
+        b in proptest::collection::vec(0u64..30, 0..300),
+        k in 1usize..16,
+    ) {
+        let sa = build(&a, k).summary();
+        let sb = build(&b, k).summary();
+        let direct = merge_many(&[sa.clone(), sb.clone()]).unwrap();
+        let via_wire = merge_many(&[
+            decode(&encode(&sa)).unwrap(),
+            decode(&encode(&sb)).unwrap(),
+        ]).unwrap();
+        prop_assert_eq!(direct, via_wire);
+    }
+
+    /// Linear and tournament-tree merging both satisfy the Lemma 29 bound.
+    #[test]
+    fn merge_orders_agree_on_error_bound(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u64..20, 10..150), 1..8),
+        k in 2usize..10,
+    ) {
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut total = 0u64;
+        let summaries: Vec<Summary<u64>> = streams.iter().map(|s| {
+            for &x in s {
+                *truth.entry(x).or_insert(0) += 1;
+                total += 1;
+            }
+            build(s, k).summary()
+        }).collect();
+        let bound = merged_error_bound(total, k);
+        for merged in [merge_many(&summaries).unwrap(), merge_tree(&summaries).unwrap()] {
+            for (x, &f) in &truth {
+                let est = merged.count(x);
+                prop_assert!(est <= f);
+                prop_assert!(est + bound >= f);
+            }
+        }
+    }
+
+    /// The classic and paper sketches agree on estimates, so releasing
+    /// either (with its own threshold) yields consistent heavy hitters for
+    /// counts far above both thresholds.
+    #[test]
+    fn classic_and_paper_variants_consistent(
+        tail in proptest::collection::vec(0u64..40, 0..200),
+        seed in 0u64..100,
+    ) {
+        let k = 16usize;
+        // One guaranteed-heavy key (count 10_000) plus a random tail.
+        let mut stream = vec![99u64; 10_000];
+        stream.extend(&tail);
+        let paper = build(&stream, k);
+        let classic = {
+            let mut s = ClassicMisraGries::new(k).unwrap();
+            s.extend(stream.iter().copied());
+            s
+        };
+        let params = PrivacyParams::new(1.0, 1e-8).unwrap();
+        let mech = PrivateMisraGries::new(params).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hp = mech.release(&paper, &mut rng);
+        let hc = mech.release_classic(&classic, &mut rng);
+        prop_assert!(hp.estimate(&99) > 9_000.0);
+        prop_assert!(hc.estimate(&99) > 9_000.0);
+        // Both stay close to the (identical) sketch counter.
+        prop_assert!((hp.estimate(&99) - hc.estimate(&99)).abs() < 100.0);
+    }
+
+    /// Algorithm 3 commutes with the frequency-oracle contract: reducing a
+    /// sketch never raises any estimate, and lowers each by at most
+    /// n/(k+1).
+    #[test]
+    fn reduction_lowers_estimates_boundedly(
+        stream in proptest::collection::vec(0u64..25, 1..400),
+        k in 1usize..12,
+    ) {
+        let sketch = build(&stream, k);
+        let reduced = reduce_sketch(&sketch);
+        let slack = stream.len() as f64 / (k as f64 + 1.0);
+        for (key, &c) in sketch.summary().entries.iter() {
+            let r = reduced.count(key);
+            prop_assert!(r <= c as f64 + 1e-9);
+            prop_assert!(r >= c as f64 - slack - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn group_privacy_threshold_monotone_in_m() {
+    // Cross-crate: accounting (noise crate) drives PMG thresholds (core).
+    let target = PrivacyParams::new(1.0, 1e-8).unwrap();
+    let mut last = 0.0;
+    for m in [1u32, 2, 4, 8, 16, 32] {
+        let element = target.for_group_target(m).unwrap();
+        let mech = PrivateMisraGries::new(element).unwrap();
+        let t = mech.threshold();
+        assert!(t > last, "threshold must grow with m: {t} ≤ {last}");
+        last = t;
+    }
+}

