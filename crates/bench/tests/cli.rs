@@ -41,7 +41,9 @@ fn heavy_stream_text() -> String {
 #[test]
 fn release_finds_heavy_key() {
     let (stdout, stderr, ok) = run_with_stdin(
-        &["release", "--k", "64", "--eps", "1.0", "--delta", "1e-8", "--seed", "3"],
+        &[
+            "release", "--k", "64", "--eps", "1.0", "--delta", "1e-8", "--seed", "3",
+        ],
         &heavy_stream_text(),
     );
     assert!(ok, "stderr: {stderr}");
@@ -59,8 +61,17 @@ fn release_finds_heavy_key() {
 fn hh_applies_threshold() {
     let (stdout, _, ok) = run_with_stdin(
         &[
-            "hh", "--k", "64", "--eps", "1.0", "--delta", "1e-8", "--threshold", "3000",
-            "--seed", "3",
+            "hh",
+            "--k",
+            "64",
+            "--eps",
+            "1.0",
+            "--delta",
+            "1e-8",
+            "--threshold",
+            "3000",
+            "--seed",
+            "3",
         ],
         &heavy_stream_text(),
     );
@@ -73,8 +84,7 @@ fn hh_applies_threshold() {
 
 #[test]
 fn sketch_is_nonprivate_and_exact_here() {
-    let (stdout, stderr, ok) =
-        run_with_stdin(&["sketch", "--k", "64"], "1\n1\n1\n2\n");
+    let (stdout, stderr, ok) = run_with_stdin(&["sketch", "--k", "64"], "1\n1\n1\n2\n");
     assert!(ok);
     assert!(stdout.contains("1,3"));
     assert!(stdout.contains("2,1"));
@@ -84,7 +94,17 @@ fn sketch_is_nonprivate_and_exact_here() {
 #[test]
 fn generate_then_release_pipeline() {
     let out = dpmg()
-        .args(["generate", "--zipf", "1.3", "--n", "20000", "--universe", "1000", "--seed", "5"])
+        .args([
+            "generate",
+            "--zipf",
+            "1.3",
+            "--n",
+            "20000",
+            "--universe",
+            "1000",
+            "--seed",
+            "5",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -113,8 +133,16 @@ fn generate_then_release_pipeline() {
 fn geometric_flag_yields_integral_estimates() {
     let (stdout, _, ok) = run_with_stdin(
         &[
-            "release", "--k", "32", "--eps", "1.0", "--delta", "1e-8", "--geometric",
-            "--seed", "9",
+            "release",
+            "--k",
+            "32",
+            "--eps",
+            "1.0",
+            "--delta",
+            "1e-8",
+            "--geometric",
+            "--seed",
+            "9",
         ],
         &heavy_stream_text(),
     );

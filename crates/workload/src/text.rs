@@ -33,12 +33,7 @@ pub fn word_for_rank(r: u64) -> String {
 
 /// A stream of `n` word tokens drawn Zipf(`s`) from a vocabulary of
 /// `vocabulary` words.
-pub fn word_stream<R: Rng + ?Sized>(
-    n: usize,
-    vocabulary: u64,
-    s: f64,
-    rng: &mut R,
-) -> Vec<String> {
+pub fn word_stream<R: Rng + ?Sized>(n: usize, vocabulary: u64, s: f64, rng: &mut R) -> Vec<String> {
     let zipf = Zipf::new(vocabulary, s);
     (0..n).map(|_| word_for_rank(zipf.sample(rng))).collect()
 }

@@ -111,8 +111,7 @@ fn pmg_mse_bound_dominates_pure_noise_variance() {
     // linking the theorem to its proof's decomposition.
     for &eps in &[0.1, 1.0, 5.0] {
         for &delta in &[1e-6, 1e-10] {
-            let mech =
-                PrivateMisraGries::new(PrivacyParams::new(eps, delta).unwrap()).unwrap();
+            let mech = PrivateMisraGries::new(PrivacyParams::new(eps, delta).unwrap()).unwrap();
             let bound = mech.mse_bound(0, 1_000_000);
             assert!(bound > 4.0 / (eps * eps), "ε={eps}, δ={delta}");
         }
@@ -135,8 +134,7 @@ fn heavier_privacy_means_fewer_released_keys_on_average() {
         sketch.update(i % 80); // many counters straddle the thresholds
     }
     let count_released = |eps: f64| -> f64 {
-        let mech =
-            PrivateMisraGries::new(PrivacyParams::new(eps, 1e-8).unwrap()).unwrap();
+        let mech = PrivateMisraGries::new(PrivacyParams::new(eps, 1e-8).unwrap()).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         (0..50)
             .map(|_| mech.release(&sketch, &mut rng).len() as f64)

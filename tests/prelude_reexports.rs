@@ -1,0 +1,66 @@
+//! Workspace-wiring smoke test: the facade's `prelude` must re-export the
+//! documented entry points, and they must compose into a working end-to-end
+//! private release. Guards the root manifest + member-manifest plumbing
+//! (crate renames, path deps, re-export paths) rather than any algorithm.
+
+use dp_misra_gries::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn prelude_names_resolve_and_release_end_to_end() {
+    // One heavy key (1/2 of the stream) plus a light tail.
+    let stream: Vec<u64> = (0..4_000u64)
+        .map(|i| if i % 2 == 0 { 7 } else { 100 + i })
+        .collect();
+
+    // `MisraGries` via the prelude.
+    let mut sketch = MisraGries::new(64).unwrap();
+    sketch.extend(stream.iter().copied());
+
+    // `PrivacyParams` + `PrivateMisraGries` via the prelude.
+    let params = PrivacyParams::new(1.0, 1e-8).unwrap();
+    let mechanism = PrivateMisraGries::new(params).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let released = mechanism.release(&sketch, &mut rng);
+    assert!(
+        released.estimate(&7) > 1_000.0,
+        "heavy hitter lost: {}",
+        released.estimate(&7)
+    );
+
+    // `heavy_hitters` via the prelude, driven off the same release.
+    let hits: Vec<HeavyHitter<u64>> = heavy_hitters(&released, 1_000.0);
+    assert!(hits.iter().any(|h| h.key == 7), "hits: {hits:?}");
+
+    // The re-exported traits must be nameable and bound-usable.
+    fn oracle_estimate<O: FrequencyOracle<u64>>(oracle: &O) -> f64 {
+        oracle.estimate(&7)
+    }
+    assert!(oracle_estimate(&sketch) > 1_000.0);
+
+    fn stored<S: TopKSketch<u64>>(sketch: &S) -> usize {
+        sketch.stored_keys().len()
+    }
+    assert!(stored(&sketch) > 0);
+
+    // `PrivacyAwareMisraGries` via the prelude (user-set streams).
+    let mut pamg = PrivacyAwareMisraGries::new(8).unwrap();
+    for user in stream.chunks(4) {
+        pamg.update_set(user.iter().copied());
+    }
+    assert!(pamg.count(&7) > 0);
+}
+
+#[test]
+fn module_reexports_reach_every_member_crate() {
+    // One symbol per workspace member, through the facade's module aliases.
+    let _ = dp_misra_gries::sketch::ExactHistogram::<u64>::new();
+    let _ = dp_misra_gries::noise::laplace::Laplace::new(1.0).unwrap();
+    let _ = dp_misra_gries::core::gshm::GshmParams::loose(0.9, 1e-8, 64).unwrap();
+    let zipf = dp_misra_gries::workload::zipf::Zipf::new(100, 1.1);
+    let mut rng = StdRng::seed_from_u64(1);
+    assert_eq!(zipf.stream(16, &mut rng).len(), 16);
+    let stats = dp_misra_gries::eval::experiment::stats(&[1.0, 2.0]);
+    assert!((stats.mean - 1.5).abs() < 1e-12);
+}

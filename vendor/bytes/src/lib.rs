@@ -1,0 +1,224 @@
+//! Vendored, API-compatible subset of the `bytes` crate.
+//!
+//! [`Bytes`] here is a cheaply clonable `Arc<[u8]>` (upstream's zero-copy
+//! slicing views are not reproduced — the workspace only builds buffers and
+//! reads them back), [`BytesMut`] is a growable buffer, and [`Buf`] /
+//! [`BufMut`] cover the little-endian cursor methods the wire format uses.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read cursor over a byte source; reads advance the cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies exactly `dst.len()` bytes out, advancing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write cursor appending to a byte sink.
+pub trait BufMut {
+    /// Appends all of `src`.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable byte buffer; freeze it into [`Bytes`] when done writing.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Creates an empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+
+    /// Converts into an immutable, cheaply clonable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::from(self.0.into_boxed_slice()))
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self(Arc::from(Vec::new().into_boxed_slice()))
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self(Arc::from(data.to_vec().into_boxed_slice()))
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, BytesMut};
+
+    #[test]
+    fn write_freeze_read_round_trip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_slice(b"head");
+        buf.put_u8(9);
+        buf.put_u64_le(0xDEAD_BEEF_0123_4567);
+        let bytes = buf.freeze();
+        assert_eq!(bytes.len(), 4 + 1 + 8);
+
+        let mut cursor: &[u8] = &bytes;
+        let mut head = [0u8; 4];
+        cursor.copy_to_slice(&mut head);
+        assert_eq!(&head, b"head");
+        assert_eq!(cursor.get_u8(), 9);
+        assert_eq!(cursor.get_u64_le(), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(cursor.remaining(), 0);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u64_le();
+    }
+}

@@ -1,0 +1,264 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! Implements the harness surface the workspace's `harness = false` benches
+//! use — `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`, `Throughput`,
+//! `BenchmarkId` — with a lightweight measurement loop instead of upstream's
+//! statistical analysis: warm-up, then timed batches until a wall-clock
+//! budget, reporting mean ns/iter (and element throughput when declared).
+//!
+//! Honors `DPMG_QUICK=1` (the workspace's CI smoke-mode convention): each
+//! benchmark then runs a single measured iteration so `cargo bench` stays
+//! seconds-fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark name of the `function/parameter` form.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    quick: bool,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, keeping its return value alive
+    /// (pass results through [`black_box`] in the closure for full effect).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call outside the measurement.
+        black_box(routine());
+        if self.quick {
+            let start = Instant::now();
+            black_box(routine());
+            self.mean_ns = start.elapsed().as_nanos() as f64;
+            return;
+        }
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 1_000_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("DPMG_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn report(id: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let per_iter = if mean_ns >= 1e9 {
+        format!("{:.3} s", mean_ns / 1e9)
+    } else if mean_ns >= 1e6 {
+        format!("{:.3} ms", mean_ns / 1e6)
+    } else if mean_ns >= 1e3 {
+        format!("{:.3} µs", mean_ns / 1e3)
+    } else {
+        format!("{mean_ns:.1} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!("  thrpt: {:.3} Melem/s", n as f64 / mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!("  thrpt: {:.3} MiB/s", n as f64 / mean_ns * 1e3 / 1.048_576)
+        }
+        _ => String::new(),
+    };
+    println!("{id:<50} time: {per_iter}/iter{rate}");
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            quick: quick_mode(),
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(&id.id, bencher.mean_ns, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's timing loop is wall-clock
+    /// bounded, so the sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; see [`Self::sample_size`].
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            quick: quick_mode(),
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            bencher.mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            quick: quick_mode(),
+            mean_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            bencher.mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        std::env::set_var("DPMG_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        let mut hits = 0u32;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("p", 64), &64usize, |b, &k| {
+            b.iter(|| k * 2)
+        });
+        group.finish();
+        // warm-up + one quick measured iteration per bench_function call
+        assert!(hits >= 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Vendored, API-compatible subset of `crossbeam`.
+//!
+//! Provides the two pieces the workspace uses:
+//!
+//! * [`scope`] / [`thread::scope`] — scoped threads whose closures receive a
+//!   scope handle (crossbeam's `|scope|` shape, versus std's zero-argument
+//!   closures), returning `Err` instead of unwinding when a child panics;
+//! * [`channel`] — MPMC-flavoured `unbounded`/`bounded` channels, backed by
+//!   `std::sync::mpsc` (sufficient here: every workspace use has a single
+//!   consumer).
+
+#![forbid(unsafe_code)]
+
+pub use thread::scope;
+
+pub mod thread {
+    //! Scoped threads in the crossbeam 0.8 shape.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle for spawning scoped threads; passed to every spawned closure
+    /// so it can spawn siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Owned permission to join a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning `Err` if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to `'env`; the closure receives this scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&scope)))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope are
+    /// joined before this returns. Returns `Err` if any unjoined child (or
+    /// `f` itself) panicked, mirroring crossbeam's panic aggregation.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod channel {
+    //! `unbounded`/`bounded` channels in the crossbeam shape.
+
+    use std::sync::mpsc;
+
+    pub use mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half; clonable for fan-in.
+    pub enum Sender<T> {
+        /// Unbounded flavour.
+        Unbounded(mpsc::Sender<T>),
+        /// Bounded (backpressure) flavour.
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Self::Unbounded(tx) => Self::Unbounded(tx.clone()),
+                Self::Bounded(tx) => Self::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking on a full bounded channel.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back if all receivers disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Self::Unbounded(tx) => tx.send(value),
+                Self::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error once the channel is empty and disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Attempts to receive without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error if the channel is empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterates over messages, ending when the channel disconnects.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Creates a channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    /// Creates a channel that holds at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_reports_panics() {
+        let total = std::sync::atomic::AtomicU64::new(0);
+        let ok = super::scope(|s| {
+            let total = &total;
+            for i in 0..4u64 {
+                s.spawn(move |_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    i
+                });
+            }
+            7u64
+        });
+        assert_eq!(ok.unwrap(), 7);
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 4);
+
+        let err = super::scope(|s| {
+            s.spawn(|_| panic!("child panic"));
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn channels_fan_in() {
+        let (tx, rx) = super::channel::unbounded::<u64>();
+        super::scope(|s| {
+            for i in 0..8u64 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            let mut got: Vec<u64> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..8).collect::<Vec<_>>());
+        })
+        .unwrap();
+
+        let (tx, rx) = super::channel::bounded::<u64>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().sum::<u64>(), 3);
+    }
+}

@@ -1,0 +1,464 @@
+//! Vendored, API-compatible subset of `proptest`.
+//!
+//! Covers the surface the workspace's property tests use: the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), range / tuple / `collection::vec`
+//! / `collection::btree_map` / `bool::ANY` strategies, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Semantics versus upstream: cases are generated from a deterministic
+//! per-process seed (no persisted failure files), failures panic immediately
+//! with the offending case **without shrinking**, and `prop_assume!` skips
+//! the current case without replacement. Upstream's `Strategy` is
+//! value-tree-based; here a strategy just generates values directly.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Configuration for a [`crate::proptest!`] block.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to generate per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases (upstream's `ProptestConfig::with_cases`).
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case's assumptions were not met; it is skipped, not failed.
+        Reject(String),
+        /// The case failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            Self::Fail(reason.into())
+        }
+
+        /// A rejection (skipped case) carrying `reason`.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            Self::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Reject(r) => write!(f, "case rejected: {r}"),
+                Self::Fail(r) => write!(f, "case failed: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// The name upstream's prelude exports for [`test_runner::Config`].
+pub use test_runner::Config as ProptestConfig;
+
+/// A generator of test-case values.
+///
+/// Unlike upstream's value-tree strategies, this shim's strategies generate
+/// values directly and do not shrink.
+pub trait Strategy {
+    /// The value type generated.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// A strategy producing a fixed value (upstream's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use rand::Rng as _;
+
+    /// The strategy behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolStrategy;
+
+    /// Generates `true`/`false` with equal probability.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl crate::Strategy for BoolStrategy {
+        type Value = bool;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> bool {
+            rng.random()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// A size bound for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                lo: exact,
+                hi_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.lo..self.hi_exclusive)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`; see [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`; see [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// Generates maps with up to `size`-many entries (key collisions
+    /// collapse, matching upstream's at-most semantics).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching upstream's `proptest::prelude::*`.
+
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Derives the per-test RNG. Deterministic per test name, so failures
+/// reproduce across runs; override the stream with `PROPTEST_SEED`.
+#[doc(hidden)]
+pub fn __new_test_rng(test_name: &str) -> StdRng {
+    use rand::SeedableRng as _;
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CAFE);
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ base;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Defines property tests: `fn name(binding in strategy, ...) { body }`
+/// items, optionally preceded by `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:pat_param in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::__new_test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $binding = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                // prop_assume! early-exits this closure with a Reject.
+                let mut __run_case = ||
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                match __run_case() {
+                    ::core::result::Result::Ok(())
+                    | ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(reason),
+                    ) => {
+                        panic!("proptest case {} failed: {reason}", __case + 1);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right); };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+); };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right); };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+); };
+}
+
+/// Skips the current case when its assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in 0.25f64..0.75, k in 1usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((1..=4).contains(&k));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            pairs in crate::collection::vec((0u64..5, 10u64..20), 2..6),
+            flip in crate::bool::ANY,
+        ) {
+            prop_assert!((2..6).contains(&pairs.len()));
+            for &(a, b) in &pairs {
+                prop_assert!(a < 5 && (10..20).contains(&b));
+            }
+            let _ = flip;
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_and_btree_map(
+            map in crate::collection::btree_map(0u64..50, 0u64..9, 0..8),
+        ) {
+            prop_assert!(map.len() < 8);
+            prop_assert!(map.keys().all(|&k| k < 50));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        use crate::Strategy as _;
+        let mut a = crate::__new_test_rng("x");
+        let mut b = crate::__new_test_rng("x");
+        let s = crate::collection::vec(0u64..100, 1..20);
+        for _ in 0..10 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Vendored, API-compatible subset of the `rand` **0.9** crate.
+//!
+//! This workspace builds in environments with no route to crates.io, so the
+//! external dependencies are vendored as minimal shims under `vendor/`. This
+//! crate reproduces exactly the `rand` 0.9 surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a seedable, portable generator (xoshiro256++ seeded
+//!   via SplitMix64; *not* bit-compatible with upstream `StdRng`, which is
+//!   explicitly permitted by upstream's portability policy — `StdRng` output
+//!   may change between `rand` versions and must not be relied upon).
+//! * [`SeedableRng::seed_from_u64`].
+//! * [`Rng::random`] / [`Rng::random_range`] — the 0.9 method names (0.8's
+//!   `gen`/`gen_range` are intentionally absent so code written against this
+//!   shim stays forward-compatible with the real 0.9 API).
+//!
+//! Swapping in the real crate is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators that can be instantiated from a small seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically creates a generator from a `u64` seed.
+    ///
+    /// The seed is expanded with SplitMix64, so nearby seeds yield
+    /// uncorrelated streams.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A distribution that can sample values of type `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard (uniform) distribution of `rand` 0.9: uniform bits for
+/// integers, uniform `[0, 1)` for floats, fair coin for `bool`.
+pub struct StandardUniform;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for StandardUniform {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<bool> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits -> uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types that [`Rng::random_range`] can sample uniformly.
+pub trait SampleUniform: Sized {}
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(impl SampleUniform for $t {})*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Range types accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, width)`; `width == 0` or `width > u64::MAX` means
+/// the full 64-bit range. Uses Lemire's widening-multiply rejection method,
+/// so small ranges are exactly uniform.
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, width: u128) -> u64 {
+    if width == 0 || width > u128::from(u64::MAX) {
+        return rng.next_u64();
+    }
+    let width = width as u64;
+    let threshold = width.wrapping_neg() % width;
+    loop {
+        let m = u128::from(rng.next_u64()) * u128::from(width);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as $u).wrapping_sub(self.start as $u);
+                (sample_below(rng, u128::from(width)) as $u).wrapping_add(self.start as $u) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = u128::from((hi as $u).wrapping_sub(lo as $u)) + 1;
+                (sample_below(rng, width) as $u).wrapping_add(lo as $u) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64
+);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let lo = self.start as f64;
+                let hi = self.end as f64;
+                // `lo + frac * (hi - lo)` can round up to exactly `hi`;
+                // resample to honor the half-open contract.
+                loop {
+                    let frac: f64 = StandardUniform.sample(rng);
+                    let v = (lo + frac * (hi - lo)) as $t;
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// High-level user interface, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard uniform distribution.
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+    {
+        StandardUniform.sample(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    fn random_range<T, Ra>(&mut self, range: Ra) -> T
+    where
+        T: SampleUniform,
+        Ra: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        let u: f64 = self.random();
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Like upstream `StdRng`, the output stream is deterministic for a given
+    /// seed within one version but is not a cross-version portability
+    /// guarantee.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *word = z ^ (z >> 31);
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// A small fast generator; alias of [`StdRng`] in this shim.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let x = rng.random_range(3u64..10);
+            assert!((3..10).contains(&x));
+            let y = rng.random_range(1usize..=4);
+            assert!((1..=4).contains(&y));
+            let z = rng.random_range(-2i64..=2);
+            assert!((-2..=2).contains(&z));
+            let g = rng.random_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn small_range_uniform_enough() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.random_range(0usize..5)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_draws_near_half() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Vendored no-op subset of `serde`: just the `Serialize`/`Deserialize`
+//! derive macros, emitting nothing.
+//!
+//! The workspace currently only *annotates* types with the derives (no code
+//! serializes through serde traits — see the note in
+//! `dpmg-noise/src/accounting.rs`), so empty derives keep the annotations
+//! compiling without pulling the real dependency into the offline build.
+//! Swapping in real serde requires no source change, only the manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
