@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the sharded ingestion engine: the
+//! batched sketch hot path (`extend_batch` vs per-element `update`) and
+//! end-to-end pipeline ingestion across shard counts.
+//!
+//! Run with `cargo bench -p dpmg-bench --bench pipeline`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpmg_pipeline::{PipelineConfig, ShardedPipeline};
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const STREAM_LEN: usize = 100_000;
+
+fn zipf_stream() -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(0xE17);
+    Zipf::new(1_000_000, 1.1).stream(STREAM_LEN, &mut rng)
+}
+
+/// `extend` vs the run-length-amortized `extend_batch` on the same stream,
+/// raw (global order, few runs) and key-partitioned (a shard's view, where
+/// the skew concentrates and runs are longer).
+fn bench_batched_updates(c: &mut Criterion) {
+    let stream = zipf_stream();
+    let shard: Vec<u64> = stream
+        .iter()
+        .copied()
+        .filter(|x| dpmg_pipeline::shard_of_key(x, 8) == 0)
+        .collect();
+    let k = 256usize;
+    let mut group = c.benchmark_group("batched_updates");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.bench_function("extend_per_item", |b| {
+        b.iter(|| {
+            let mut mg = MisraGries::new(k).unwrap();
+            mg.extend(stream.iter().copied());
+            black_box(mg.count(&1))
+        })
+    });
+    group.bench_function("extend_batch_4096", |b| {
+        b.iter(|| {
+            let mut mg = MisraGries::new(k).unwrap();
+            for chunk in stream.chunks(4096) {
+                mg.extend_batch(chunk);
+            }
+            black_box(mg.count(&1))
+        })
+    });
+    group.throughput(Throughput::Elements(shard.len() as u64));
+    group.bench_function("extend_batch_shard_view", |b| {
+        b.iter(|| {
+            let mut mg = MisraGries::new(k).unwrap();
+            for chunk in shard.chunks(4096) {
+                mg.extend_batch(chunk);
+            }
+            black_box(mg.count(&1))
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end pipeline ingestion (route → batch → workers → merge) per
+/// shard count.
+fn bench_pipeline_ingest(c: &mut Criterion) {
+    let stream = zipf_stream();
+    let mut group = c.benchmark_group("pipeline_ingest");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let config = PipelineConfig::new(shards, 256).with_batch_size(4096);
+                let mut pipe = ShardedPipeline::new(config).unwrap();
+                pipe.ingest_from(stream.iter().copied()).unwrap();
+                black_box(pipe.merged().unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_updates, bench_pipeline_ingest);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
-//! Shared infrastructure for the experiment binaries (`src/bin/exp_*.rs`)
-//! and criterion benches.
+//! Shared infrastructure for the experiment binaries (`src/bin/exp_*.rs`,
+//! E1–E17) and criterion benches.
 //!
 //! Every experiment in DESIGN.md §3 is a binary target printing the
 //! table(s) recorded in EXPERIMENTS.md and writing CSVs under

@@ -1,0 +1,125 @@
+//! Golden-output determinism tests for the experiment binaries: with a
+//! fixed seed and `DPMG_QUICK=1`, the reported tables and verdicts are a
+//! pure function of the code, so a refactor that silently changes reported
+//! errors fails here instead of shipping.
+//!
+//! To re-bless after an *intentional* change:
+//! `DPMG_BLESS=1 cargo test -p dpmg-bench --test golden`.
+//!
+//! Timing sections (E17a) and hardware-dependent verdicts are stripped
+//! before comparison — only deterministic output is snapshotted.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_quick(bin_path: &str, name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("dpmg_golden_{name}_{}", std::process::id()));
+    let out = Command::new(bin_path)
+        .env("DPMG_QUICK", "1")
+        .env("DPMG_EXPERIMENT_DIR", &dir)
+        .output()
+        .expect("run experiment binary");
+    assert!(
+        out.status.success(),
+        "{name} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("DPMG_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "stdout of {name} diverged from tests/golden/{name}.txt; if the \
+         change is intentional, re-bless with DPMG_BLESS=1"
+    );
+}
+
+/// Drops machine-dependent output: the E17a timing table (from its header
+/// to the blank line that ends it), the parallelism note, and any verdict
+/// line about throughput.
+fn deterministic_sections(stdout: &str) -> String {
+    let mut out = String::new();
+    let mut in_timing_table = false;
+    for line in stdout.lines() {
+        if line.starts_with("== ") && line.contains("(timing") {
+            in_timing_table = true;
+        }
+        if in_timing_table {
+            if line.is_empty() {
+                in_timing_table = false;
+            }
+            continue;
+        }
+        if line.starts_with("(detected hardware parallelism") {
+            continue;
+        }
+        if line.starts_with('[') && line.contains("throughput") {
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn golden_exp_e9_merge() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e9_merge"), "exp_e9_merge");
+    assert_matches_golden("exp_e9_merge", &stdout);
+}
+
+#[test]
+fn golden_exp_e12_userlevel() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e12_userlevel"), "exp_e12_userlevel");
+    assert_matches_golden("exp_e12_userlevel", &stdout);
+}
+
+#[test]
+fn golden_exp_e17_pipeline() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e17_pipeline"), "exp_e17_pipeline");
+    assert_matches_golden("exp_e17_pipeline", &deterministic_sections(&stdout));
+}
+
+#[test]
+fn e17_filter_strips_only_timing() {
+    let sample = "\
+################################################################
+== E17a ingestion throughput (timing; machine-dependent) ==
+ mechanism  ms
+--------------
+sequential  12.00
+
+(detected hardware parallelism: 4 threads)
+
+[SHAPE-OK ] throughput: 8-shard speedup 2.50 ≥ 2 (needs ≥2 cores; this host has 4)
+== E17b released max error ==
+ mechanism  max err
+-------------------
+sequential  100.00
+
+[SHAPE-OK ] released error within the sequential analytic bound at every shard count
+";
+    let filtered = deterministic_sections(sample);
+    assert!(!filtered.contains("E17a"));
+    assert!(!filtered.contains("12.00"));
+    assert!(!filtered.contains("parallelism"));
+    assert!(!filtered.contains("speedup"));
+    assert!(filtered.contains("E17b"));
+    assert!(filtered.contains("100.00"));
+    assert!(filtered.contains("released error within"));
+}

@@ -82,13 +82,25 @@ pub fn release_trusted_laplace<K: Item, R: Rng + ?Sized>(
     params: PrivacyParams,
     rng: &mut R,
 ) -> Result<PrivateHistogram<K>, NoiseError> {
+    let merged = merge_many(summaries).unwrap_or_else(|| Summary::empty(0));
+    release_merged_laplace(&merged, params, rng)
+}
+
+/// The Laplace-route release of an **already merged** summary (any fixed
+/// merge order or tree shape is fine — Corollary 18 is shape-independent).
+/// Exposed so aggregators that merge hierarchically (e.g. `dpmg-pipeline`)
+/// can noise exactly the summary they assembled.
+pub fn release_merged_laplace<K: Item, R: Rng + ?Sized>(
+    merged: &Summary<K>,
+    params: PrivacyParams,
+    rng: &mut R,
+) -> Result<PrivateHistogram<K>, NoiseError> {
     if params.is_pure() {
         return Err(NoiseError::InvalidPrivacyParameter {
             name: "delta",
             value: 0.0,
         });
     }
-    let merged = merge_many(summaries).unwrap_or_else(|| Summary::empty(0));
     let k = merged.k.max(1);
     let lap = Laplace::new(k as f64 / params.epsilon())?;
     let threshold = 1.0 + (k as f64 / params.epsilon()) * (k as f64 / (2.0 * params.delta())).ln();
@@ -113,6 +125,16 @@ pub fn release_trusted_gshm<K: Item, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<PrivateHistogram<K>, NoiseError> {
     let merged = merge_many(summaries).unwrap_or_else(|| Summary::empty(0));
+    release_merged_gshm(&merged, params, rng)
+}
+
+/// The GSHM release of an **already merged** summary; see
+/// [`release_merged_laplace`] for why this is exposed separately.
+pub fn release_merged_gshm<K: Item, R: Rng + ?Sized>(
+    merged: &Summary<K>,
+    params: PrivacyParams,
+    rng: &mut R,
+) -> Result<PrivateHistogram<K>, NoiseError> {
     let l = merged.k.max(1);
     let gshm_params = GshmParams::calibrate(params.epsilon(), params.delta(), l)?;
     let mech = GaussianSparseHistogram::new(gshm_params);

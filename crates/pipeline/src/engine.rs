@@ -1,0 +1,400 @@
+//! The sharded ingestion engine.
+
+use crate::config::{PipelineConfig, PipelineError, ReleaseKind, Routing};
+use crossbeam::channel::{self, Sender};
+use dpmg_core::merged::{release_merged_gshm, release_merged_laplace};
+use dpmg_core::pmg::PrivateHistogram;
+use dpmg_noise::accounting::PrivacyParams;
+use dpmg_sketch::merge::merge_tree;
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_sketch::traits::{Item, Summary};
+use rand::Rng;
+use std::hash::{Hash, Hasher};
+use std::thread::JoinHandle;
+
+/// FNV-1a, fixed offset basis and prime. `std::hash::DefaultHasher` makes
+/// no cross-version stability promise, and the shard assignment must be a
+/// *fixed* function of the key — it is part of the privacy argument and of
+/// the deterministic-replay tests — so the hash is pinned here.
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    // The default integer methods feed native-endian bytes into `write`,
+    // which would make the digest differ across architectures; pin every
+    // integer to little-endian (usize widened to u64 so 32- and 64-bit
+    // hosts agree too).
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write(&(i as u64).to_le_bytes());
+    }
+}
+
+/// The shard a key routes to under [`Routing::HashKey`]: a fixed function
+/// of the key alone. Exposed so tests and sequential references can
+/// replicate the pipeline's partitioning exactly.
+pub fn shard_of_key<K: Hash + ?Sized>(key: &K, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+    key.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// Ingestion counters, available any time; per-shard stream lengths are
+/// populated by [`ShardedPipeline::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Items ingested so far.
+    pub items: u64,
+    /// Batches handed to workers so far.
+    pub batches: u64,
+    /// Per-shard stream lengths (empty until the pipeline finishes).
+    pub shard_stream_lens: Vec<u64>,
+}
+
+/// A sharded, batched streaming ingestion engine over `S` worker threads,
+/// each running one Misra-Gries sketch; see the crate docs for the
+/// architecture and the privacy argument.
+///
+/// The end state of the pipeline is a deterministic function of the
+/// ingested stream and the configuration — routing is content/position
+/// based, each worker applies its batches in send order, and the merge
+/// tree shape is fixed — so results are reproducible regardless of thread
+/// scheduling.
+pub struct ShardedPipeline<K: Item + Send + 'static> {
+    config: PipelineConfig,
+    buffers: Vec<Vec<K>>,
+    senders: Vec<Sender<Vec<K>>>,
+    workers: Vec<JoinHandle<MisraGries<K>>>,
+    rr_cursor: usize,
+    items: u64,
+    batches: u64,
+    shard_lens: Vec<u64>,
+    summaries: Option<Vec<Summary<K>>>,
+    /// First shard whose worker panicked; once set, every finish/summary/
+    /// release call keeps failing instead of serving partial results.
+    poisoned: Option<usize>,
+}
+
+impl<K: Item + Send + 'static> ShardedPipeline<K> {
+    /// Spawns the shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] for invalid structural parameters or an
+    /// invalid sketch size.
+    pub fn new(config: PipelineConfig) -> Result<Self, PipelineError> {
+        config.validate()?;
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = channel::bounded::<Vec<K>>(config.channel_capacity);
+            let mut sketch = MisraGries::new(config.k)?;
+            let handle = std::thread::Builder::new()
+                .name(format!("dpmg-shard-{shard}"))
+                .spawn(move || {
+                    for batch in rx {
+                        sketch.extend_batch(&batch);
+                    }
+                    sketch
+                })
+                .expect("spawn shard worker thread");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        Ok(Self {
+            buffers: vec![Vec::with_capacity(config.batch_size); config.shards],
+            senders,
+            workers,
+            rr_cursor: 0,
+            items: 0,
+            batches: 0,
+            shard_lens: Vec::new(),
+            summaries: None,
+            poisoned: None,
+            config,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Ingestion counters.
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            items: self.items,
+            batches: self.batches,
+            shard_stream_lens: self.shard_lens.clone(),
+        }
+    }
+
+    fn route(&mut self, item: &K) -> usize {
+        match self.config.routing {
+            Routing::HashKey => shard_of_key(item, self.config.shards),
+            Routing::RoundRobin => {
+                let shard = self.rr_cursor;
+                self.rr_cursor = (self.rr_cursor + 1) % self.config.shards;
+                shard
+            }
+        }
+    }
+
+    fn dispatch(&mut self, shard: usize) -> Result<(), PipelineError> {
+        let batch = std::mem::replace(
+            &mut self.buffers[shard],
+            Vec::with_capacity(self.config.batch_size),
+        );
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.batches += 1;
+        self.senders[shard].send(batch).map_err(|_| {
+            // The receiver is gone, so the worker panicked; the batch is
+            // lost and the pipeline must not pretend otherwise later.
+            self.poisoned = Some(shard);
+            PipelineError::WorkerPanicked { shard }
+        })
+    }
+
+    /// Routes one item to its shard, flushing that shard's batch when full.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::AlreadyFinished`] after [`Self::finish`];
+    /// [`PipelineError::WorkerPanicked`] if the receiving worker died.
+    pub fn ingest(&mut self, item: K) -> Result<(), PipelineError> {
+        if self.summaries.is_some() {
+            return Err(PipelineError::AlreadyFinished);
+        }
+        let shard = self.route(&item);
+        self.buffers[shard].push(item);
+        self.items += 1;
+        if self.buffers[shard].len() >= self.config.batch_size {
+            self.dispatch(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Ingests a whole stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::ingest`].
+    pub fn ingest_from(&mut self, items: impl IntoIterator<Item = K>) -> Result<(), PipelineError> {
+        for item in items {
+            self.ingest(item)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes partial batches, closes the channels, joins the workers and
+    /// caches the per-shard summaries. Idempotent on success; after a
+    /// worker panic the pipeline is poisoned and every further call keeps
+    /// returning the error rather than serving partial results. Called
+    /// implicitly by the summary/release accessors.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::WorkerPanicked`] if any worker died.
+    pub fn finish(&mut self) -> Result<(), PipelineError> {
+        if let Some(shard) = self.poisoned {
+            return Err(PipelineError::WorkerPanicked { shard });
+        }
+        if self.summaries.is_some() {
+            return Ok(());
+        }
+        for shard in 0..self.config.shards {
+            self.dispatch(shard)?;
+        }
+        self.senders.clear(); // disconnects the channels, ending the workers
+        let mut summaries = Vec::with_capacity(self.config.shards);
+        let mut lens = Vec::with_capacity(self.config.shards);
+        let mut first_panic = None;
+        for (shard, handle) in self.workers.drain(..).enumerate() {
+            // Join every worker even after a panic so no thread leaks.
+            match handle.join() {
+                Ok(sketch) => {
+                    lens.push(sketch.stream_len());
+                    summaries.push(sketch.summary());
+                }
+                Err(_) => {
+                    let _ = first_panic.get_or_insert(shard);
+                }
+            }
+        }
+        if let Some(shard) = first_panic {
+            self.poisoned = Some(shard);
+            return Err(PipelineError::WorkerPanicked { shard });
+        }
+        self.shard_lens = lens;
+        self.summaries = Some(summaries);
+        Ok(())
+    }
+
+    /// Per-shard summaries in shard order (finishing ingestion first).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::finish`].
+    pub fn shard_summaries(&mut self) -> Result<&[Summary<K>], PipelineError> {
+        self.finish()?;
+        Ok(self.summaries.as_deref().expect("populated by finish"))
+    }
+
+    /// The pre-noise merged summary: binary merge tree over the shard
+    /// summaries (finishing ingestion first). This is NOT private — it is
+    /// the quantity the Lemma 17 / Corollary 18 invariant tests inspect.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::finish`].
+    pub fn merged(&mut self) -> Result<Summary<K>, PipelineError> {
+        let k = self.config.k;
+        let summaries = self.shard_summaries()?;
+        Ok(merge_tree(summaries).unwrap_or_else(|| Summary::empty(k)))
+    }
+
+    /// Performs the single `(ε, δ)`-DP release of the merge-tree summary
+    /// with the configured [`ReleaseKind`]; [`Self::merged`] is exactly the
+    /// pre-noise input of this release.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NonPrivateRouting`] under [`Routing::RoundRobin`]
+    /// (the sensitivity argument requires key-based routing; see the crate
+    /// docs), plus any error from [`Self::finish`] or the noise layer.
+    pub fn release<R: Rng + ?Sized>(
+        &mut self,
+        params: PrivacyParams,
+        rng: &mut R,
+    ) -> Result<PrivateHistogram<K>, PipelineError> {
+        if self.config.routing != Routing::HashKey {
+            return Err(PipelineError::NonPrivateRouting);
+        }
+        let merged = self.merged()?;
+        let hist = match self.config.release {
+            ReleaseKind::TrustedGshm => release_merged_gshm(&merged, params, rng)?,
+            ReleaseKind::TrustedLaplace => release_merged_laplace(&merged, params, rng)?,
+        };
+        Ok(hist)
+    }
+}
+
+impl<K: Item + Send + 'static> Drop for ShardedPipeline<K> {
+    /// Closes the channels and joins the workers so an abandoned pipeline
+    /// never leaks threads. Join failures are ignored — the worker's panic
+    /// has already been reported through the channel send error, if anyone
+    /// was listening.
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shard_of_key_is_stable_and_in_range() {
+        // Pinned values: the routing is part of the on-the-wire contract
+        // (a re-shard would silently change every per-shard substream).
+        assert_eq!(shard_of_key(&0u64, 8), shard_of_key(&0u64, 8));
+        for key in 0u64..1000 {
+            assert!(shard_of_key(&key, 8) < 8);
+            assert_eq!(shard_of_key(&key, 1), 0);
+        }
+        // All 8 shards are hit by a modest universe.
+        let hit: std::collections::BTreeSet<usize> =
+            (0u64..1000).map(|key| shard_of_key(&key, 8)).collect();
+        assert_eq!(hit.len(), 8);
+    }
+
+    #[test]
+    fn invalid_configs_fail_construction() {
+        assert!(ShardedPipeline::<u64>::new(PipelineConfig::new(0, 8)).is_err());
+        assert!(ShardedPipeline::<u64>::new(PipelineConfig::new(2, 0)).is_err());
+        assert!(ShardedPipeline::<u64>::new(PipelineConfig::new(2, 8).with_batch_size(0)).is_err());
+    }
+
+    #[test]
+    fn empty_pipeline_finishes_clean() {
+        let mut pipe = ShardedPipeline::<u64>::new(PipelineConfig::new(3, 8)).unwrap();
+        assert_eq!(pipe.merged().unwrap(), Summary::empty(8));
+        let stats = pipe.stats();
+        assert_eq!(stats.items, 0);
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.shard_stream_lens, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn ingest_after_finish_is_rejected() {
+        let mut pipe = ShardedPipeline::<u64>::new(PipelineConfig::new(2, 8)).unwrap();
+        pipe.ingest(1).unwrap();
+        pipe.finish().unwrap();
+        assert!(matches!(
+            pipe.ingest(2),
+            Err(PipelineError::AlreadyFinished)
+        ));
+        // finish stays idempotent and the summaries stable.
+        pipe.finish().unwrap();
+        assert_eq!(pipe.stats().items, 1);
+    }
+
+    #[test]
+    fn round_robin_refuses_release() {
+        let config = PipelineConfig::new(2, 8).with_routing(Routing::RoundRobin);
+        let mut pipe = ShardedPipeline::<u64>::new(config).unwrap();
+        pipe.ingest_from(0..100u64).unwrap();
+        let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(matches!(
+            pipe.release(params, &mut rng),
+            Err(PipelineError::NonPrivateRouting)
+        ));
+        // The non-private summaries remain available.
+        pipe.finish().unwrap();
+        assert_eq!(pipe.stats().shard_stream_lens.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn round_robin_splits_by_position() {
+        let config = PipelineConfig::new(4, 8)
+            .with_routing(Routing::RoundRobin)
+            .with_batch_size(3);
+        let mut pipe = ShardedPipeline::<u64>::new(config).unwrap();
+        pipe.ingest_from(std::iter::repeat_n(7u64, 103)).unwrap();
+        pipe.finish().unwrap();
+        assert_eq!(pipe.stats().shard_stream_lens, vec![26, 26, 26, 25]);
+    }
+}

@@ -1,0 +1,240 @@
+//! A common surface over streaming-histogram mechanisms, so experiments
+//! and benches can sweep ingestion strategies (sequential vs `S`-shard
+//! pipeline) without caring which is which.
+
+use crate::config::{PipelineError, ReleaseKind};
+use crate::engine::ShardedPipeline;
+use dpmg_core::merged::{release_trusted_gshm, release_trusted_laplace};
+use dpmg_core::pmg::PrivateHistogram;
+use dpmg_noise::accounting::PrivacyParams;
+use dpmg_sketch::merge::merge_tree;
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_sketch::traits::{Item, Summary};
+use rand::RngCore;
+
+/// A mechanism that ingests a stream incrementally and ends with exactly
+/// one `(ε, δ)`-DP release.
+///
+/// Object-safe so experiment sweeps can hold `Box<dyn StreamingMechanism>`
+/// rows; the RNG is taken as `&mut dyn RngCore` for the same reason.
+pub trait StreamingMechanism<K: Item> {
+    /// Human-readable label for result tables (e.g. `"pipeline-8"`).
+    fn label(&self) -> String;
+
+    /// Ingests one batch of elements, in order.
+    ///
+    /// # Errors
+    ///
+    /// Mechanism-specific; the pipeline reports dead workers here.
+    fn ingest_batch(&mut self, batch: &[K]) -> Result<(), PipelineError>;
+
+    /// Items ingested so far.
+    fn items_ingested(&self) -> u64;
+
+    /// Finishes ingestion and returns the merged **pre-noise** summary
+    /// (not private; for error accounting and invariant checks).
+    ///
+    /// # Errors
+    ///
+    /// Mechanism-specific finalization failures.
+    fn pre_noise_summary(&mut self) -> Result<Summary<K>, PipelineError>;
+
+    /// Finishes ingestion and performs the single DP release.
+    ///
+    /// # Errors
+    ///
+    /// Finalization or noise-calibration failures.
+    fn release(
+        &mut self,
+        params: PrivacyParams,
+        rng: &mut dyn RngCore,
+    ) -> Result<PrivateHistogram<K>, PipelineError>;
+}
+
+/// The single-threaded reference: one Misra-Gries sketch fed in stream
+/// order, released through the *same* trusted-aggregator mechanism as the
+/// pipeline (a 1-summary merge), so accuracy comparisons against
+/// [`ShardedPipeline`] isolate the effect of sharding itself.
+pub struct SequentialBaseline<K: Item> {
+    sketch: MisraGries<K>,
+    release: ReleaseKind,
+}
+
+impl<K: Item> SequentialBaseline<K> {
+    /// Creates the baseline with sketch size `k`, releasing via GSHM.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `k = 0`.
+    pub fn new(k: usize) -> Result<Self, PipelineError> {
+        Ok(Self {
+            sketch: MisraGries::new(k)?,
+            release: ReleaseKind::TrustedGshm,
+        })
+    }
+
+    /// Switches the release mechanism.
+    pub fn with_release(mut self, release: ReleaseKind) -> Self {
+        self.release = release;
+        self
+    }
+
+    /// The underlying sketch.
+    pub fn sketch(&self) -> &MisraGries<K> {
+        &self.sketch
+    }
+}
+
+impl<K: Item> StreamingMechanism<K> for SequentialBaseline<K> {
+    fn label(&self) -> String {
+        "sequential".to_string()
+    }
+
+    fn ingest_batch(&mut self, batch: &[K]) -> Result<(), PipelineError> {
+        self.sketch.extend_batch(batch);
+        Ok(())
+    }
+
+    fn items_ingested(&self) -> u64 {
+        self.sketch.stream_len()
+    }
+
+    fn pre_noise_summary(&mut self) -> Result<Summary<K>, PipelineError> {
+        Ok(self.sketch.summary())
+    }
+
+    fn release(
+        &mut self,
+        params: PrivacyParams,
+        rng: &mut dyn RngCore,
+    ) -> Result<PrivateHistogram<K>, PipelineError> {
+        let summaries = [self.sketch.summary()];
+        let hist = match self.release {
+            ReleaseKind::TrustedGshm => release_trusted_gshm(&summaries, params, rng)?,
+            ReleaseKind::TrustedLaplace => release_trusted_laplace(&summaries, params, rng)?,
+        };
+        Ok(hist)
+    }
+}
+
+impl<K: Item + Send + 'static> StreamingMechanism<K> for ShardedPipeline<K> {
+    fn label(&self) -> String {
+        format!("pipeline-{}", self.config().shards)
+    }
+
+    fn ingest_batch(&mut self, batch: &[K]) -> Result<(), PipelineError> {
+        for item in batch {
+            self.ingest(item.clone())?;
+        }
+        Ok(())
+    }
+
+    fn items_ingested(&self) -> u64 {
+        self.stats().items
+    }
+
+    fn pre_noise_summary(&mut self) -> Result<Summary<K>, PipelineError> {
+        self.merged()
+    }
+
+    fn release(
+        &mut self,
+        params: PrivacyParams,
+        rng: &mut dyn RngCore,
+    ) -> Result<PrivateHistogram<K>, PipelineError> {
+        ShardedPipeline::release(self, params, rng)
+    }
+}
+
+/// Convenience for tests and experiments: the sequential reference of a
+/// hash-sharded run — partition `stream` with [`crate::shard_of_key`],
+/// sketch each shard inline, and merge with the same tree shape the
+/// pipeline uses. A correctly functioning pipeline produces *identical*
+/// per-shard summaries and merged summary.
+///
+/// # Panics
+///
+/// Panics if `shards = 0` or `k = 0`.
+pub fn sequential_sharded_reference<K: Item>(
+    stream: &[K],
+    shards: usize,
+    k: usize,
+) -> (Vec<Summary<K>>, Summary<K>) {
+    assert!(shards >= 1, "shards must be ≥ 1");
+    let mut sketches: Vec<MisraGries<K>> = (0..shards)
+        .map(|_| MisraGries::new(k).expect("k validated by caller"))
+        .collect();
+    for item in stream {
+        sketches[crate::engine::shard_of_key(item, shards)].update(item.clone());
+    }
+    let summaries: Vec<Summary<K>> = sketches.iter().map(|s| s.summary()).collect();
+    let merged = merge_tree(&summaries).unwrap_or_else(|| Summary::empty(k));
+    (summaries, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn baseline_matches_plain_sketch() {
+        let stream: Vec<u64> = (0..5000).map(|i| i % 37).collect();
+        let mut base = SequentialBaseline::new(16).unwrap();
+        base.ingest_batch(&stream).unwrap();
+        let mut reference = MisraGries::new(16).unwrap();
+        reference.extend(stream.iter().copied());
+        assert_eq!(base.pre_noise_summary().unwrap(), reference.summary());
+        assert_eq!(base.items_ingested(), 5000);
+        assert_eq!(base.label(), "sequential");
+    }
+
+    #[test]
+    fn trait_objects_sweep_both_mechanisms() {
+        let stream: Vec<u64> = (0..20_000u64)
+            .map(|i| if i % 2 == 0 { 3 } else { 10 + i % 200 })
+            .collect();
+        let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+        let mut mechanisms: Vec<Box<dyn StreamingMechanism<u64>>> = vec![
+            Box::new(SequentialBaseline::new(64).unwrap()),
+            Box::new(
+                ShardedPipeline::new(crate::PipelineConfig::new(4, 64).with_batch_size(256))
+                    .unwrap(),
+            ),
+        ];
+        for (i, mech) in mechanisms.iter_mut().enumerate() {
+            for chunk in stream.chunks(1000) {
+                mech.ingest_batch(chunk).unwrap();
+            }
+            assert_eq!(mech.items_ingested(), stream.len() as u64);
+            let mut rng = StdRng::seed_from_u64(7 + i as u64);
+            let hist = mech.release(params, &mut rng).unwrap();
+            // 10k occurrences of key 3; merged error ≤ 20k/65 ≈ 307 + noise.
+            assert!(
+                hist.estimate(&3) > 8_000.0,
+                "{}: {}",
+                mech.label(),
+                hist.estimate(&3)
+            );
+        }
+        assert_eq!(mechanisms[1].label(), "pipeline-4");
+    }
+
+    #[test]
+    fn laplace_release_kind_works_on_both() {
+        let stream: Vec<u64> = (0..20_000u64).map(|i| 1 + i % 3).collect();
+        let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut base = SequentialBaseline::new(32)
+            .unwrap()
+            .with_release(ReleaseKind::TrustedLaplace);
+        base.ingest_batch(&stream).unwrap();
+        assert!(base.release(params, &mut rng).unwrap().estimate(&1) > 4_000.0);
+
+        let config = crate::PipelineConfig::new(2, 32).with_release(ReleaseKind::TrustedLaplace);
+        let mut pipe = ShardedPipeline::new(config).unwrap();
+        pipe.ingest_batch(&stream).unwrap();
+        assert!(pipe.release(params, &mut rng).unwrap().estimate(&1) > 4_000.0);
+    }
+}

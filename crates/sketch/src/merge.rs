@@ -278,6 +278,112 @@ mod tests {
             );
         }
 
+        /// Commutativity is exact: the pointwise sum and the
+        /// (k+1)-th-largest pivot are both symmetric in the inputs.
+        #[test]
+        fn prop_merge_commutative(
+            a in proptest::collection::vec((0u64..30, 0u64..50), 0..10),
+            b in proptest::collection::vec((0u64..30, 0u64..50), 0..10),
+        ) {
+            let k = 8;
+            let sa = summary_of(&dedup(&a), k);
+            let sb = summary_of(&dedup(&b), k);
+            prop_assert_eq!(merge(&sa, &sb), merge(&sb, &sa));
+        }
+
+        /// When the union support fits in k counters, no pivot is ever
+        /// subtracted and every merge order/tree shape yields the *same*
+        /// summary: the pointwise sum. (With overflow, merge is only
+        /// commutative, not associative — the guarantees, not the outputs,
+        /// are order-independent; see `merge_many_and_tree_agree_on_bounds`.)
+        #[test]
+        fn prop_order_independent_without_overflow(
+            entries in proptest::collection::vec((0u64..8, 1u64..40), 0..8),
+            splits in proptest::collection::vec(0usize..8, 2..5),
+            perm_seed in 0usize..720,
+        ) {
+            let k = 8;
+            // Split one multiset of entries into per-"shard" summaries so
+            // the union support is at most 8 = k keys by construction.
+            let n_parts = splits.len();
+            let mut parts: Vec<std::collections::BTreeMap<u64, u64>> =
+                vec![std::collections::BTreeMap::new(); n_parts];
+            let mut union: std::collections::BTreeMap<u64, u64> =
+                std::collections::BTreeMap::new();
+            for (i, &(key, c)) in dedup(&entries).iter().enumerate() {
+                *parts[splits[i % n_parts] % n_parts].entry(key).or_insert(0) += c;
+                *union.entry(key).or_insert(0) += c;
+            }
+            let summaries: Vec<Summary<u64>> = parts
+                .into_iter()
+                .map(|m| Summary { k, entries: m })
+                .collect();
+
+            // A permutation of the summaries drawn from the seed.
+            let mut order: Vec<usize> = (0..n_parts).collect();
+            let mut s = perm_seed;
+            for i in (1..n_parts).rev() {
+                order.swap(i, s % (i + 1));
+                s /= i + 1;
+            }
+            let permuted: Vec<Summary<u64>> =
+                order.iter().map(|&i| summaries[i].clone()).collect();
+
+            let expected = Summary { k, entries: union };
+            for merged in [
+                merge_many(&summaries).unwrap(),
+                merge_many(&permuted).unwrap(),
+                merge_tree(&summaries).unwrap(),
+                merge_tree(&permuted).unwrap(),
+            ] {
+                prop_assert_eq!(merged, expected.clone());
+            }
+        }
+
+        /// Every merge order and tree shape obeys the Lemma 29 window:
+        /// estimates never exceed the pointwise aggregate and undershoot it
+        /// by at most the summed per-summary slack. Checked for the left
+        /// fold, the reversed fold, and the tournament tree.
+        #[test]
+        fn prop_all_merge_shapes_within_bounds(
+            streams in proptest::collection::vec(
+                proptest::collection::vec(0u64..15, 1..120),
+                1..6,
+            ),
+            k in 2usize..8,
+        ) {
+            let mut truth: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
+            let mut total = 0u64;
+            let summaries: Vec<Summary<u64>> = streams
+                .iter()
+                .map(|stream| {
+                    let mut mg = MisraGries::new(k).unwrap();
+                    for &x in stream {
+                        mg.update(x);
+                        *truth.entry(x).or_insert(0) += 1;
+                        total += 1;
+                    }
+                    mg.summary()
+                })
+                .collect();
+            let reversed: Vec<Summary<u64>> = summaries.iter().rev().cloned().collect();
+            let bound = merged_error_bound(total, k);
+            for merged in [
+                merge_many(&summaries).unwrap(),
+                merge_many(&reversed).unwrap(),
+                merge_tree(&summaries).unwrap(),
+                merge_tree(&reversed).unwrap(),
+            ] {
+                prop_assert!(merged.len() <= k);
+                for (x, &f) in &truth {
+                    let est = merged.count(x);
+                    prop_assert!(est <= f, "overestimate for {}", x);
+                    prop_assert!(est + bound >= f, "{} + {} < {} for {}", est, bound, f, x);
+                }
+            }
+        }
+
         /// Merged estimates never exceed the pointwise sums and at most k
         /// counters survive.
         #[test]

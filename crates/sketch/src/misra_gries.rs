@@ -159,20 +159,36 @@ impl<K: Item> MisraGries<K> {
             *stored += 1;
             return;
         }
+        self.slow_absent(key, 1);
+    }
+
+    /// Branches 2/3 for `m ≥ 1` consecutive occurrences of an absent key.
+    ///
+    /// With minimum effective counter `g`, the first `min(m, g)` occurrences
+    /// each run Branch 2 — `key` stays absent and the minimum drops by 1 per
+    /// step, and since Branch 2 never touches the heap, the fresh minimum
+    /// found once up front stays the minimum throughout — so the offset
+    /// advances by `min(m, g)` at once. If occurrences remain after the
+    /// minimum hits 0, the next runs Branch 3 — evicting exactly the key
+    /// `fresh_min` identified, now at effective count 0 — and the rest are
+    /// Branch-1 increments on the freshly inserted key.
+    #[inline]
+    fn slow_absent(&mut self, key: Slot<K>, m: u64) {
         let (min_stored, _) = self.fresh_min();
-        if min_stored > self.offset {
-            // Branch 2: every effective counter is ≥ 1; decrement all of
-            // them by bumping the global offset.
-            self.offset += 1;
-            self.decrements += 1;
-        } else {
+        // Branch 2 × min(m, g): every effective counter is ≥ 1; decrement
+        // all of them by bumping the global offset.
+        let decrements = (min_stored - self.offset).min(m);
+        self.offset += decrements;
+        self.decrements += decrements;
+        let remaining = m - decrements;
+        if remaining > 0 {
             // Branch 3: evict the smallest zero-count key (the fresh heap
             // minimum, whose stored value equals the offset) and take its
-            // slot.
+            // slot; then `remaining − 1` Branch-1 increments.
             let Reverse((_, victim)) = self.heap.pop().expect("heap holds k entries");
             let removed = self.counts.remove(&victim);
             debug_assert_eq!(removed, Some(self.offset));
-            let stored = self.offset + 1;
+            let stored = self.offset + remaining;
             self.counts.insert(key.clone(), stored);
             self.heap.push(Reverse((stored, key)));
         }
@@ -183,6 +199,41 @@ impl<K: Item> MisraGries<K> {
         for x in stream {
             self.update(x);
         }
+    }
+
+    /// Processes a batch of elements, producing exactly the same sketch
+    /// state as calling [`Self::update`] on each element in order.
+    ///
+    /// The batched path amortizes the decrement bookkeeping: a run of `m`
+    /// equal elements costs one hash lookup instead of `m`, and when a run
+    /// of an absent key triggers Branch 2 it applies all of the run's
+    /// decrement steps as a single offset bump instead of `m` separate
+    /// `fresh_min` queries. This is the ingestion hot path of the sharded
+    /// pipeline (`dpmg-pipeline`), where key-routed substreams of skewed
+    /// workloads have much higher run density than the global stream.
+    pub fn extend_batch(&mut self, batch: &[K]) {
+        let mut rest = batch;
+        while let Some((first, tail)) = rest.split_first() {
+            let run = 1 + tail.iter().take_while(|x| *x == first).count();
+            self.update_run(first, run as u64);
+            rest = &rest[run..];
+        }
+    }
+
+    /// Processes `m ≥ 1` consecutive occurrences of `x` in one step:
+    /// `m` Branch-1 increments collapse to one `+= m` when `x` is stored,
+    /// and [`Self::slow_absent`] collapses the decrement bookkeeping when it
+    /// is not. Equivalent to `m` sequential [`Self::update`] calls.
+    #[inline]
+    fn update_run(&mut self, x: &K, m: u64) {
+        debug_assert!(m >= 1);
+        self.n += m;
+        let key = Slot::Item(x.clone());
+        if let Some(stored) = self.counts.get_mut(&key) {
+            *stored += m;
+            return;
+        }
+        self.slow_absent(key, m);
     }
 
     /// Repairs stale heap entries until the top is fresh, then returns the
@@ -519,6 +570,34 @@ mod tests {
     }
 
     #[test]
+    fn extend_batch_equals_sequential_on_fixed_stream() {
+        // Covers all three branches, including a run of an absent key long
+        // enough to drain the minimum counter (Branch 2 → Branch 3 → Branch 1
+        // inside a single run).
+        let stream: Vec<u64> = vec![1, 1, 1, 2, 2, 3, 9, 9, 9, 9, 9, 1, 4, 4, 3, 3];
+        for k in 1..=5 {
+            for split in 0..stream.len() {
+                let mut batched = MisraGries::new(k).unwrap();
+                batched.extend_batch(&stream[..split]);
+                batched.extend_batch(&stream[split..]);
+                let mut sequential = MisraGries::new(k).unwrap();
+                sequential.extend(stream.iter().copied());
+                assert_eq!(batched.slots(), sequential.slots(), "k={k} split={split}");
+                assert_eq!(batched.stream_len(), sequential.stream_len());
+                assert_eq!(batched.decrement_count(), sequential.decrement_count());
+            }
+        }
+    }
+
+    #[test]
+    fn extend_batch_empty_is_noop() {
+        let mut mg = MisraGries::<u64>::new(3).unwrap();
+        mg.extend_batch(&[]);
+        assert_eq!(mg.stream_len(), 0);
+        assert!(mg.summary().is_empty());
+    }
+
+    #[test]
     fn matches_naive_on_fixed_stream() {
         let stream: Vec<u64> = vec![1, 2, 3, 4, 1, 1, 5, 6, 7, 1, 2, 2, 8, 9, 1, 3, 3, 3];
         for k in 1..=6 {
@@ -547,6 +626,33 @@ mod tests {
                 slow.update(x);
             }
             prop_assert_eq!(fast.slots(), slow.slots());
+        }
+
+        /// Differential test for the batched hot path: `extend_batch` over
+        /// arbitrary batch boundaries is indistinguishable from per-element
+        /// `update`, checked against BOTH the heap/offset implementation and
+        /// the literal Algorithm 1 transcription. A small universe with a
+        /// skewed repeat pattern makes long runs (the amortized case) common.
+        #[test]
+        fn prop_extend_batch_matches_updates(
+            stream in proptest::collection::vec(0u64..6, 0..400),
+            k in 1usize..8,
+            batch_size in 1usize..50,
+        ) {
+            let mut batched = MisraGries::new(k).unwrap();
+            for chunk in stream.chunks(batch_size) {
+                batched.extend_batch(chunk);
+            }
+            let mut sequential = MisraGries::new(k).unwrap();
+            let mut naive = NaiveMisraGries::new(k).unwrap();
+            for &x in &stream {
+                sequential.update(x);
+                naive.update(x);
+            }
+            prop_assert_eq!(batched.slots(), sequential.slots());
+            prop_assert_eq!(batched.slots(), naive.slots());
+            prop_assert_eq!(batched.stream_len(), sequential.stream_len());
+            prop_assert_eq!(batched.decrement_count(), sequential.decrement_count());
         }
 
         /// Fact 7: estimates live in [f(x) − n/(k+1), f(x)] for every key.

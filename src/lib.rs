@@ -21,6 +21,10 @@
 //!   against (Chan et al., Böhler–Kerschbaum, stability histograms).
 //! * [`workload`] — synthetic stream generators (Zipf, uniform, adversarial,
 //!   user-set, trace-like).
+//! * [`pipeline`] — the sharded, batched streaming ingestion engine: `S`
+//!   shard workers over channels, binary merge tree, one trusted DP release
+//!   (the distributed deployment of Section 7, sound by Lemma 17 /
+//!   Corollary 18).
 //! * [`eval`] — error metrics, experiment sweeps, and an empirical privacy
 //!   auditor.
 //!
@@ -52,6 +56,7 @@
 pub use dpmg_core as core;
 pub use dpmg_eval as eval;
 pub use dpmg_noise as noise;
+pub use dpmg_pipeline as pipeline;
 pub use dpmg_sketch as sketch;
 pub use dpmg_workload as workload;
 
@@ -60,6 +65,9 @@ pub mod prelude {
     pub use dpmg_core::heavy_hitters::{heavy_hitters, HeavyHitter};
     pub use dpmg_core::pmg::{PrivateHistogram, PrivateMisraGries};
     pub use dpmg_noise::accounting::PrivacyParams;
+    pub use dpmg_pipeline::{
+        PipelineConfig, SequentialBaseline, ShardedPipeline, StreamingMechanism,
+    };
     pub use dpmg_sketch::misra_gries::MisraGries;
     pub use dpmg_sketch::pamg::PrivacyAwareMisraGries;
     pub use dpmg_sketch::traits::{FrequencyOracle, TopKSketch};

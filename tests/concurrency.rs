@@ -1,76 +1,50 @@
 //! Concurrency integration tests: the distributed-aggregation flow of
-//! Section 7 under real threads, and thread-safety of the shared
-//! experiment infrastructure.
+//! Section 7 driven through the `dpmg-pipeline` engine, and thread-safety
+//! of the shared experiment infrastructure.
 
-use crossbeam::channel;
-use dp_misra_gries::core::merged::release_trusted_gshm;
 use dp_misra_gries::eval::experiment::parallel_trials;
+use dp_misra_gries::pipeline::sequential_sharded_reference;
 use dp_misra_gries::prelude::*;
-use dp_misra_gries::sketch::serialize::{decode, encode};
-use dp_misra_gries::sketch::traits::Summary;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-/// Eight sketching workers feed one aggregator over a channel; the final
-/// release matches a single-threaded reference merge.
+/// Eight pipeline shard workers ingest a 400k-item stream over channels;
+/// every per-shard summary, the merged summary, and the final release
+/// match a single-threaded reference that replays the same routing inline.
 #[test]
 fn threaded_aggregation_matches_sequential_reference() {
     let k = 128usize;
-    let shards: Vec<Vec<u64>> = (0..8)
-        .map(|s| {
-            (0..50_000u64)
-                .map(|i| {
-                    if i % 2 == 0 {
-                        1 + (i / 2) % 4
-                    } else {
-                        10 + (i * (s + 3)) % 500
-                    }
-                })
-                .collect()
+    let stream: Vec<u64> = (0..400_000u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                1 + (i / 2) % 4
+            } else {
+                10 + (i * ((i / 50_000) + 3)) % 500
+            }
         })
         .collect();
 
-    // Threaded path.
-    let (tx, rx) = channel::unbounded::<Vec<u8>>();
-    let threaded: Vec<Summary<u64>> = crossbeam::scope(|scope| {
-        for shard in &shards {
-            let tx = tx.clone();
-            scope.spawn(move |_| {
-                let mut sketch = MisraGries::new(k).unwrap();
-                sketch.extend(shard.iter().copied());
-                tx.send(encode(&sketch.summary()).to_vec()).unwrap();
-            });
-        }
-        drop(tx);
-        let mut got: Vec<Summary<u64>> = rx.iter().map(|b| decode(&b).unwrap()).collect();
-        // Channel order is nondeterministic; canonicalize.
-        got.sort_by_key(|s| s.entries.iter().map(|(&k, &c)| (k, c)).collect::<Vec<_>>());
-        got
-    })
-    .unwrap();
+    // Threaded path: the sharded ingestion engine.
+    let config = PipelineConfig::new(8, k).with_batch_size(2048);
+    let mut pipe = ShardedPipeline::new(config).unwrap();
+    pipe.ingest_from(stream.iter().copied()).unwrap();
 
-    // Sequential reference.
-    let mut reference: Vec<Summary<u64>> = shards
-        .iter()
-        .map(|shard| {
-            let mut sketch = MisraGries::new(k).unwrap();
-            sketch.extend(shard.iter().copied());
-            sketch.summary()
-        })
-        .collect();
-    reference.sort_by_key(|s| s.entries.iter().map(|(&k, &c)| (k, c)).collect::<Vec<_>>());
+    // Sequential reference: identical routing, inline sketching, same
+    // merge-tree shape.
+    let (ref_summaries, ref_merged) = sequential_sharded_reference(&stream, 8, k);
+    assert_eq!(pipe.shard_summaries().unwrap(), &ref_summaries[..]);
+    assert_eq!(pipe.merged().unwrap(), ref_merged);
+    assert_eq!(pipe.stats().items, stream.len() as u64);
 
-    assert_eq!(threaded, reference);
-
-    // And the private release over the threaded summaries works.
+    // And the single trusted DP release over the threaded summaries works.
     let mut rng = StdRng::seed_from_u64(1);
-    let hist =
-        release_trusted_gshm(&threaded, PrivacyParams::new(0.9, 1e-8).unwrap(), &mut rng).unwrap();
-    // True count per heavy key: 8 shards × 6250 = 50_000; the merged
-    // sketch may undershoot by up to M/(k+1) = 400_000/129 ≈ 3100 plus the
-    // GSHM noise/threshold.
+    let hist = pipe
+        .release(PrivacyParams::new(0.9, 1e-8).unwrap(), &mut rng)
+        .unwrap();
+    // True count per heavy key: 50_000; the merged sketch may undershoot
+    // by up to M/(k+1) = 400_000/129 ≈ 3100 plus the GSHM noise/threshold.
     for key in 1..=4u64 {
         let est = hist.estimate(&key);
         assert!(est > 40_000.0 && est <= 50_500.0, "key {key}: {est}");
