@@ -2,86 +2,60 @@
 //! geometric distribution (finite-computer safety) preserves the error
 //! profile with the adjusted threshold `1 + 2·⌈ln(6e^ε/((e^ε+1)δ))/ε⌉`, and
 //! the released counts stay integral (no floating-point output channel).
+//!
+//! The Laplace-vs-geometric comparison is one registry sweep over the two
+//! PMG variants; only the integrality check touches a release directly.
 
-use dpmg_bench::{banner, f2, out_dir, trials, verdict};
-use dpmg_core::pmg::PrivateMisraGries;
-use dpmg_eval::experiment::{parallel_trials, stats, Table};
+use dpmg_bench::{banner, out_dir, trials, verdict};
+use dpmg_core::mechanism::{by_name, MechanismSpec};
+use dpmg_eval::sweep::{run_sweep, SweepConfig, SweepWorkload};
 use dpmg_noise::accounting::PrivacyParams;
 use dpmg_sketch::misra_gries::MisraGries;
 use dpmg_workload::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn noise_error(sketch: &MisraGries<u64>, mech: &PrivateMisraGries, seed: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let hist = mech.release(sketch, &mut rng);
-    let mut worst = 0.0_f64;
-    for (key, count) in sketch.summary().entries.iter() {
-        worst = worst.max((hist.estimate(key) - *count as f64).abs());
-    }
-    worst
-}
-
 fn main() {
     banner(
         "E14",
         "geometric-noise PMG: same error shape as Laplace with adjusted threshold; integer outputs",
     );
-    let reps = trials(300);
+    let k = 128usize;
+    let grid: Vec<PrivacyParams> = [(0.5f64, 1e-8f64), (1.0, 1e-8), (2.0, 1e-6)]
+        .iter()
+        .map(|&(eps, delta)| PrivacyParams::new(eps, delta).unwrap())
+        .collect();
     let mut rng = StdRng::seed_from_u64(0xE14);
     let stream = Zipf::new(50_000, 1.2).stream(500_000, &mut rng);
 
-    let mut table = Table::new(
-        "E14 Laplace vs geometric PMG (mean max noise error)",
-        &[
-            "eps",
-            "delta",
-            "laplace err",
-            "geometric err",
-            "thr laplace",
-            "thr geometric",
-        ],
-    );
-    let mut close = true;
-    let mut integral = true;
-    for &(eps, delta) in &[(0.5f64, 1e-8f64), (1.0, 1e-8), (2.0, 1e-6)] {
-        let params = PrivacyParams::new(eps, delta).unwrap();
-        let lap_mech = PrivateMisraGries::new(params).unwrap();
-        let geo_mech = PrivateMisraGries::new(params)
-            .unwrap()
-            .with_geometric_noise();
+    let config = SweepConfig::new(grid.clone())
+        .with_ks(vec![k])
+        .with_trials(trials(300))
+        .with_base_seed(0xE140)
+        .with_mechanisms(vec!["pmg", "pmg-geometric"]);
+    let result = run_sweep(&config, &[SweepWorkload::new("zipf-1.2", stream.clone())]);
+    result
+        .table("E14 Laplace vs geometric PMG (mean max noise error)")
+        .emit(&out_dir())
+        .unwrap();
 
-        let k = 128usize;
-        let mut sketch = MisraGries::new(k).unwrap();
-        sketch.extend(stream.iter().copied());
-
-        let e_lap = stats(&parallel_trials(reps, 0xE140, |seed| {
-            noise_error(&sketch, &lap_mech, seed)
-        }))
-        .mean;
-        let e_geo = stats(&parallel_trials(reps, 0xE141, |seed| {
-            noise_error(&sketch, &geo_mech, seed)
-        }))
-        .mean;
-        // Error profiles must agree within a small factor.
-        close &= (e_geo / e_lap - 1.0).abs() < 0.5;
-
-        // Integrality of geometric releases.
-        let mut rng = StdRng::seed_from_u64(0xE142);
-        let hist = geo_mech.release(&sketch, &mut rng);
-        integral &= hist.iter().all(|(_, v)| (v - v.round()).abs() < 1e-9);
-
-        table.row(&[
-            eps.to_string(),
-            format!("{delta:e}"),
-            f2(e_lap),
-            f2(e_geo),
-            f2(lap_mech.threshold()),
-            f2(geo_mech.threshold()),
-        ]);
-    }
-    table.emit(&out_dir()).unwrap();
-
+    let lap = result.mechanism_means("pmg");
+    let geo = result.mechanism_means("pmg-geometric");
+    let close = lap.iter().zip(&geo).all(|(l, g)| (g / l - 1.0).abs() < 0.5);
     verdict("geometric noise error within 50% of Laplace", close);
+
+    // Integrality of geometric releases: count + integer noise stays
+    // integral at every grid point.
+    let mut sketch = MisraGries::new(k).unwrap();
+    sketch.extend(stream.iter().copied());
+    let summary = sketch.summary();
+    let integral = grid.iter().enumerate().all(|(i, &params)| {
+        let mech = by_name(&MechanismSpec::new(params), "pmg-geometric")
+            .unwrap()
+            .expect("registry name");
+        let mut rng = StdRng::seed_from_u64(0xE142 + i as u64);
+        let hist = mech.release(&summary, &mut rng).unwrap();
+        !hist.is_empty() && hist.iter().all(|(_, v)| (v - v.round()).abs() < 1e-9)
+    });
     verdict("geometric releases are integral", integral);
 }

@@ -6,13 +6,15 @@
 //! quantitative content of the paper's argument for why oracle-based heavy
 //! hitters (\[18, App. D\]; also the more involved \[5\]) cannot match the
 //! Misra-Gries route.
+//!
+//! Both routes are registry mechanisms released on the *same* summary and
+//! measured with the shared [`dpmg_eval::sweep`] error statistic.
 
 use dpmg_bench::{banner, f2, out_dir, trials, verdict};
-use dpmg_core::oracle_hh::PrivateCountMin;
-use dpmg_core::pmg::PrivateMisraGries;
-use dpmg_eval::experiment::{parallel_trials, stats, Table};
+use dpmg_core::mechanism::{by_name, MechanismSpec};
+use dpmg_eval::experiment::Table;
+use dpmg_eval::sweep::noise_error_stats;
 use dpmg_noise::accounting::PrivacyParams;
-use dpmg_sketch::count_min::CountMin;
 use dpmg_sketch::misra_gries::MisraGries;
 use dpmg_workload::zipf::Zipf;
 use rand::rngs::StdRng;
@@ -27,10 +29,18 @@ fn main() {
     let reps = trials(200);
     let mut rng = StdRng::seed_from_u64(0xE15);
     let stream = Zipf::new(4_000, 1.2).stream(400_000, &mut rng);
-    let probes: Vec<u64> = (1..=10).collect();
+
+    let k = 512usize;
+    let mut sketch = MisraGries::new(k).unwrap();
+    sketch.extend(stream.iter().copied());
+    let summary = sketch.summary();
+    // Generous oracle width so hashing error ≈ 0 and the gap is pure noise.
+    let base_spec = MechanismSpec::new(PrivacyParams::new(eps, 1e-8).unwrap())
+        .with_oracle_width(4_096)
+        .with_oracle_seed(7);
 
     let mut table = Table::new(
-        "E15 mean max NOISE error on 10 probe keys (eps=1)",
+        "E15 mean max NOISE error vs the shared summary (eps=1)",
         &[
             "mechanism",
             "universe d",
@@ -39,54 +49,30 @@ fn main() {
         ],
     );
 
-    // PMG noise: released vs its own sketch counters — d plays no role.
-    let k = 512usize;
-    let mut sketch = MisraGries::new(k).unwrap();
-    sketch.extend(stream.iter().copied());
-    let pmg = PrivateMisraGries::new(PrivacyParams::new(eps, 1e-8).unwrap()).unwrap();
-    let probes_ref = &probes;
-    let sketch_ref = &sketch;
-    let e_pmg = stats(&parallel_trials(reps, 1, |seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let hist = pmg.release(sketch_ref, &mut rng);
-        probes_ref
-            .iter()
-            .map(|key| (hist.estimate(key) - sketch_ref.count(key) as f64).abs())
-            .fold(0.0, f64::max)
-    }))
-    .mean;
+    // PMG: d plays no role.
+    let pmg = by_name(&base_spec, "pmg").unwrap().expect("registry name");
+    let (e_pmg, _) = noise_error_stats(pmg.as_ref(), &summary, reps, 1).unwrap();
     table.row(&[
         "PMG (Alg 2)".into(),
         "any".into(),
-        format!("thr={:.1}", pmg.threshold()),
+        format!("thr={:.1}", pmg.threshold(k).unwrap()),
         f2(e_pmg),
     ]);
 
-    // Private Count-Min noise at several universe sizes: released vs the
-    // raw Count-Min estimates. depth = ⌈log2 d⌉, noise Laplace(depth/ε).
-    let width = 4_096usize; // generous width so hashing error ≈ 0 on probes
+    // Oracle route at several universe sizes: depth = ⌈log2 d⌉, noise
+    // Laplace(depth/ε) per cell.
     let mut cm_noise = Vec::new();
     for &d in &[4_096u64, 65_536, 16_777_216] {
-        let depth = (64 - (d - 1).leading_zeros()) as usize;
-        let mut cm = CountMin::<u64>::new(width, depth, 7).unwrap();
-        for x in &stream {
-            cm.update(x);
-        }
-        let cm_ref = &cm;
-        let e_cm = stats(&parallel_trials(reps, 2, |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let released = PrivateCountMin::release(cm_ref, eps, 7, &mut rng).unwrap();
-            probes_ref
-                .iter()
-                .map(|key| (released.estimate_key(key) - cm_ref.count(key) as f64).abs())
-                .fold(0.0, f64::max)
-        }))
-        .mean;
+        let spec = base_spec.with_universe_size(d);
+        let oracle = by_name(&spec, "oracle-count-min")
+            .unwrap()
+            .expect("registry name");
+        let (e_cm, _) = noise_error_stats(oracle.as_ref(), &summary, reps, 2).unwrap();
         cm_noise.push(e_cm);
         table.row(&[
             "private Count-Min".into(),
             d.to_string(),
-            format!("depth={depth}"),
+            format!("depth={}", spec.oracle_depth()),
             f2(e_cm),
         ]);
     }

@@ -1,0 +1,138 @@
+//! **E18 — all-mechanism shootout:** every release path in the
+//! `dpmg-core` registry — PMG (Laplace + geometric), Chan (pure +
+//! thresholded), both Böhler–Kerschbaum variants, the stability histogram,
+//! the Section 6 pure-DP routes, merged-Laplace, the GSHM, and (explicitly
+//! opted in as audit-only comparators) the broken BK-as-published and the
+//! Count-Min oracle — released on the *same* summaries across a workload ×
+//! `(ε, δ)` grid via the shared sweep runner.
+//!
+//! Expected shape (the paper's overall story):
+//!
+//! * PMG beats every `k`-scaled mechanism (`chan-thresholded`,
+//!   `bk-corrected`, `merged-laplace`) at large `k`;
+//! * the ℓ2-calibrated GSHM beats the ℓ1 `merged-laplace` route at large
+//!   `k` (√k vs k noise);
+//! * a metered budget accountant admits exactly the releases that fit.
+
+use dpmg_bench::{banner, out_dir, trials, verdict};
+use dpmg_core::mechanism::{registry, release_metered, MechanismSpec};
+use dpmg_eval::sweep::{run_sweep, SweepConfig, SweepWorkload};
+use dpmg_noise::accounting::{Accountant, PrivacyParams};
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KS: [usize; 2] = [32, 256];
+
+fn main() {
+    banner(
+        "E18",
+        "full-registry shootout: every DP release path on shared summaries",
+    );
+    let grid = vec![
+        PrivacyParams::new(0.9, 1e-8).unwrap(),
+        PrivacyParams::new(0.5, 1e-6).unwrap(),
+    ];
+    let mut rng = StdRng::seed_from_u64(0xE18);
+    let zipf = Zipf::new(50_000, 1.2).stream(400_000, &mut rng);
+    // Eight 25k-count heavy keys over a 5k-key light tail: heavy estimates
+    // dwarf every threshold, so the mechanisms' noise differences show.
+    let head_tail: Vec<u64> = (0..400_000u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                1 + (i / 2) % 8
+            } else {
+                100 + i % 5_000
+            }
+        })
+        .collect();
+    let workloads = [
+        SweepWorkload::new("zipf-1.2", zipf),
+        SweepWorkload::new("head-tail", head_tail),
+    ];
+
+    let config = SweepConfig::new(grid)
+        .with_ks(KS.to_vec())
+        .with_trials(trials(100))
+        .with_base_seed(0xE180)
+        .with_universe_size(1 << 20)
+        // This is a shootout: include the gated audit-only comparators
+        // (bk-published, oracle-count-min) so their error rows are visible
+        // alongside the sound mechanisms.
+        .with_broken(true);
+    let result = run_sweep(&config, &workloads);
+    result
+        .table("E18 shootout: mean max noise error per mechanism")
+        .emit(&out_dir())
+        .unwrap();
+
+    // Coverage: the whole registry (10 sound mechanisms + 2 audit-only
+    // comparators) produced a row in every cell, and every mechanism was
+    // feasible at ε < 1.
+    let cells = workloads.len() * KS.len() * 2;
+    verdict(
+        "all 12 registry mechanisms (incl. audit-only) swept in every cell",
+        result.rows.len() == 12 * cells,
+    );
+    verdict(
+        "every mechanism feasible at every grid point (eps < 1)",
+        result.rows.iter().all(|r| r.mean_err.is_some()),
+    );
+
+    // The paper's ordering at large k, on every workload and grid point.
+    let k = KS[1];
+    let mut pmg_beats_k_scaled = true;
+    let mut gshm_beats_merged_laplace = true;
+    for workload in &workloads {
+        for g in 0..2 {
+            let err = |name: &str| {
+                result
+                    .find(name, &workload.name, k, g)
+                    .and_then(|r| r.mean_err)
+                    .expect("feasible cell")
+            };
+            for k_scaled in ["chan-thresholded", "bk-corrected", "merged-laplace"] {
+                pmg_beats_k_scaled &= err("pmg") < err(k_scaled);
+            }
+            gshm_beats_merged_laplace &= err("gshm") < err("merged-laplace");
+        }
+    }
+    verdict(
+        "PMG beats every k-scaled mechanism at k = 256",
+        pmg_beats_k_scaled,
+    );
+    verdict(
+        "GSHM (l2, sqrt k) beats merged-Laplace (l1, k) at k = 256",
+        gshm_beats_merged_laplace,
+    );
+
+    // Metered composition: a (2.0, 1e-6) budget affords both the 0.9 and
+    // the 0.5 release of the same summary, then runs dry.
+    let mut sketch = MisraGries::new(64).unwrap();
+    sketch.extend(workloads[0].stream.iter().copied());
+    let summary = sketch.summary();
+    let mut accountant = Accountant::new(PrivacyParams::new(2.0, 1e-6).unwrap());
+    let mut rng = StdRng::seed_from_u64(0xE18A);
+    let mut admitted = 0usize;
+    let mut refused = 0usize;
+    for &params in &[
+        PrivacyParams::new(0.9, 1e-8).unwrap(),
+        PrivacyParams::new(0.5, 1e-8).unwrap(),
+        PrivacyParams::new(0.9, 1e-8).unwrap(), // 2.3 > 2.0: must be refused
+    ] {
+        let pmg = registry(&MechanismSpec::new(params)).unwrap().remove(0);
+        match release_metered(pmg.as_ref(), &summary, &mut accountant, &mut rng) {
+            Ok(_) => admitted += 1,
+            Err(_) => refused += 1,
+        }
+    }
+    println!(
+        "accountant: admitted {admitted}, refused {refused}, spent {}",
+        accountant.spent().expect("two releases charged"),
+    );
+    verdict(
+        "accountant admits exactly the releases that fit the budget",
+        admitted == 2 && refused == 1 && accountant.charges() == 2,
+    );
+}

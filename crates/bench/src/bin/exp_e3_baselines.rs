@@ -2,30 +2,20 @@
 //! and the corrected Böhler–Kerschbaum threshold grows `Θ(k·log(k/δ)/ε)`,
 //! while PMG stays flat in `k`. "Who wins" must flip to PMG immediately
 //! beyond trivial `k` and the gap must grow linearly.
+//!
+//! Delegates the whole mechanism × k sweep to the registry-driven
+//! [`dpmg_eval::sweep`] runner — no per-mechanism plumbing here.
 
 use dpmg_bench::{banner, f2, out_dir, trials, verdict};
-use dpmg_core::baselines::{BkCorrected, ChanThresholded};
-use dpmg_core::pmg::PrivateMisraGries;
-use dpmg_eval::experiment::{parallel_trials, stats, Table};
+use dpmg_core::mechanism::{by_name, MechanismSpec};
+use dpmg_eval::sweep::{run_sweep, SweepConfig, SweepWorkload};
 use dpmg_noise::accounting::PrivacyParams;
-use dpmg_sketch::misra_gries::MisraGries;
 use dpmg_workload::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Max |released − sketch counter| over the sketch's stored keys.
-fn noise_error<F>(sketch: &MisraGries<u64>, release: F, seed: u64) -> f64
-where
-    F: Fn(&MisraGries<u64>, &mut StdRng) -> dpmg_core::pmg::PrivateHistogram<u64>,
-{
-    let mut rng = StdRng::seed_from_u64(seed);
-    let hist = release(sketch, &mut rng);
-    let mut worst = 0.0_f64;
-    for (key, count) in sketch.summary().entries.iter() {
-        worst = worst.max((hist.estimate(key) - *count as f64).abs());
-    }
-    worst
-}
+const KS: [usize; 4] = [8, 32, 128, 512];
+const MECHS: [&str; 3] = ["pmg", "chan-thresholded", "bk-corrected"];
 
 fn main() {
     banner(
@@ -33,58 +23,29 @@ fn main() {
         "PMG noise flat in k; Chan et al. and corrected BK grow linearly in k",
     );
     let params = PrivacyParams::new(1.0, 1e-8).unwrap();
-    let pmg = PrivateMisraGries::new(params).unwrap();
-    let chan = ChanThresholded::new(params).unwrap();
-    let bk = BkCorrected::new(params).unwrap();
-
     let mut rng = StdRng::seed_from_u64(0xE3);
     let stream = Zipf::new(100_000, 1.2).stream(1_000_000, &mut rng);
-    let reps = trials(200);
 
-    let mut table = Table::new(
-        "E3 mean max noise error vs k (eps=1, delta=1e-8)",
-        &["k", "PMG", "Chan thresholded", "BK corrected", "PMG wins?"],
+    let config = SweepConfig::new(vec![params])
+        .with_ks(KS.to_vec())
+        .with_trials(trials(200))
+        .with_base_seed(0x0E30)
+        .with_mechanisms(MECHS.to_vec());
+    let result = run_sweep(&config, &[SweepWorkload::new("zipf-1.2", stream)]);
+    result
+        .table("E3 mean max noise error vs k (eps=1, delta=1e-8)")
+        .emit(&out_dir())
+        .unwrap();
+
+    let means = |name: &str| result.mechanism_means(name);
+    let (pmg, chan, bk) = (
+        means("pmg"),
+        means("chan-thresholded"),
+        means("bk-corrected"),
     );
-    let mut pmg_always_wins = true;
-    let mut chan_growth = Vec::new();
-    let mut pmg_means = Vec::new();
-    let mut bk_means = Vec::new();
-    let mut pmg_bounded = true;
-    for k in [8usize, 32, 128, 512] {
-        let mut sketch = MisraGries::new(k).unwrap();
-        sketch.extend(stream.iter().copied());
-        let e_pmg = stats(&parallel_trials(reps, 1, |s| {
-            noise_error(&sketch, |sk, r| pmg.release(sk, r), s)
-        }))
-        .mean;
-        let e_chan = stats(&parallel_trials(reps, 2, |s| {
-            noise_error(&sketch, |sk, r| chan.release(sk, r), s)
-        }))
-        .mean;
-        let e_bk = stats(&parallel_trials(reps, 3, |s| {
-            noise_error(&sketch, |sk, r| bk.release(sk, r), s)
-        }))
-        .mean;
-        let wins = e_pmg < e_chan && e_pmg < e_bk;
-        pmg_always_wins &= wins;
-        chan_growth.push(e_chan);
-        pmg_means.push(e_pmg);
-        bk_means.push(e_bk);
-        // PMG's error is bounded by the k-free threshold plus the
-        // logarithmic Lemma 13 term at EVERY k — the Theorem 14 shape.
-        pmg_bounded &= e_pmg <= pmg.threshold() + pmg.noise_error_bound(k, 0.5);
-        table.row(&[
-            k.to_string(),
-            f2(e_pmg),
-            f2(e_chan),
-            f2(e_bk),
-            wins.to_string(),
-        ]);
-    }
-    table.emit(&out_dir()).unwrap();
 
     // Log-log chart: PMG's flat curve vs the baselines' linear growth.
-    let ks = [8.0, 32.0, 128.0, 512.0];
+    let ks: Vec<f64> = KS.iter().map(|&k| k as f64).collect();
     let to_series = |label: &str, ys: &[f64]| {
         dpmg_eval::plot::Series::new(label, ks.iter().copied().zip(ys.iter().copied()).collect())
     };
@@ -93,9 +54,9 @@ fn main() {
         dpmg_eval::plot::render(
             "noise error vs k (log-log): p=PMG, c=Chan, b=BK",
             &[
-                to_series("pmg", &pmg_means),
-                to_series("chan", &chan_growth),
-                to_series("bk", &bk_means),
+                to_series("pmg", &pmg),
+                to_series("chan", &chan),
+                to_series("bk", &bk),
             ],
             64,
             16,
@@ -104,29 +65,41 @@ fn main() {
         )
     );
 
+    let pmg_always_wins = KS
+        .iter()
+        .enumerate()
+        .all(|(i, _)| pmg[i] < chan[i] && pmg[i] < bk[i]);
     verdict("PMG beats both baselines at every k ≥ 8", pmg_always_wins);
-    // Chan grows ≈ linearly (64× range of k → ≥ 16× error growth) while PMG
-    // grows ≤ 3×.
-    let chan_lin = chan_growth.last().unwrap() / chan_growth.first().unwrap() > 16.0;
-    verdict("Chan/BK error grows ~linearly in k", chan_lin);
+    // Chan grows ≈ linearly (64× range of k → ≥ 16× error growth) while
+    // PMG's threshold + noise budget grows only logarithmically in k.
     verdict(
-        "PMG error bounded by the k-free threshold + log term at every k",
+        "Chan/BK error grows ~linearly in k",
+        chan.last().unwrap() / chan.first().unwrap() > 16.0,
+    );
+    let spec = MechanismSpec::new(params);
+    let pmg_mech = by_name(&spec, "pmg").unwrap().expect("registry name");
+    let pmg_bounded = KS.iter().enumerate().all(|(i, &k)| {
+        pmg[i] <= pmg_mech.threshold(k).unwrap() + pmg_mech.error_radius(k).unwrap()
+    });
+    verdict(
+        "PMG error bounded by its log-k threshold + noise radius at every k",
         pmg_bounded,
     );
 
     // Threshold (worst-case suppression error) comparison — the analytic
-    // version of the same story, as an ablation of the shared-noise trick.
-    let mut t2 = Table::new(
+    // version of the same story, read off the registry's shared surface.
+    let mut t2 = dpmg_eval::experiment::Table::new(
         "E3b analytic thresholds vs k",
         &["k", "PMG threshold", "Chan threshold", "BK threshold"],
     );
     for k in [8usize, 32, 128, 512, 2048] {
-        t2.row(&[
-            k.to_string(),
-            f2(pmg.threshold()),
-            f2(chan.threshold(k)),
-            f2(bk.threshold(k)),
-        ]);
+        let row: Vec<String> = std::iter::once(k.to_string())
+            .chain(MECHS.iter().map(|name| {
+                let mech = by_name(&spec, name).unwrap().expect("registry name");
+                f2(mech.threshold(k).expect("all three threshold"))
+            }))
+            .collect();
+        t2.row(&row);
     }
     t2.emit(&out_dir()).unwrap();
 }

@@ -78,6 +78,18 @@ fn deterministic_sections(stdout: &str) -> String {
 }
 
 #[test]
+fn golden_exp_e3_baselines() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e3_baselines"), "exp_e3_baselines");
+    assert_matches_golden("exp_e3_baselines", &stdout);
+}
+
+#[test]
+fn golden_exp_e5_audit() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e5_audit"), "exp_e5_audit");
+    assert_matches_golden("exp_e5_audit", &stdout);
+}
+
+#[test]
 fn golden_exp_e9_merge() {
     let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e9_merge"), "exp_e9_merge");
     assert_matches_golden("exp_e9_merge", &stdout);

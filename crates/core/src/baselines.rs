@@ -29,7 +29,7 @@ use dpmg_noise::laplace::Laplace;
 use dpmg_noise::NoiseError;
 use dpmg_sketch::exact::ExactHistogram;
 use dpmg_sketch::misra_gries::MisraGries;
-use dpmg_sketch::traits::Item;
+use dpmg_sketch::traits::{Item, Summary};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -91,7 +91,16 @@ impl ChanMechanism {
         sketch: &MisraGries<u64>,
         rng: &mut R,
     ) -> PrivateHistogram<u64> {
-        let summary = sketch.summary();
+        self.release_summary(&sketch.summary(), rng)
+    }
+
+    /// Releases an extracted [`Summary`] — the counter-map currency of the
+    /// [`crate::mechanism`] registry.
+    pub fn release_summary<R: Rng + ?Sized>(
+        &self,
+        summary: &Summary<u64>,
+        rng: &mut R,
+    ) -> PrivateHistogram<u64> {
         let k = summary.k;
         let lap = Laplace::new(self.noise_scale(k)).expect("validated scale");
 
@@ -161,7 +170,15 @@ impl ChanThresholded {
         sketch: &MisraGries<K>,
         rng: &mut R,
     ) -> PrivateHistogram<K> {
-        let summary = sketch.summary();
+        self.release_summary(&sketch.summary(), rng)
+    }
+
+    /// Releases an extracted [`Summary`] (registry entry point).
+    pub fn release_summary<K: Item, R: Rng + ?Sized>(
+        &self,
+        summary: &Summary<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
         let k = summary.k;
         let lap = Laplace::new(k as f64 / self.params.epsilon()).expect("validated");
         let threshold = self.threshold(k);
@@ -213,7 +230,15 @@ impl BkAsPublished {
         sketch: &MisraGries<K>,
         rng: &mut R,
     ) -> PrivateHistogram<K> {
-        let summary = sketch.summary();
+        self.release_summary(&sketch.summary(), rng)
+    }
+
+    /// Releases an extracted [`Summary`] (registry entry point).
+    pub fn release_summary<K: Item, R: Rng + ?Sized>(
+        &self,
+        summary: &Summary<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
         let lap = Laplace::new(1.0 / self.params.epsilon()).expect("validated");
         let threshold = self.threshold();
         let entries = summary
@@ -260,7 +285,15 @@ impl BkCorrected {
         sketch: &MisraGries<K>,
         rng: &mut R,
     ) -> PrivateHistogram<K> {
-        let summary = sketch.summary();
+        self.release_summary(&sketch.summary(), rng)
+    }
+
+    /// Releases an extracted [`Summary`] (registry entry point).
+    pub fn release_summary<K: Item, R: Rng + ?Sized>(
+        &self,
+        summary: &Summary<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
         let k = summary.k;
         let lap = Laplace::new(k as f64 / self.params.epsilon()).expect("validated");
         let threshold = self.threshold(k);
@@ -311,10 +344,38 @@ impl StabilityHistogram {
         histogram: &ExactHistogram<K>,
         rng: &mut R,
     ) -> PrivateHistogram<K> {
+        self.noise_counts(histogram.iter(), rng)
+    }
+
+    /// Releases a [`Summary`] whose counters are **exact** counts (registry
+    /// entry point). The sensitivity-1 guarantee of this mechanism holds
+    /// only when the summary really is an exact histogram — i.e. the
+    /// producing sketch never decremented (`k ≥` distinct stream elements);
+    /// zero counters are skipped exactly as the exact histogram's
+    /// "non-zero counts" rule prescribes.
+    pub fn release_summary<K: Item, R: Rng + ?Sized>(
+        &self,
+        summary: &Summary<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
+        self.noise_counts(
+            summary
+                .entries
+                .iter()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(key, &c)| (key, c)),
+            rng,
+        )
+    }
+
+    fn noise_counts<'a, K: Item + 'a, R: Rng + ?Sized>(
+        &self,
+        counts: impl Iterator<Item = (&'a K, u64)>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
         let lap = Laplace::new(1.0 / self.params.epsilon()).expect("validated");
         let threshold = self.threshold();
-        let entries = histogram
-            .iter()
+        let entries = counts
             .filter_map(|(key, c)| {
                 let noisy = c as f64 + lap.sample(rng);
                 (noisy >= threshold).then(|| (key.clone(), noisy))

@@ -28,6 +28,11 @@
 //!   Korolova-style stability histogram \[22\] over exact counts.
 //! * [`heavy_hitters`] — extracting heavy hitters from any released
 //!   histogram.
+//! * [`mechanism`] — the polymorphic layer over all of the above: the
+//!   object-safe [`mechanism::ReleaseMechanism`] trait, a
+//!   [`mechanism::registry`] enumerating every release path from one
+//!   [`mechanism::MechanismSpec`], and budget-metered composition via
+//!   [`mechanism::release_metered`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +41,7 @@ pub mod baselines;
 pub mod continual;
 pub mod gshm;
 pub mod heavy_hitters;
+pub mod mechanism;
 pub mod merged;
 pub mod oracle_hh;
 pub mod pmg;
@@ -43,4 +49,5 @@ pub mod pure;
 pub mod user_level;
 
 pub use gshm::GaussianSparseHistogram;
+pub use mechanism::{MechanismSpec, Release, ReleaseError, ReleaseMechanism, SensitivityModel};
 pub use pmg::{PrivateHistogram, PrivateMisraGries};

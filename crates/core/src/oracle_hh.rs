@@ -15,28 +15,34 @@
 //! error comparable to Misra-Gries, neither this route nor the more
 //! involved Bassily et al. \[5\] recovery reaches the
 //! `n/(k+1) + O(log(1/δ)/ε)` total error of the PMG mechanism.
+//!
+//! The released table is generic over the key type `K` (anything the
+//! underlying [`CountMin`] can hash); only the whole-universe top-`k` scan
+//! is specific to the integer universe `[1, d]`. Candidate-set recovery
+//! ([`PrivateCountMin::top_k_from_candidates`]) works for every `K`.
 
 use crate::pmg::PrivateHistogram;
 use dpmg_noise::laplace::Laplace;
 use dpmg_noise::NoiseError;
 use dpmg_sketch::count_min::CountMin;
-use dpmg_sketch::traits::{FrequencyOracle, SketchError};
+use dpmg_sketch::traits::{FrequencyOracle, Item, SketchError};
 use rand::Rng;
 use std::collections::BTreeMap;
 
 /// A privately released Count-Min table: an `ε`-DP frequency oracle.
 #[derive(Debug, Clone)]
-pub struct PrivateCountMin {
-    width: usize,
+pub struct PrivateCountMin<K> {
     depth: usize,
     /// Noisy cells, row-major.
     table: Vec<f64>,
-    /// The (public) hashing structure is reconstructed from the same seed.
-    seed: u64,
+    /// An empty sketch sharing the released table's (public) hashing
+    /// structure, kept so point queries map keys to cells without
+    /// reallocating a probe per call.
+    probe: CountMin<K>,
     epsilon: f64,
 }
 
-impl PrivateCountMin {
+impl<K: Item> PrivateCountMin<K> {
     /// Releases a Count-Min sketch under `ε`-DP by adding
     /// `Laplace(depth/ε)` to every cell (ℓ1-sensitivity of the table under
     /// add/remove-one-element neighbours is exactly `depth`).
@@ -45,7 +51,7 @@ impl PrivateCountMin {
     ///
     /// Rejects non-positive `ε`.
     pub fn release<R: Rng + ?Sized>(
-        sketch: &CountMin<u64>,
+        sketch: &CountMin<K>,
         epsilon: f64,
         seed: u64,
         rng: &mut R,
@@ -59,21 +65,17 @@ impl PrivateCountMin {
         let depth = sketch.depth();
         let width = sketch.width();
         let lap = Laplace::new(depth as f64 / epsilon)?;
-        // Query each cell through a probe sketch sharing the seed: we
-        // reconstruct cell values by querying a fresh CountMin built from
-        // the same parameters... Instead, expose the noisy table by reading
-        // per-key estimates is wrong; we need raw cells. CountMin exposes
-        // them via `raw_cells`.
         let table = sketch
             .raw_cells()
             .iter()
             .map(|&c| c as f64 + lap.sample(rng))
             .collect();
+        let probe =
+            CountMin::<K>::new(width, depth, seed).expect("dimensions validated just above");
         Ok(Self {
-            width,
             depth,
             table,
-            seed,
+            probe,
             epsilon,
         })
     }
@@ -85,30 +87,45 @@ impl PrivateCountMin {
 
     /// Point query: minimum of the noisy cells for `x` (the natural
     /// post-processing of the released table; no longer an overestimate).
-    pub fn estimate_key(&self, x: &u64) -> f64 {
-        let probe = CountMin::<u64>::new(self.width, self.depth, self.seed)
-            .expect("dimensions validated at release");
-        probe
+    pub fn estimate_key(&self, x: &K) -> f64 {
+        self.probe
             .cell_indices(x)
             .into_iter()
             .map(|idx| self.table[idx])
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Recovers the top-`k` candidates by iterating the universe `[1, d]` —
-    /// the basic \[18, Appendix D\]-style recovery. Infeasible for huge `d`,
-    /// which is itself part of the paper's argument.
-    pub fn top_k_by_universe_scan(&self, d: u64, k: usize) -> PrivateHistogram<u64> {
-        let mut candidates: Vec<(f64, u64)> = (1..=d).map(|x| (self.estimate_key(&x), x)).collect();
-        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-        candidates.truncate(k);
-        let entries: BTreeMap<u64, f64> = candidates.into_iter().map(|(v, x)| (x, v)).collect();
+    /// Recovers the top-`k` among an explicit candidate key set — the
+    /// generic form of heavy-hitter recovery from an oracle. The candidate
+    /// set must be data-independent (e.g. a public dictionary) for the
+    /// release to stay a pure post-processing of the `ε`-DP table.
+    pub fn top_k_from_candidates(
+        &self,
+        candidates: impl IntoIterator<Item = K>,
+        k: usize,
+    ) -> PrivateHistogram<K> {
+        let mut scored: Vec<(f64, K)> = candidates
+            .into_iter()
+            .map(|x| (self.estimate_key(&x), x))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        scored.truncate(k);
+        let entries: BTreeMap<K, f64> = scored.into_iter().map(|(v, x)| (x, v)).collect();
         PrivateHistogram::from_parts(entries, 0.0)
     }
 }
 
-impl FrequencyOracle<u64> for PrivateCountMin {
-    fn estimate(&self, key: &u64) -> f64 {
+impl PrivateCountMin<u64> {
+    /// Recovers the top-`k` candidates by iterating the universe `[1, d]` —
+    /// the basic \[18, Appendix D\]-style recovery. Infeasible for huge `d`,
+    /// which is itself part of the paper's argument.
+    pub fn top_k_by_universe_scan(&self, d: u64, k: usize) -> PrivateHistogram<u64> {
+        self.top_k_from_candidates(1..=d, k)
+    }
+}
+
+impl<K: Item> FrequencyOracle<K> for PrivateCountMin<K> {
+    fn estimate(&self, key: &K) -> f64 {
         self.estimate_key(key)
     }
 }
@@ -127,7 +144,7 @@ pub fn sketch_and_release_cm<R: Rng + ?Sized>(
     epsilon: f64,
     seed: u64,
     rng: &mut R,
-) -> Result<PrivateCountMin, SketchOrNoise> {
+) -> Result<PrivateCountMin<u64>, SketchOrNoise> {
     let depth = (64 - (d.max(2) - 1).leading_zeros()) as usize;
     let mut cm = CountMin::<u64>::new(width, depth, seed).map_err(SketchOrNoise::Sketch)?;
     for x in stream {
@@ -214,6 +231,25 @@ mod tests {
         for key in 1..=3u64 {
             assert!(top.contains(&key), "missing heavy hitter {key}");
         }
+    }
+
+    #[test]
+    fn generic_keys_work_end_to_end() {
+        // String keys: the previously u64-pinned mechanism now joins the
+        // generic registry surface.
+        let mut cm = CountMin::<String>::new(256, 6, 9).unwrap();
+        for _ in 0..5_000 {
+            cm.update(&"alpha".to_string());
+        }
+        for _ in 0..100 {
+            cm.update(&"beta".to_string());
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let released = PrivateCountMin::release(&cm, 1.0, 9, &mut rng).unwrap();
+        let est = released.estimate_key(&"alpha".to_string());
+        assert!((est - 5_000.0).abs() < 500.0, "estimate {est}");
+        let top = released.top_k_from_candidates(["alpha", "beta", "gamma"].map(str::to_string), 1);
+        assert!(top.contains(&"alpha".to_string()));
     }
 
     #[test]

@@ -33,8 +33,8 @@ use dpmg_noise::accounting::PrivacyParams;
 use dpmg_noise::laplace::Laplace;
 use dpmg_noise::NoiseError;
 use dpmg_sketch::misra_gries::MisraGries;
-use dpmg_sketch::sensitivity_reduce::{reduce_sketch, ReducedSketch};
-use dpmg_sketch::traits::Item;
+use dpmg_sketch::sensitivity_reduce::{reduce, reduce_sketch, ReducedSketch};
+use dpmg_sketch::traits::{Item, Summary};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -129,7 +129,17 @@ impl PureDpRelease {
         sketch: &MisraGries<u64>,
         rng: &mut R,
     ) -> PrivateHistogram<u64> {
-        let reduced = reduce_sketch(sketch);
+        self.release_summary(&sketch.summary(), rng)
+    }
+
+    /// Releases an extracted [`Summary`] (registry entry point): Algorithm 3
+    /// on the summary's counters, then the same `O(k log d)` noisy top-`k`.
+    pub fn release_summary<R: Rng + ?Sized>(
+        &self,
+        summary: &Summary<u64>,
+        rng: &mut R,
+    ) -> PrivateHistogram<u64> {
+        let reduced = reduce(summary);
         let k = reduced.k;
         let lap = Laplace::new(self.noise_scale()).expect("validated scale");
 
@@ -228,7 +238,16 @@ impl ReducedThresholdRelease {
         sketch: &MisraGries<K>,
         rng: &mut R,
     ) -> PrivateHistogram<K> {
-        let reduced = reduce_sketch(sketch);
+        self.release_summary(&sketch.summary(), rng)
+    }
+
+    /// Releases an extracted [`Summary`] (registry entry point).
+    pub fn release_summary<K: Item, R: Rng + ?Sized>(
+        &self,
+        summary: &Summary<K>,
+        rng: &mut R,
+    ) -> PrivateHistogram<K> {
+        let reduced = reduce(summary);
         let lap = Laplace::new(Self::SENSITIVITY / self.params.epsilon()).expect("valid scale");
         let threshold = self.threshold();
         let entries = reduced

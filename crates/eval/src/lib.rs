@@ -16,6 +16,9 @@
 //!   loss from the observed output distributions. Used by experiment E5 to
 //!   show that the paper's PMG honours its budget while Böhler–Kerschbaum's
 //!   published mechanism does not.
+//! * [`sweep`] — the registry-driven sweep runner: mechanism × workload ×
+//!   `(ε, δ)` grid with shared error metrics and CSV output, so experiment
+//!   binaries sweep *every* release path without per-mechanism plumbing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,3 +27,4 @@ pub mod audit;
 pub mod experiment;
 pub mod metrics;
 pub mod plot;
+pub mod sweep;

@@ -152,6 +152,146 @@ pub fn compose(parts: &[PrivacyParams]) -> Option<PrivacyParams> {
     PrivacyParams::new(epsilon, delta.min(1.0 - f64::EPSILON)).ok()
 }
 
+/// A requested release would overspend the privacy budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetExceeded {
+    /// The parameters the rejected release asked for.
+    pub requested: PrivacyParams,
+    /// Budget still available before the rejected request.
+    pub remaining_epsilon: f64,
+    /// δ budget still available before the rejected request.
+    pub remaining_delta: f64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "privacy budget exceeded: requested {}, but only (ε = {}, δ = {:e}) remains",
+            self.requested, self.remaining_epsilon, self.remaining_delta
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A sequential-composition privacy budget meter.
+///
+/// Releasing several statistics of the same stream composes: the `ε`s and
+/// `δ`s add (basic composition, as in [`compose`]). The accountant holds a
+/// total `(ε, δ)` budget and *charges* each release against it, refusing any
+/// release that would overdraw — the bookkeeping every multi-release
+/// consumer (sweep runners, the privatized pipeline) needs but the bare
+/// mechanisms do not do for themselves.
+///
+/// ```
+/// use dpmg_noise::accounting::{Accountant, PrivacyParams};
+///
+/// let mut acct = Accountant::new(PrivacyParams::new(1.0, 1e-6).unwrap());
+/// let per_release = PrivacyParams::new(0.4, 1e-7).unwrap();
+/// assert!(acct.charge(per_release).is_ok());
+/// assert!(acct.charge(per_release).is_ok());
+/// assert!(acct.charge(per_release).is_err()); // 1.2 > 1.0
+/// assert_eq!(acct.charges(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accountant {
+    budget: PrivacyParams,
+    spent_epsilon: f64,
+    spent_delta: f64,
+    charges: usize,
+}
+
+impl Accountant {
+    /// Creates an accountant with a total `(ε, δ)` budget.
+    pub fn new(budget: PrivacyParams) -> Self {
+        Self {
+            budget,
+            spent_epsilon: 0.0,
+            spent_delta: 0.0,
+            charges: 0,
+        }
+    }
+
+    /// The total budget.
+    pub fn budget(&self) -> PrivacyParams {
+        self.budget
+    }
+
+    /// Composed parameters spent so far (`None` before the first charge —
+    /// composing zero mechanisms guarantees nothing to account for).
+    pub fn spent(&self) -> Option<PrivacyParams> {
+        (self.charges > 0)
+            .then(|| PrivacyParams::new(self.spent_epsilon, self.spent_delta.min(1.0)).ok())
+            .flatten()
+    }
+
+    /// Number of successful charges.
+    pub fn charges(&self) -> usize {
+        self.charges
+    }
+
+    /// `ε` budget still available.
+    pub fn remaining_epsilon(&self) -> f64 {
+        (self.budget.epsilon - self.spent_epsilon).max(0.0)
+    }
+
+    /// `δ` budget still available.
+    pub fn remaining_delta(&self) -> f64 {
+        (self.budget.delta - self.spent_delta).max(0.0)
+    }
+
+    /// Whether a release with parameters `params` would still fit.
+    ///
+    /// Comparisons allow one ulp of slack so that `n` charges of
+    /// `budget / n` always fit.
+    pub fn can_afford(&self, params: PrivacyParams) -> bool {
+        let eps_ok =
+            self.spent_epsilon + params.epsilon <= self.budget.epsilon * (1.0 + 4.0 * f64::EPSILON);
+        let delta_ok =
+            self.spent_delta + params.delta <= self.budget.delta * (1.0 + 4.0 * f64::EPSILON);
+        eps_ok && delta_ok
+    }
+
+    /// Charges one release against the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] (and leaves the accountant unchanged) when
+    /// the composed spend would exceed the budget in `ε` or `δ`.
+    pub fn charge(&mut self, params: PrivacyParams) -> Result<(), BudgetExceeded> {
+        if !self.can_afford(params) {
+            return Err(BudgetExceeded {
+                requested: params,
+                remaining_epsilon: self.remaining_epsilon(),
+                remaining_delta: self.remaining_delta(),
+            });
+        }
+        self.spent_epsilon += params.epsilon;
+        self.spent_delta += params.delta;
+        self.charges += 1;
+        Ok(())
+    }
+
+    /// Splits the *remaining* budget evenly over `n` future releases.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n = 0` or nothing usable remains.
+    pub fn split_remaining(&self, n: u32) -> Result<PrivacyParams, NoiseError> {
+        if n == 0 {
+            return Err(NoiseError::InvalidPrivacyParameter {
+                name: "n",
+                value: 0.0,
+            });
+        }
+        PrivacyParams::new(
+            self.remaining_epsilon() / f64::from(n),
+            self.remaining_delta() / f64::from(n),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +369,61 @@ mod tests {
         let approx = PrivacyParams::new(0.5, 1e-8).unwrap();
         assert!(approx.to_string().contains("0.5"));
         assert!(approx.to_string().contains("e-8"));
+    }
+
+    #[test]
+    fn accountant_meters_and_refuses_overdraw() {
+        let mut acct = Accountant::new(PrivacyParams::new(1.0, 1e-6).unwrap());
+        assert!(acct.spent().is_none());
+        assert_eq!(acct.charges(), 0);
+        let p = PrivacyParams::new(0.5, 4e-7).unwrap();
+        acct.charge(p).unwrap();
+        acct.charge(p).unwrap();
+        let spent = acct.spent().unwrap();
+        assert!((spent.epsilon() - 1.0).abs() < 1e-12);
+        assert!((spent.delta() - 8e-7).abs() < 1e-18);
+        // Budget now exhausted; another charge must fail without mutating.
+        let err = acct.charge(p).unwrap_err();
+        assert_eq!(err.requested, p);
+        assert!(err.remaining_epsilon < 1e-9);
+        assert_eq!(acct.charges(), 2);
+        assert!(err.to_string().contains("privacy budget exceeded"));
+    }
+
+    #[test]
+    fn accountant_exact_split_fits() {
+        // n charges of budget/n must always fit despite float rounding.
+        for n in [3u32, 7, 10] {
+            let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+            let mut acct = Accountant::new(budget);
+            let part = acct.split_remaining(n).unwrap();
+            for i in 0..n {
+                assert!(acct.charge(part).is_ok(), "charge {i} of {n}");
+            }
+            assert!(!acct.can_afford(part));
+        }
+    }
+
+    #[test]
+    fn accountant_delta_budget_is_enforced_separately() {
+        let mut acct = Accountant::new(PrivacyParams::new(10.0, 1e-8).unwrap());
+        // Plenty of ε left, but δ overdraws.
+        let p = PrivacyParams::new(0.1, 1e-8).unwrap();
+        acct.charge(p).unwrap();
+        assert!(acct.charge(p).is_err());
+        assert!(acct.remaining_epsilon() > 9.0);
+    }
+
+    #[test]
+    fn accountant_split_rejects_degenerate() {
+        let acct = Accountant::new(PrivacyParams::new(1.0, 1e-6).unwrap());
+        assert!(acct.split_remaining(0).is_err());
+        let mut spent = Accountant::new(PrivacyParams::new(1.0, 1e-6).unwrap());
+        spent
+            .charge(PrivacyParams::new(1.0, 1e-6).unwrap())
+            .unwrap();
+        // Nothing left: ε = 0 is invalid, so splitting errors.
+        assert!(spent.split_remaining(2).is_err());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Pipeline configuration, routing policy, and error types.
 
+use dpmg_core::mechanism::{GshmMechanism, MergedLaplaceMechanism, ReleaseError, ReleaseMechanism};
+use dpmg_noise::accounting::PrivacyParams;
 use dpmg_noise::NoiseError;
-use dpmg_sketch::traits::SketchError;
+use dpmg_sketch::traits::{Item, SketchError};
 
 /// How the producer assigns stream items to shard workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +22,13 @@ pub enum Routing {
 }
 
 /// Which trusted-aggregator mechanism performs the single DP release.
+///
+/// A convenience subset of the full `dpmg-core` mechanism registry — each
+/// variant resolves to its [`ReleaseMechanism`] via [`ReleaseKind::mechanism`],
+/// and the pipeline releases through that common layer. For mechanisms
+/// beyond these two, use
+/// [`PrivatizedPipeline`](crate::mechanism::PrivatizedPipeline), which
+/// accepts *any* registry mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReleaseKind {
     /// Gaussian Sparse Histogram Mechanism exploiting the merged sketch's
@@ -27,6 +36,27 @@ pub enum ReleaseKind {
     TrustedGshm,
     /// `Laplace(k/ε)` per counter plus a threshold (the ℓ1 route).
     TrustedLaplace,
+}
+
+impl ReleaseKind {
+    /// Resolves this kind to its release mechanism at the given privacy
+    /// parameters (`TrustedGshm` → `"gshm"`, `TrustedLaplace` →
+    /// `"merged-laplace"` — both calibrated for the Corollary 18 merged
+    /// neighbour structure).
+    ///
+    /// # Errors
+    ///
+    /// Rejects pure-DP parameters: both trusted-aggregator routes rely on
+    /// thresholding and are inherently approximate-DP.
+    pub fn mechanism<K: Item>(
+        self,
+        params: PrivacyParams,
+    ) -> Result<Box<dyn ReleaseMechanism<K>>, NoiseError> {
+        Ok(match self {
+            ReleaseKind::TrustedGshm => Box::new(GshmMechanism::new(params)?),
+            ReleaseKind::TrustedLaplace => Box::new(MergedLaplaceMechanism::new(params)?),
+        })
+    }
 }
 
 /// Configuration for [`crate::ShardedPipeline`].
@@ -117,6 +147,9 @@ pub enum PipelineError {
     Sketch(SketchError),
     /// The release mechanism rejected its privacy parameters.
     Noise(NoiseError),
+    /// The release mechanism failed (budget exhausted, unsupported input,
+    /// or a calibration error surfaced through the mechanism layer).
+    Mechanism(ReleaseError),
     /// A shard worker thread panicked.
     WorkerPanicked {
         /// Index of the dead shard.
@@ -139,6 +172,7 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::Sketch(e) => write!(f, "sketch error: {e}"),
             PipelineError::Noise(e) => write!(f, "noise error: {e}"),
+            PipelineError::Mechanism(e) => write!(f, "release mechanism error: {e}"),
             PipelineError::WorkerPanicked { shard } => {
                 write!(f, "shard worker {shard} panicked")
             }
@@ -157,6 +191,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Sketch(e) => Some(e),
             PipelineError::Noise(e) => Some(e),
+            PipelineError::Mechanism(e) => Some(e),
             _ => None,
         }
     }
@@ -171,6 +206,17 @@ impl From<SketchError> for PipelineError {
 impl From<NoiseError> for PipelineError {
     fn from(e: NoiseError) -> Self {
         PipelineError::Noise(e)
+    }
+}
+
+impl From<ReleaseError> for PipelineError {
+    fn from(e: ReleaseError) -> Self {
+        // Unwrap plain noise failures to the long-standing variant so
+        // existing callers keep matching on `PipelineError::Noise`.
+        match e {
+            ReleaseError::Noise(noise) => PipelineError::Noise(noise),
+            other => PipelineError::Mechanism(other),
+        }
     }
 }
 

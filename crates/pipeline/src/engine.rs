@@ -1,14 +1,14 @@
 //! The sharded ingestion engine.
 
-use crate::config::{PipelineConfig, PipelineError, ReleaseKind, Routing};
+use crate::config::{PipelineConfig, PipelineError, Routing};
 use crossbeam::channel::{self, Sender};
-use dpmg_core::merged::{release_merged_gshm, release_merged_laplace};
+use dpmg_core::mechanism::ReleaseMechanism;
 use dpmg_core::pmg::PrivateHistogram;
 use dpmg_noise::accounting::PrivacyParams;
 use dpmg_sketch::merge::merge_tree;
 use dpmg_sketch::misra_gries::MisraGries;
 use dpmg_sketch::traits::{Item, Summary};
-use rand::Rng;
+use rand::{Rng, RngCore};
 use std::hash::{Hash, Hasher};
 use std::thread::JoinHandle;
 
@@ -282,14 +282,15 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
     }
 
     /// Performs the single `(ε, δ)`-DP release of the merge-tree summary
-    /// with the configured [`ReleaseKind`]; [`Self::merged`] is exactly the
-    /// pre-noise input of this release.
+    /// with the configured [`ReleaseKind`], resolved through the
+    /// `dpmg-core` mechanism registry ([`ReleaseKind::mechanism`]);
+    /// [`Self::merged`] is exactly the pre-noise input of this release.
     ///
     /// # Errors
     ///
     /// [`PipelineError::NonPrivateRouting`] under [`Routing::RoundRobin`]
     /// (the sensitivity argument requires key-based routing; see the crate
-    /// docs), plus any error from [`Self::finish`] or the noise layer.
+    /// docs), plus any error from [`Self::finish`] or the mechanism layer.
     pub fn release<R: Rng + ?Sized>(
         &mut self,
         params: PrivacyParams,
@@ -299,10 +300,9 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
             return Err(PipelineError::NonPrivateRouting);
         }
         let merged = self.merged()?;
-        let hist = match self.config.release {
-            ReleaseKind::TrustedGshm => release_merged_gshm(&merged, params, rng)?,
-            ReleaseKind::TrustedLaplace => release_merged_laplace(&merged, params, rng)?,
-        };
+        let mechanism = self.config.release.mechanism::<K>(params)?;
+        let mut rng = rng;
+        let hist = mechanism.release(&merged, &mut rng as &mut dyn RngCore)?;
         Ok(hist)
     }
 }

@@ -77,4 +77,6 @@ pub mod mechanism;
 
 pub use config::{PipelineConfig, PipelineError, ReleaseKind, Routing};
 pub use engine::{shard_of_key, PipelineStats, ShardedPipeline};
-pub use mechanism::{sequential_sharded_reference, SequentialBaseline, StreamingMechanism};
+pub use mechanism::{
+    sequential_sharded_reference, PrivatizedPipeline, SequentialBaseline, StreamingMechanism,
+};

@@ -1,12 +1,15 @@
 //! A common surface over streaming-histogram mechanisms, so experiments
 //! and benches can sweep ingestion strategies (sequential vs `S`-shard
-//! pipeline) without caring which is which.
+//! pipeline) without caring which is which — plus the
+//! [`PrivatizedPipeline`], which pairs the sharded engine with **any**
+//! release mechanism from the `dpmg-core` registry and an accountant that
+//! meters every release against one privacy budget.
 
-use crate::config::{PipelineError, ReleaseKind};
-use crate::engine::ShardedPipeline;
-use dpmg_core::merged::{release_trusted_gshm, release_trusted_laplace};
+use crate::config::{PipelineConfig, PipelineError, ReleaseKind, Routing};
+use crate::engine::{PipelineStats, ShardedPipeline};
+use dpmg_core::mechanism::{release_metered, ReleaseError, ReleaseMechanism, SensitivityModel};
 use dpmg_core::pmg::PrivateHistogram;
-use dpmg_noise::accounting::PrivacyParams;
+use dpmg_noise::accounting::{Accountant, PrivacyParams};
 use dpmg_sketch::merge::merge_tree;
 use dpmg_sketch::misra_gries::MisraGries;
 use dpmg_sketch::traits::{Item, Summary};
@@ -108,12 +111,12 @@ impl<K: Item> StreamingMechanism<K> for SequentialBaseline<K> {
         params: PrivacyParams,
         rng: &mut dyn RngCore,
     ) -> Result<PrivateHistogram<K>, PipelineError> {
-        let summaries = [self.sketch.summary()];
-        let hist = match self.release {
-            ReleaseKind::TrustedGshm => release_trusted_gshm(&summaries, params, rng)?,
-            ReleaseKind::TrustedLaplace => release_trusted_laplace(&summaries, params, rng)?,
-        };
-        Ok(hist)
+        // A 1-summary merge: the same trusted-aggregator mechanism as the
+        // pipeline, resolved through the shared registry layer.
+        let merged =
+            merge_tree(&[self.sketch.summary()]).unwrap_or_else(|| Summary::empty(self.sketch.k()));
+        let mechanism = self.release.mechanism::<K>(params)?;
+        Ok(mechanism.release(&merged, rng)?)
     }
 }
 
@@ -143,6 +146,154 @@ impl<K: Item + Send + 'static> StreamingMechanism<K> for ShardedPipeline<K> {
         rng: &mut dyn RngCore,
     ) -> Result<PrivateHistogram<K>, PipelineError> {
         ShardedPipeline::release(self, params, rng)
+    }
+}
+
+/// The sharded ingestion engine paired with **any** release mechanism from
+/// the `dpmg-core` registry — the generic replacement for the hardwired
+/// GSHM/Laplace pair of [`ReleaseKind`] — and an [`Accountant`] that meters
+/// every release against one total privacy budget.
+///
+/// The engine's routing/merging guarantees (Corollary 18) are unchanged;
+/// what varies is the final noise step. Any `M: ReleaseMechanism<K>` works,
+/// including a `Box<dyn ReleaseMechanism<K>>` picked from
+/// [`dpmg_core::mechanism::registry`] at runtime.
+///
+/// **Sensitivity guard:** with more than one shard the pre-noise summary is
+/// a *merged* sketch, whose neighbours differ by 1 on up to `k` arbitrary
+/// counters (Corollary 18) — noise calibrated to the single-sketch Lemma 8
+/// structure (e.g. PMG's constant-scale noise) does **not** cover it. A
+/// multi-shard [`Self::release`] therefore refuses any mechanism whose
+/// [`SensitivityModel`] is not `MergedOneSided` (`gshm`,
+/// `merged-laplace`), the same way round-robin routing is refused. With
+/// `shards = 1` the summary is an ordinary single-sketch summary and every
+/// mechanism's own documented precondition applies, exactly as if it were
+/// released directly.
+///
+/// ```
+/// use dpmg_core::mechanism::{by_name, MechanismSpec};
+/// use dpmg_noise::accounting::PrivacyParams;
+/// use dpmg_pipeline::{PipelineConfig, PrivatizedPipeline};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+/// let mechanism = by_name(&MechanismSpec::new(params), "gshm").unwrap().unwrap();
+/// let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+/// let mut pipe =
+///     PrivatizedPipeline::new(PipelineConfig::new(4, 64), mechanism, budget).unwrap();
+/// pipe.ingest_from((0..10_000u64).map(|i| if i % 2 == 0 { 7 } else { i })).unwrap();
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let released = pipe.release(&mut rng).unwrap();
+/// assert!(released.estimate(&7) > 3_000.0);
+/// assert_eq!(pipe.accountant().charges(), 1);
+/// ```
+pub struct PrivatizedPipeline<K: Item + Send + 'static, M: ReleaseMechanism<K>> {
+    inner: ShardedPipeline<K>,
+    mechanism: M,
+    accountant: Accountant,
+}
+
+impl<K: Item + Send + 'static, M: ReleaseMechanism<K>> PrivatizedPipeline<K, M> {
+    /// Spawns the sharded engine with the given mechanism and total budget.
+    /// The `release` field of `config` is ignored — `mechanism` decides.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedPipeline::new`].
+    pub fn new(
+        config: PipelineConfig,
+        mechanism: M,
+        budget: PrivacyParams,
+    ) -> Result<Self, PipelineError> {
+        Ok(Self {
+            inner: ShardedPipeline::new(config)?,
+            mechanism,
+            accountant: Accountant::new(budget),
+        })
+    }
+
+    /// Ingests one item.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedPipeline::ingest`].
+    pub fn ingest(&mut self, item: K) -> Result<(), PipelineError> {
+        self.inner.ingest(item)
+    }
+
+    /// Ingests a whole stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedPipeline::ingest_from`].
+    pub fn ingest_from(&mut self, items: impl IntoIterator<Item = K>) -> Result<(), PipelineError> {
+        self.inner.ingest_from(items)
+    }
+
+    /// The release mechanism in use.
+    pub fn mechanism(&self) -> &M {
+        &self.mechanism
+    }
+
+    /// The budget accountant (inspect spent/remaining budget).
+    pub fn accountant(&self) -> &Accountant {
+        &self.accountant
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> PipelineStats {
+        self.inner.stats()
+    }
+
+    /// The pre-noise merged summary (NOT private; for error accounting).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedPipeline::merged`].
+    pub fn merged(&mut self) -> Result<Summary<K>, PipelineError> {
+        self.inner.merged()
+    }
+
+    /// Performs one DP release of the merged summary through the mechanism,
+    /// charging the accountant with the mechanism's advertised privacy
+    /// parameters. May be called repeatedly — each call is a fresh release
+    /// under sequential composition — until the budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NonPrivateRouting`] under round-robin routing,
+    /// [`PipelineError::Mechanism`] when a multi-shard release is requested
+    /// through a mechanism not calibrated for the Corollary 18 merged
+    /// neighbour structure (see the type-level docs), when the budget is
+    /// exhausted, or when the mechanism rejects the input — plus any engine
+    /// error. Refused releases are never charged.
+    pub fn release(&mut self, rng: &mut dyn RngCore) -> Result<PrivateHistogram<K>, PipelineError> {
+        if self.inner.config().routing != Routing::HashKey {
+            return Err(PipelineError::NonPrivateRouting);
+        }
+        if self.inner.config().shards > 1
+            && self.mechanism.sensitivity_model() != SensitivityModel::MergedOneSided
+        {
+            return Err(PipelineError::Mechanism(ReleaseError::Unsupported {
+                mechanism: self.mechanism.name(),
+                reason: "multi-shard merged summaries have the Corollary 18 neighbour \
+                         structure; only mechanisms calibrated for it (sensitivity model \
+                         MergedOneSided, e.g. gshm or merged-laplace) may release them — \
+                         use one of those, or a single-shard pipeline",
+            }));
+        }
+        let merged = self.inner.merged()?;
+        Ok(release_metered(
+            &self.mechanism,
+            &merged,
+            &mut self.accountant,
+            rng,
+        )?)
+    }
+
+    /// Tears down into the underlying engine (e.g. to read shard summaries).
+    pub fn into_inner(self) -> ShardedPipeline<K> {
+        self.inner
     }
 }
 
@@ -219,6 +370,154 @@ mod tests {
             );
         }
         assert_eq!(mechanisms[1].label(), "pipeline-4");
+    }
+
+    #[test]
+    fn privatized_pipeline_accepts_any_registry_mechanism_single_shard() {
+        use dpmg_core::mechanism::{registry, MechanismSpec};
+
+        // With shards = 1 the pre-noise summary is an ordinary single-sketch
+        // summary, so every registry mechanism's own calibration applies.
+        let stream: Vec<u64> = (0..30_000u64)
+            .map(|i| if i % 2 == 0 { 5 } else { 100 + i % 300 })
+            .collect();
+        let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+        let budget = PrivacyParams::new(20.0, 1e-4).unwrap();
+        let spec = MechanismSpec::new(params);
+        for mechanism in registry(&spec).unwrap() {
+            let name = mechanism.name();
+            let mut pipe = PrivatizedPipeline::new(
+                crate::PipelineConfig::new(1, 64).with_batch_size(512),
+                mechanism,
+                budget,
+            )
+            .unwrap();
+            pipe.ingest_from(stream.iter().copied()).unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            let hist = pipe.release(&mut rng).unwrap();
+            assert!(
+                hist.estimate(&5) > 10_000.0,
+                "{name}: {}",
+                hist.estimate(&5)
+            );
+            assert_eq!(pipe.accountant().charges(), 1, "{name}");
+            assert!(
+                (pipe.accountant().spent().unwrap().epsilon() - 0.9).abs() < 1e-12,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn privatized_pipeline_guards_merged_sensitivity() {
+        use dpmg_core::mechanism::{registry, MechanismSpec};
+
+        // Multi-shard merged summaries have the Corollary 18 neighbour
+        // structure; only MergedOneSided-calibrated mechanisms may release
+        // them. Everything else is refused BEFORE noise is drawn or budget
+        // spent.
+        let stream: Vec<u64> = (0..30_000u64)
+            .map(|i| if i % 2 == 0 { 5 } else { 100 + i % 300 })
+            .collect();
+        let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+        let budget = PrivacyParams::new(20.0, 1e-4).unwrap();
+        let spec = MechanismSpec::new(params);
+        for mechanism in registry(&spec).unwrap() {
+            let name = mechanism.name();
+            let merged_sound = mechanism.sensitivity_model() == SensitivityModel::MergedOneSided;
+            let mut pipe = PrivatizedPipeline::new(
+                crate::PipelineConfig::new(4, 64).with_batch_size(512),
+                mechanism,
+                budget,
+            )
+            .unwrap();
+            pipe.ingest_from(stream.iter().copied()).unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            match pipe.release(&mut rng) {
+                Ok(hist) => {
+                    assert!(merged_sound, "{name} must have been refused");
+                    assert!(hist.estimate(&5) > 10_000.0, "{name}");
+                    assert_eq!(pipe.accountant().charges(), 1, "{name}");
+                }
+                Err(err) => {
+                    assert!(!merged_sound, "{name} must have released: {err}");
+                    assert!(
+                        matches!(
+                            err,
+                            PipelineError::Mechanism(ReleaseError::Unsupported { .. })
+                        ),
+                        "{name}: {err}"
+                    );
+                    assert_eq!(pipe.accountant().charges(), 0, "{name} was charged");
+                }
+            }
+        }
+        // The sound subset is exactly the two trusted-aggregator routes.
+        let sound: Vec<&str> = registry(&spec)
+            .unwrap()
+            .iter()
+            .filter(|m| m.sensitivity_model() == SensitivityModel::MergedOneSided)
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(sound, vec!["merged-laplace", "gshm"]);
+    }
+
+    #[test]
+    fn privatized_pipeline_enforces_budget_across_releases() {
+        use dpmg_core::mechanism::{MergedLaplaceMechanism, ReleaseError};
+
+        let params = PrivacyParams::new(0.5, 1e-8).unwrap();
+        let mechanism = MergedLaplaceMechanism::new(params).unwrap();
+        // Budget affords exactly two releases.
+        let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+        let mut pipe =
+            PrivatizedPipeline::new(crate::PipelineConfig::new(2, 16), mechanism, budget).unwrap();
+        pipe.ingest_from((0..5_000u64).map(|i| i % 3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        pipe.release(&mut rng).unwrap();
+        pipe.release(&mut rng).unwrap();
+        let err = pipe.release(&mut rng).unwrap_err();
+        assert!(
+            matches!(err, PipelineError::Mechanism(ReleaseError::Budget(_))),
+            "{err}"
+        );
+        assert_eq!(pipe.accountant().charges(), 2);
+        assert!(pipe.accountant().remaining_epsilon() < 1e-9);
+    }
+
+    #[test]
+    fn privatized_pipeline_refuses_round_robin_release() {
+        use dpmg_core::mechanism::{GshmMechanism, MechanismSpec};
+
+        let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+        let _ = MechanismSpec::new(params); // spec shape exercised above
+        let mechanism = GshmMechanism::new(params).unwrap();
+        let config = crate::PipelineConfig::new(2, 8).with_routing(Routing::RoundRobin);
+        let mut pipe = PrivatizedPipeline::new(config, mechanism, params).unwrap();
+        pipe.ingest_from(0..100u64).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            pipe.release(&mut rng),
+            Err(PipelineError::NonPrivateRouting)
+        ));
+        // The refused release must not be charged.
+        assert_eq!(pipe.accountant().charges(), 0);
+        // The engine is still usable for non-private inspection.
+        assert!(pipe.merged().is_ok());
+        assert_eq!(pipe.into_inner().stats().items, 100);
+    }
+
+    #[test]
+    fn release_kind_resolves_to_registry_mechanisms() {
+        let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+        let gshm = ReleaseKind::TrustedGshm.mechanism::<u64>(params).unwrap();
+        assert_eq!(gshm.name(), "gshm");
+        let lap = ReleaseKind::TrustedLaplace
+            .mechanism::<u64>(params)
+            .unwrap();
+        assert_eq!(lap.name(), "merged-laplace");
+        let pure = PrivacyParams::pure(1.0).unwrap();
+        assert!(ReleaseKind::TrustedGshm.mechanism::<u64>(pure).is_err());
     }
 
     #[test]

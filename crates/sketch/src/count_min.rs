@@ -139,6 +139,36 @@ impl<K: Item> CountMin<K> {
         }
     }
 
+    /// Processes `count` occurrences of `x` at once (equivalent to calling
+    /// [`Self::update`] `count` times for the plain update rule). Used to
+    /// load a sketch from pre-aggregated `(key, count)` summaries.
+    ///
+    /// With conservative update enabled the bulk rule raises the minimal
+    /// cells by the full `count`, which matches the per-item sequence only
+    /// when the key's cells are not shared; for pre-aggregated loads this is
+    /// the standard (and still never-underestimating) behaviour.
+    pub fn update_by(&mut self, x: &K, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.n += count;
+        let digest = key_digest(x);
+        if self.conservative {
+            let est = self.query_digest(digest);
+            for row in 0..self.depth {
+                let idx = row * self.width + self.bucket(row, digest);
+                if self.table[idx] == est {
+                    self.table[idx] += count;
+                }
+            }
+        } else {
+            for row in 0..self.depth {
+                let idx = row * self.width + self.bucket(row, digest);
+                self.table[idx] += count;
+            }
+        }
+    }
+
     /// Processes a whole stream.
     pub fn extend<'a>(&mut self, stream: impl IntoIterator<Item = &'a K>)
     where
@@ -257,6 +287,20 @@ mod tests {
         for x in 0..97u64 {
             assert!(cons.count(&x) >= stream.iter().filter(|&&y| y == x).count() as u64);
         }
+    }
+
+    #[test]
+    fn update_by_matches_repeated_update() {
+        let mut bulk = CountMin::<u64>::new(32, 4, 11).unwrap();
+        let mut slow = CountMin::<u64>::new(32, 4, 11).unwrap();
+        for (key, count) in [(3u64, 5u64), (9, 0), (17, 12)] {
+            bulk.update_by(&key, count);
+            for _ in 0..count {
+                slow.update(&key);
+            }
+        }
+        assert_eq!(bulk.raw_cells(), slow.raw_cells());
+        assert_eq!(bulk.stream_len(), slow.stream_len());
     }
 
     #[test]

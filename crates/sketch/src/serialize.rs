@@ -181,5 +181,57 @@ mod tests {
             let back = decode(&encode(&summary)).unwrap();
             prop_assert_eq!(summary, back);
         }
+
+        /// Every strict prefix of a valid encoding is rejected: the header
+        /// carries the entry count, so truncation can never silently decode.
+        #[test]
+        fn prop_rejects_every_truncation(
+            entries in proptest::collection::btree_map(0u64..1000, 0u64..1_000_000, 0..16),
+            frac in 0.0f64..1.0,
+        ) {
+            let summary = Summary { k: 16, entries };
+            let bytes = encode(&summary);
+            // frac < 1.0 strictly, so cut ∈ [0, len − 1]: every strict
+            // prefix length is reachable, including dropping only the
+            // final byte.
+            let cut = (bytes.len() as f64 * frac) as usize;
+            prop_assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+
+        /// Corruption safety: flipping any single byte either fails to
+        /// decode, or decodes to a summary that re-encodes *canonically* —
+        /// `encode(decode(m)) == m` — so a mutated buffer can never alias a
+        /// different summary's canonical encoding while claiming to be this
+        /// one. (Counter bytes are data, so some flips legitimately decode.)
+        #[test]
+        fn prop_byte_flips_reject_or_stay_canonical(
+            entries in proptest::collection::btree_map(0u64..1000, 0u64..1_000_000, 1..16),
+            pos_frac in 0.0f64..1.0,
+            bit in 0u8..8,
+        ) {
+            let summary = Summary { k: 16, entries };
+            let mut bytes = encode(&summary).to_vec();
+            // pos_frac < 1.0 strictly ⇒ pos ∈ [0, len − 1]: the final byte
+            // (high byte of the last counter) is flippable too.
+            let pos = (bytes.len() as f64 * pos_frac) as usize;
+            bytes[pos] ^= 1 << bit;
+            if let Ok(mutated) = decode(&bytes) {
+                prop_assert_eq!(encode(&mutated).as_ref(), &bytes[..]);
+                // And the decoded summary still respects the structural
+                // invariant the format promises.
+                prop_assert!(mutated.len() <= mutated.k);
+            }
+        }
+
+        /// Decoding is total and panic-free on arbitrary bytes, and every
+        /// accepted buffer is the canonical encoding of its decode.
+        #[test]
+        fn prop_arbitrary_bytes_never_panic_and_accepts_are_canonical(
+            bytes in proptest::collection::vec(0u8..=255, 0..256),
+        ) {
+            if let Ok(summary) = decode(&bytes) {
+                prop_assert_eq!(encode(&summary).as_ref(), &bytes[..]);
+            }
+        }
     }
 }

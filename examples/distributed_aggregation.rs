@@ -1,5 +1,7 @@
 //! Distributed aggregation (Section 7) — sketches computed on many servers,
-//! shipped over the wire, and combined under both trust models.
+//! shipped over the wire, and combined under both trust models, with the
+//! final releases drawn from the **mechanism registry** and metered by a
+//! budget [`Accountant`].
 //!
 //! Eight worker threads each sketch their own shard of a query-log stream,
 //! serialize the summary with the crate's wire format, and send it over a
@@ -8,16 +10,20 @@
 //! * **untrusted model** — receives PMG-released (already noisy) sketches
 //!   and merges them; privacy holds against the aggregator itself;
 //! * **trusted model** — receives raw sketches, merges, and releases once
-//!   with the Gaussian Sparse Histogram Mechanism (ℓ2-sensitivity √k,
-//!   Corollary 18).
+//!   through any registry mechanism — here the Gaussian Sparse Histogram
+//!   Mechanism (`"gshm"`, ℓ2-sensitivity √k by Corollary 18), with the
+//!   ℓ1 `"merged-laplace"` route released from the *same* merged summary
+//!   for comparison, both charged against one privacy budget.
 //!
 //! ```sh
 //! cargo run --release --example distributed_aggregation
 //! ```
 
 use crossbeam::channel;
-use dp_misra_gries::core::merged::{release_trusted_gshm, release_untrusted};
+use dp_misra_gries::core::mechanism::by_name;
+use dp_misra_gries::core::merged::release_untrusted;
 use dp_misra_gries::prelude::*;
+use dp_misra_gries::sketch::merge::merge_tree;
 use dp_misra_gries::sketch::serialize::{decode, encode};
 use dp_misra_gries::workload::traces::query_log;
 use rand::rngs::StdRng;
@@ -66,10 +72,38 @@ fn main() {
             received.iter().map(Vec::len).sum::<usize>()
         );
 
-        // Trusted model: merge raw, release once via GSHM.
+        // Trusted model: merge raw, then release through registry
+        // mechanisms — each release metered against one total budget.
+        let merged = merge_tree(&summaries).expect("non-empty");
+        let spec = MechanismSpec::new(params);
+        let mut accountant = Accountant::new(PrivacyParams::new(2.0, 1e-6).unwrap());
         let mut rng = StdRng::seed_from_u64(77);
-        let trusted = release_trusted_gshm(&summaries, params, &mut rng).unwrap();
-        println!("trusted release: {} counters", trusted.len());
+
+        let gshm = by_name(&spec, "gshm").unwrap().expect("registry name");
+        let trusted = release_metered(gshm.as_ref(), &merged, &mut accountant, &mut rng).unwrap();
+        println!(
+            "trusted release via {:10} ({}): {} counters",
+            gshm.name(),
+            gshm.sensitivity_model(),
+            trusted.len()
+        );
+
+        let laplace = by_name(&spec, "merged-laplace")
+            .unwrap()
+            .expect("registry name");
+        let trusted_l1 =
+            release_metered(laplace.as_ref(), &merged, &mut accountant, &mut rng).unwrap();
+        println!(
+            "trusted release via {:10} ({}): {} counters",
+            laplace.name(),
+            laplace.sensitivity_model(),
+            trusted_l1.len()
+        );
+        println!(
+            "budget after 2 releases: spent {}, ε remaining {:.2}",
+            accountant.spent().unwrap(),
+            accountant.remaining_epsilon()
+        );
 
         // Untrusted model: re-sketch locally (the workers would in reality
         // release before sending; reconstruct that flow here).

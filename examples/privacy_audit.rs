@@ -1,9 +1,11 @@
 //! Privacy auditing demo — reproducing the paper's "Relation to Böhler &
-//! Kerschbaum" finding empirically.
+//! Kerschbaum" finding empirically, driven entirely off the mechanism
+//! registry: the auditor needs nothing but the shared [`ReleaseMechanism`]
+//! surface, so auditing another mechanism is one more name in the list.
 //!
 //! Builds the decrement-neighbour stream pair (one extra element makes the
 //! Misra-Gries sketch decrement **all** k counters), runs each mechanism
-//! thousands of times on both streams, and estimates the distinguishing
+//! thousands of times on both summaries, and estimates the distinguishing
 //! advantage. The BK mechanism as published claims (1.0, 1e-6)-DP but its
 //! noise ignores the sketch's sensitivity k — the audit exposes a privacy
 //! loss far above 1.
@@ -12,7 +14,7 @@
 //! cargo run --release --example privacy_audit
 //! ```
 
-use dp_misra_gries::core::baselines::BkAsPublished;
+use dp_misra_gries::core::mechanism::by_name;
 use dp_misra_gries::eval::audit::{audit_mechanism, AuditConfig};
 use dp_misra_gries::prelude::*;
 use dp_misra_gries::workload::streams::decrement_neighbor_pair;
@@ -22,54 +24,57 @@ use rand::SeedableRng;
 fn main() {
     let eps = 1.0;
     let delta = 1e-6;
-    let params = PrivacyParams::new(eps, delta).unwrap();
+    let spec = MechanismSpec::new(PrivacyParams::new(eps, delta).unwrap());
     let k = 32usize;
     let trials = 30_000;
 
     let (with, without) = decrement_neighbor_pair(k, 2_000);
-    let build = |stream: &[u64]| {
+    let summarize = |stream: &[u64]| {
         let mut s = MisraGries::new(k).unwrap();
         s.extend(stream.iter().copied());
-        s
+        s.summary()
     };
-    let (sketch_a, sketch_b) = (build(&with), build(&without));
+    let (summary_a, summary_b) = (summarize(&with), summarize(&without));
     println!(
         "neighbour pair built: all {k} counters differ by 1 (ℓ1 distance = {})",
-        sketch_a.summary().l1_distance(&sketch_b.summary())
+        summary_a.l1_distance(&summary_b)
     );
 
     let config = AuditConfig {
         delta,
         ..Default::default()
     };
-    let sum_stat = |hist: &PrivateHistogram<u64>| hist.iter().map(|(_, v)| v).sum::<f64>();
 
-    // --- PMG: the paper's mechanism. --------------------------------------
-    let pmg = PrivateMisraGries::new(params).unwrap();
-    let eps_pmg = audit_mechanism(
-        trials,
-        1,
-        &config,
-        |seed| sum_stat(&pmg.release(&sketch_a, &mut StdRng::seed_from_u64(seed))),
-        |seed| sum_stat(&pmg.release(&sketch_b, &mut StdRng::seed_from_u64(seed))),
-    );
-    println!("\nPMG (Algorithm 2)        claims ε = {eps}: audited ε̂ = {eps_pmg:.2}");
-    assert!(eps_pmg < 1.5 * eps, "PMG must honour its budget");
-
-    // --- BK as published: the broken baseline. -----------------------------
-    let bk = BkAsPublished::new(params).unwrap();
-    let eps_bk = audit_mechanism(
-        trials,
-        2,
-        &config,
-        |seed| sum_stat(&bk.release(&sketch_a, &mut StdRng::seed_from_u64(seed))),
-        |seed| sum_stat(&bk.release(&sketch_b, &mut StdRng::seed_from_u64(seed))),
-    );
-    println!("BK as published [7]      claims ε = {eps}: audited ε̂ = {eps_bk:.2}  ← VIOLATION");
-    assert!(
-        eps_bk > 1.5 * eps,
-        "the audit must expose the sensitivity bug for k = {k}"
-    );
+    // (registry name, display label, must the audit pass?)
+    let audited = [
+        ("pmg", "PMG (Algorithm 2)", true),
+        ("bk-published", "BK as published [7]", false),
+    ];
+    for (i, (name, label, must_pass)) in audited.iter().enumerate() {
+        let mechanism = by_name(&spec, name).unwrap().expect("registry name");
+        let sum_stat = |summary: &dp_misra_gries::sketch::traits::Summary<u64>, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let hist = mechanism.release(summary, &mut rng).expect("feasible");
+            hist.iter().map(|(_, v)| v).sum::<f64>()
+        };
+        let eps_hat = audit_mechanism(
+            trials,
+            1 + i as u64,
+            &config,
+            |seed| sum_stat(&summary_a, seed),
+            |seed| sum_stat(&summary_b, seed),
+        );
+        if *must_pass {
+            println!("{label:24} claims ε = {eps}: audited ε̂ = {eps_hat:.2}");
+            assert!(eps_hat < 1.5 * eps, "{label} must honour its budget");
+        } else {
+            println!("{label:24} claims ε = {eps}: audited ε̂ = {eps_hat:.2}  ← VIOLATION");
+            assert!(
+                eps_hat > 1.5 * eps,
+                "the audit must expose the sensitivity bug for k = {k}"
+            );
+        }
+    }
 
     println!(
         "\nconclusion: adding Laplace(1/ε) to a Misra-Gries sketch (sensitivity {k}) \

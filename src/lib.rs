@@ -18,7 +18,10 @@
 //!   paper's main contribution), the pure-DP release of Section 6, private
 //!   merging (Section 7), user-level mechanisms and the Gaussian Sparse
 //!   Histogram Mechanism (Section 8), and the baselines the paper compares
-//!   against (Chan et al., Böhler–Kerschbaum, stability histograms).
+//!   against (Chan et al., Böhler–Kerschbaum, stability histograms) — all
+//!   unified behind the object-safe `core::mechanism::ReleaseMechanism`
+//!   trait, enumerable from one config via `core::mechanism::registry` and
+//!   budget-metered with the `noise::accounting::Accountant`.
 //! * [`workload`] — synthetic stream generators (Zipf, uniform, adversarial,
 //!   user-set, trace-like).
 //! * [`pipeline`] — the sharded, batched streaming ingestion engine: `S`
@@ -63,10 +66,14 @@ pub use dpmg_workload as workload;
 /// Convenient glob-import surface covering the common entry points.
 pub mod prelude {
     pub use dpmg_core::heavy_hitters::{heavy_hitters, HeavyHitter};
+    pub use dpmg_core::mechanism::{
+        registry, registry_generic, release_metered, MechanismSpec, Release, ReleaseError,
+        ReleaseMechanism, SensitivityModel,
+    };
     pub use dpmg_core::pmg::{PrivateHistogram, PrivateMisraGries};
-    pub use dpmg_noise::accounting::PrivacyParams;
+    pub use dpmg_noise::accounting::{Accountant, PrivacyParams};
     pub use dpmg_pipeline::{
-        PipelineConfig, SequentialBaseline, ShardedPipeline, StreamingMechanism,
+        PipelineConfig, PrivatizedPipeline, SequentialBaseline, ShardedPipeline, StreamingMechanism,
     };
     pub use dpmg_sketch::misra_gries::MisraGries;
     pub use dpmg_sketch::pamg::PrivacyAwareMisraGries;

@@ -8,6 +8,7 @@
 //! key order regardless of stream order.
 
 use dp_misra_gries::core::baselines::{BkCorrected, ChanThresholded};
+use dp_misra_gries::core::mechanism::{registry, MechanismSpec};
 use dp_misra_gries::core::pure::PureDpRelease;
 use dp_misra_gries::prelude::*;
 use rand::rngs::StdRng;
@@ -48,6 +49,56 @@ fn all_mechanisms_are_deterministic_under_seed() {
         pure.release(&sketch, &mut StdRng::seed_from_u64(5)),
         pure.release(&sketch, &mut StdRng::seed_from_u64(5))
     );
+}
+
+#[test]
+fn every_registry_mechanism_is_bitwise_deterministic_under_seed() {
+    // Same seed + same summary ⇒ byte-identical Release, for EVERY release
+    // path in the registry (broken baseline included). Guards against
+    // hidden RNG-order divergence — e.g. a refactor that reorders noise
+    // draws or iterates a hash map — which f64 equality alone would let
+    // slip through for values that merely round the same way.
+    let stream: Vec<u64> = (0..200_000u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                1 + (i / 2) % 6
+            } else {
+                50 + i % 400
+            }
+        })
+        .collect();
+    let mut sketch = MisraGries::new(48).unwrap();
+    sketch.extend(stream.iter().copied());
+    let summary = sketch.summary();
+    let spec =
+        MechanismSpec::new(PrivacyParams::new(0.9, 1e-8).unwrap()).with_broken_baselines(true);
+    let mechanisms = registry(&spec).unwrap();
+    assert_eq!(mechanisms.len(), 12);
+    for mechanism in mechanisms {
+        for seed in [1u64, 42, 0xDEAD] {
+            let a = mechanism
+                .release(&summary, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let b = mechanism
+                .release(&summary, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let bits = |hist: &PrivateHistogram<u64>| -> Vec<(u64, u64)> {
+                hist.iter().map(|(&k, v)| (k, v.to_bits())).collect()
+            };
+            assert_eq!(
+                bits(&a),
+                bits(&b),
+                "{} diverged under seed {seed}",
+                mechanism.name()
+            );
+            assert_eq!(
+                a.threshold().to_bits(),
+                b.threshold().to_bits(),
+                "{} threshold diverged",
+                mechanism.name()
+            );
+        }
+    }
 }
 
 #[test]

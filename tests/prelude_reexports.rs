@@ -50,6 +50,26 @@ fn prelude_names_resolve_and_release_end_to_end() {
         pamg.update_set(user.iter().copied());
     }
     assert!(pamg.count(&7) > 0);
+
+    // The mechanism registry + accountant via the prelude: every release
+    // path is a `Box<dyn ReleaseMechanism<u64>>`, and metered releases
+    // charge the budget.
+    let spec = MechanismSpec::new(params);
+    let mechanisms: Vec<Box<dyn ReleaseMechanism<u64>>> = registry(&spec).unwrap();
+    assert!(mechanisms.len() >= 10);
+    let mut accountant = Accountant::new(PrivacyParams::new(2.0, 1e-6).unwrap());
+    let summary = sketch.summary();
+    let released: Release<u64> =
+        release_metered(mechanisms[0].as_ref(), &summary, &mut accountant, &mut rng).unwrap();
+    assert!(released.estimate(&7) > 1_000.0);
+    assert_eq!(accountant.charges(), 1);
+    assert_eq!(
+        mechanisms[0].sensitivity_model(),
+        SensitivityModel::MisraGriesLemma8
+    );
+    let generic: Vec<Box<dyn ReleaseMechanism<String>>> = registry_generic(&spec).unwrap();
+    assert!(!generic.is_empty());
+    let _: Option<ReleaseError> = None; // nameable via the prelude
 }
 
 #[test]

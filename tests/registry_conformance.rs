@@ -1,0 +1,204 @@
+//! Registry conformance suite — the per-mechanism contract every
+//! `ReleaseMechanism` in the registry must honour, run by the dedicated CI
+//! job on every PR:
+//!
+//! * the advertised privacy parameters echo the spec (pure mechanisms
+//!   advertise `δ = 0`, approximate ones the spec's `δ`);
+//! * the analytic error radius is monotone (non-increasing) in `ε`;
+//! * thresholds are non-decreasing in `k` and positive;
+//! * releases are deterministic under a fixed seed;
+//! * a released histogram survives the wire format: one registry release is
+//!   snapshotted through `sketch::serialize` against a golden hex file
+//!   (re-bless with `DPMG_BLESS=1`).
+
+use dp_misra_gries::core::mechanism::{
+    by_name, registry, registry_generic, MechanismSpec, ReleaseMechanism,
+};
+use dp_misra_gries::prelude::*;
+use dp_misra_gries::sketch::serialize::{decode, encode};
+use dp_misra_gries::sketch::traits::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn spec(eps: f64, delta: f64) -> MechanismSpec {
+    MechanismSpec::new(PrivacyParams::new(eps, delta).unwrap()).with_broken_baselines(true)
+}
+
+fn fixture_summary() -> Summary<u64> {
+    let mut sketch = MisraGries::new(32).unwrap();
+    sketch.extend((0..150_000u64).map(|i| {
+        if i % 2 == 0 {
+            1 + (i / 2) % 4
+        } else {
+            10 + i % 500
+        }
+    }));
+    sketch.summary()
+}
+
+#[test]
+fn privacy_params_echo_the_spec() {
+    let spec = spec(0.7, 1e-7);
+    for mechanism in registry(&spec).unwrap() {
+        let p = mechanism.privacy();
+        assert!(
+            (p.epsilon() - 0.7).abs() < 1e-12,
+            "{}: ε = {}",
+            mechanism.name(),
+            p.epsilon()
+        );
+        match mechanism.name() {
+            // Pure-ε mechanisms advertise exactly δ = 0.
+            "chan" | "pure-laplace" | "oracle-count-min" => {
+                assert!(p.is_pure(), "{}", mechanism.name())
+            }
+            _ => assert!(
+                (p.delta() - 1e-7).abs() < 1e-18,
+                "{}: δ = {:e}",
+                mechanism.name(),
+                p.delta()
+            ),
+        }
+    }
+}
+
+#[test]
+fn error_radius_is_monotone_in_epsilon() {
+    // Strictly more budget can never require strictly more noise. Sweep an
+    // ε ladder inside the GSHM calibration domain so every mechanism has a
+    // defined radius at every point.
+    let ladder = [0.2, 0.4, 0.6, 0.8];
+    let registries: Vec<Vec<Box<dyn ReleaseMechanism<u64>>>> = ladder
+        .iter()
+        .map(|&eps| registry(&spec(eps, 1e-8)).unwrap())
+        .collect();
+    for m_idx in 0..registries[0].len() {
+        let name = registries[0][m_idx].name();
+        for k in [8usize, 64, 512] {
+            let radii: Vec<f64> = registries
+                .iter()
+                .map(|mechs| {
+                    assert_eq!(mechs[m_idx].name(), name);
+                    mechs[m_idx]
+                        .error_radius(k)
+                        .unwrap_or_else(|| panic!("{name} has no radius at k = {k}"))
+                })
+                .collect();
+            for pair in radii.windows(2) {
+                assert!(
+                    pair[1] <= pair[0] * (1.0 + 1e-9),
+                    "{name} (k = {k}): radius grew with ε: {radii:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn thresholds_are_positive_and_monotone_in_k() {
+    for mechanism in registry(&spec(0.9, 1e-8)).unwrap() {
+        let mut prev = None;
+        for k in [1usize, 8, 64, 512, 4096] {
+            if let Some(t) = mechanism.threshold(k) {
+                assert!(t > 0.0, "{}: threshold {t} at k = {k}", mechanism.name());
+                if let Some(p) = prev {
+                    assert!(
+                        t >= p,
+                        "{}: threshold shrank with k ({p} -> {t})",
+                        mechanism.name()
+                    );
+                }
+                prev = Some(t);
+            }
+        }
+    }
+}
+
+#[test]
+fn releases_are_deterministic_and_respect_summary_keys() {
+    let summary = fixture_summary();
+    for mechanism in registry(&spec(0.9, 1e-8)).unwrap() {
+        let a = mechanism
+            .release(&summary, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let b = mechanism
+            .release(&summary, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        assert_eq!(a, b, "{}", mechanism.name());
+        // Universe-sampling mechanisms may emit universe keys; everything
+        // else must only ever release keys the summary stores.
+        if !matches!(mechanism.name(), "chan" | "pure-laplace") {
+            for (key, _) in a.iter() {
+                assert!(
+                    summary.entries.contains_key(key),
+                    "{} released foreign key {key}",
+                    mechanism.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generic_registry_conforms_on_string_keys() {
+    let summary = Summary::from_entries(
+        8,
+        [
+            ("api/list", 90_000u64),
+            ("api/get", 60_000),
+            ("api/rare", 1),
+        ]
+        .map(|(s, c)| (s.to_string(), c)),
+    );
+    for mechanism in registry_generic::<String>(&spec(0.9, 1e-8)).unwrap() {
+        let hist = mechanism
+            .release(&summary, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        assert!(
+            hist.estimate(&"api/list".to_string()) > 45_000.0,
+            "{}",
+            mechanism.name()
+        );
+    }
+}
+
+/// Golden snapshot: one `pmg` registry release, rounded to counter space,
+/// pushed through the `sketch::serialize` wire format, and compared as hex
+/// against `tests/golden/registry_release_pmg.hex`. Pins (i) the release's
+/// exact noise draws under the fixed seed, (ii) the wire encoding — a
+/// change to either fails here instead of shipping silently.
+/// Re-bless with `DPMG_BLESS=1 cargo test --test registry_conformance`.
+#[test]
+fn golden_serialized_registry_release() {
+    let summary = fixture_summary();
+    let pmg = by_name(&spec(0.9, 1e-8), "pmg").unwrap().unwrap();
+    let hist = pmg
+        .release(&summary, &mut StdRng::seed_from_u64(0x60_1D))
+        .unwrap();
+    assert!(!hist.is_empty());
+    let released = Summary::from_entries(
+        summary.k,
+        hist.iter().map(|(&key, est)| (key, est.round() as u64)),
+    );
+    let bytes = encode(&released);
+    // The snapshot must itself round-trip.
+    assert_eq!(decode(&bytes).unwrap(), released);
+    let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/registry_release_pmg.hex");
+    if std::env::var("DPMG_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &hex).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        hex,
+        expected.trim(),
+        "serialized pmg release diverged from tests/golden/registry_release_pmg.hex; \
+         re-bless with DPMG_BLESS=1 if intentional"
+    );
+}
