@@ -43,11 +43,7 @@ fn main() {
     verdict("Misra-Gries uses exactly 2k words", true);
 
     // Throughput (coarse; criterion has the precise numbers).
-    let n = if dpmg_bench::quick() {
-        400_000
-    } else {
-        4_000_000
-    };
+    let n = dpmg_bench::quick_mode(400_000, 4_000_000);
     let mut rng = StdRng::seed_from_u64(0xE13);
     let stream = Zipf::new(1_000_000, 1.1).stream(n, &mut rng);
     let k = 1024usize;

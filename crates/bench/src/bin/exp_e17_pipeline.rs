@@ -6,7 +6,7 @@
 //! accuracy-wise (Lemma 29 + Corollary 18: the merged sensitivity and the
 //! merged sketch error are both independent of the number of shards).
 
-use dpmg_bench::{banner, f2, out_dir, quick, verdict};
+use dpmg_bench::{banner, f2, out_dir, quick_mode, verdict};
 use dpmg_core::gshm::GshmParams;
 use dpmg_eval::experiment::Table;
 use dpmg_noise::accounting::PrivacyParams;
@@ -39,7 +39,7 @@ fn main() {
         "E17",
         "sharded pipeline: ingest throughput scales with shards; released error within the sequential analytic bound",
     );
-    let n = if quick() { 100_000 } else { 1_000_000 };
+    let n = quick_mode(100_000, 1_000_000);
     let k = 256usize;
     let stream = stream_of(n);
 

@@ -1,0 +1,290 @@
+//! **E19 — the service at sustained load:** the epoch-driven query-serving
+//! layer (`dpmg-service`) under simultaneous ingestion and queries.
+//!
+//! Three claims:
+//!
+//! 1. **Sustained throughput** — the service ingests a multi-epoch Zipf
+//!    stream at pipeline speed while concurrent readers hammer the
+//!    lock-free snapshot path; reported with query p50/p99 latency per
+//!    shard count and exported to `BENCH_service.json` (machine-dependent;
+//!    excluded from the golden snapshot).
+//! 2. **Query error over epochs** — cumulative answers stay within the
+//!    cumulative analytic envelope (sketch slack + per-epoch GSHM
+//!    noise/threshold) at every epoch (deterministic; golden-snapshotted).
+//! 3. **Budget wall** — with a budget affording exactly `E` epochs, epoch
+//!    `E + 1` is refused uncharged (deterministic; golden-snapshotted).
+
+use dp_misra_gries::core::mechanism::{GshmMechanism, ReleaseMechanism};
+use dp_misra_gries::eval::metrics::epoch_error_series;
+use dp_misra_gries::prelude::*;
+use dp_misra_gries::sketch::exact::ExactHistogram;
+use dpmg_bench::{banner, f2, out_dir, quick, quick_mode, verdict};
+use dpmg_eval::experiment::Table;
+use dpmg_workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const EPS: f64 = 0.9;
+const DELTA: f64 = 1e-8;
+
+fn gshm() -> Box<GshmMechanism> {
+    Box::new(GshmMechanism::new(PrivacyParams::new(EPS, DELTA).unwrap()).unwrap())
+}
+
+fn big_budget() -> PrivacyParams {
+    PrivacyParams::new(1_000.0, 1e-3).unwrap()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct ShardRow {
+    shards: usize,
+    epochs: u64,
+    throughput: f64,
+    queries: u64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// One sustained-load run: ingest `epochs × per_epoch` items through the
+/// service while `readers` threads issue point queries against lock-free
+/// handles, timing every 16th query.
+fn sustained_run(shards: usize, k: usize, per_epoch: u64, epochs: u64) -> ShardRow {
+    let config = ServiceConfig::new(shards, k)
+        .with_epoch_len(per_epoch)
+        .with_batch_size(4096);
+    let mut service = DpmgService::new(config, gshm(), big_budget(), 0xE19).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|reader| {
+            let mut handle = service.query_handle();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut latencies_ns: Vec<f64> = Vec::new();
+                let mut count = 0u64;
+                let mut key = 1u64 + reader;
+                while !stop.load(Ordering::Acquire) {
+                    key = key % 97 + 1; // sweep a small hot key range
+                    if count % 16 == 0 {
+                        let start = Instant::now();
+                        let _ = handle.point_query(&key);
+                        latencies_ns.push(start.elapsed().as_nanos() as f64);
+                    } else {
+                        let _ = handle.point_query(&key);
+                    }
+                    count += 1;
+                }
+                (latencies_ns, count)
+            })
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(0xE19);
+    let zipf = Zipf::new(1_000_000, 1.1);
+    let stream = zipf.stream((per_epoch * epochs) as usize, &mut rng);
+    let start = Instant::now();
+    service.ingest_from(stream).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut queries = 0u64;
+    for reader in readers {
+        let (l, c) = reader.join().expect("reader thread");
+        latencies.extend(l);
+        queries += c;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(service.completed_epochs(), epochs);
+    ShardRow {
+        shards,
+        epochs,
+        throughput: per_epoch as f64 * epochs as f64 / secs,
+        queries,
+        p50_us: percentile(&latencies, 0.50) / 1e3,
+        p99_us: percentile(&latencies, 0.99) / 1e3,
+    }
+}
+
+fn write_bench_json(rows: &[ShardRow], per_epoch: u64) {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create experiment dir");
+    let mut json = String::from("{\n");
+    json.push_str("  \"experiment\": \"e19_service\",\n");
+    json.push_str(&format!("  \"quick\": {},\n", quick()));
+    json.push_str(&format!("  \"epoch_len\": {per_epoch},\n"));
+    json.push_str(&format!(
+        "  \"epsilon\": {EPS},\n  \"delta\": {DELTA},\n  \"mechanism\": \"gshm\",\n"
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"epochs\": {}, \"throughput_items_per_s\": {:.0}, \
+             \"queries_served\": {}, \"query_p50_us\": {:.3}, \"query_p99_us\": {:.3}}}{}\n",
+            row.shards,
+            row.epochs,
+            row.throughput,
+            row.queries,
+            row.p50_us,
+            row.p99_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = dir.join("BENCH_service.json");
+    std::fs::write(&path, json).expect("write BENCH_service.json");
+    println!("(wrote {})\n", path.display());
+}
+
+fn main() {
+    banner(
+        "E19",
+        "service: sustained ingest + concurrent lock-free queries; epoch error within the cumulative envelope; budget wall enforced",
+    );
+    let per_epoch = quick_mode(20_000u64, 250_000);
+    let epochs = quick_mode(4u64, 8);
+    let k = 256usize;
+
+    // Part 1: sustained throughput + query latency (machine-dependent; the
+    // "(timing" marker keeps it out of the golden snapshot).
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let mut t1 = Table::new(
+        "E19a sustained service throughput + query latency (timing; machine-dependent)",
+        &[
+            "shards",
+            "Mitems/s",
+            "queries served",
+            "q p50 us",
+            "q p99 us",
+        ],
+    );
+    let mut rows = Vec::new();
+    for shards in SHARD_COUNTS {
+        let row = sustained_run(shards, k, per_epoch, epochs);
+        t1.row(&[
+            format!("{shards}"),
+            f2(row.throughput / 1e6),
+            row.queries.to_string(),
+            f2(row.p50_us),
+            f2(row.p99_us),
+        ]);
+        rows.push(row);
+    }
+    t1.emit(&out_dir()).unwrap();
+    println!("(detected hardware parallelism: {threads} threads)\n");
+    let served_everywhere = rows.iter().all(|r| r.queries > 0);
+    verdict(
+        "throughput: every shard count served concurrent queries during ingestion",
+        served_everywhere,
+    );
+    write_bench_json(&rows, per_epoch);
+
+    // Part 2: query error over epochs (deterministic).
+    let shards = 4usize;
+    let config = ServiceConfig::new(shards, k).with_batch_size(4096);
+    let mut service = DpmgService::new(config, gshm(), big_budget(), 0xACC).unwrap();
+    let mechanism = gshm();
+    let radius = ReleaseMechanism::<u64>::error_radius(mechanism.as_ref(), k).unwrap();
+    let threshold = ReleaseMechanism::<u64>::threshold(mechanism.as_ref(), k).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(0xDA7A);
+    let zipf = Zipf::new(1_000_000, 1.2);
+    let mut truth_stream: Vec<u64> = Vec::new();
+    let mut snapshots = Vec::new();
+    for _ in 0..epochs {
+        let epoch_stream = zipf.stream(per_epoch as usize, &mut rng);
+        truth_stream.extend(&epoch_stream);
+        service.ingest_from(epoch_stream).unwrap();
+        let snap = service.end_epoch().unwrap();
+        snapshots.push((
+            snap,
+            ExactHistogram::from_stream(truth_stream.iter().copied()),
+        ));
+    }
+    let series_input: Vec<_> = snapshots
+        .iter()
+        .map(|(snap, truth)| {
+            let released: Vec<u64> = snap.histogram().keys().copied().collect();
+            (
+                snap.epoch,
+                snap.as_ref() as &dyn dp_misra_gries::sketch::traits::FrequencyOracle<u64>,
+                released,
+                truth,
+            )
+        })
+        .collect();
+    let series = epoch_error_series(&series_input);
+
+    let mut t2 = Table::new(
+        format!(
+            "E19b cumulative query error over epochs (eps={EPS}, delta={DELTA}, k={k}, {shards} shards)"
+        ),
+        &["epoch", "max err", "mean abs err", "envelope", "within"],
+    );
+    let mut within_all = true;
+    for e in &series {
+        // Cumulative envelope after E epochs: merged-sketch slack
+        // (Lemma 29: total items / (k+1)) + E × (GSHM noise radius +
+        // suppression threshold).
+        let envelope =
+            (e.epoch * per_epoch) as f64 / (k as f64 + 1.0) + e.epoch as f64 * (radius + threshold);
+        let ok = e.max_err <= envelope;
+        within_all &= ok;
+        t2.row(&[
+            e.epoch.to_string(),
+            f2(e.max_err),
+            f2(e.mean_abs_err),
+            f2(envelope),
+            ok.to_string(),
+        ]);
+    }
+    t2.emit(&out_dir()).unwrap();
+    verdict(
+        "cumulative query error within the analytic envelope at every epoch",
+        within_all,
+    );
+
+    // Part 3: the budget wall (deterministic).
+    let affordable = 3u64;
+    let per_epoch_params = PrivacyParams::new(0.5, 1e-9).unwrap();
+    let budget = PrivacyParams::new(1.5, 1e-6).unwrap();
+    let mechanism = Box::new(
+        dp_misra_gries::core::mechanism::MergedLaplaceMechanism::new(per_epoch_params).unwrap(),
+    );
+    let mut walled = DpmgService::new(ServiceConfig::new(2, 64), mechanism, budget, 3).unwrap();
+    let mut wall_hit = false;
+    for epoch in 1..=affordable + 1 {
+        walled.ingest_from((0..10_000u64).map(|i| i % 50)).unwrap();
+        match walled.end_epoch() {
+            Ok(snap) => assert_eq!(snap.epoch, epoch),
+            Err(err) => {
+                wall_hit = epoch == affordable + 1;
+                println!(
+                    "epoch {epoch} refused after {} charges: {err}",
+                    walled.accountant().charges()
+                );
+            }
+        }
+    }
+    verdict(
+        &format!(
+            "budget wall: exactly {affordable} epochs released, epoch {} refused uncharged (remaining eps = {})",
+            affordable + 1,
+            f2(walled.accountant().remaining_epsilon()),
+        ),
+        wall_hit && walled.accountant().charges() == affordable as usize,
+    );
+}

@@ -88,7 +88,7 @@ fn main() {
     // Part 1: exhaustive enumeration — all streams of length ≤ L over a
     // universe of size 4, all drop positions, k ∈ {1, 2, 3}.
     let universe = 4u64;
-    let max_len = if dpmg_bench::quick() { 6 } else { 7 };
+    let max_len = dpmg_bench::quick_mode(6, 7);
     let mut checked = 0u64;
     let mut violations = 0u64;
     let mut case_counts = [0u64; 3];

@@ -33,6 +33,18 @@ pub fn quick() -> bool {
         .unwrap_or(false)
 }
 
+/// The one workload-sizing guard every experiment binary goes through:
+/// picks `quick_value` under `DPMG_QUICK=1`, `full_value` otherwise.
+/// Replaces the per-binary `if quick() { … } else { … }` copies so a
+/// change to the smoke-mode convention happens in exactly one place.
+pub fn quick_mode<T>(quick_value: T, full_value: T) -> T {
+    if quick() {
+        quick_value
+    } else {
+        full_value
+    }
+}
+
 /// Exact ground truth of an element stream.
 pub fn ground_truth(stream: &[u64]) -> ExactHistogram<u64> {
     ExactHistogram::from_stream(stream.iter().copied())
@@ -84,6 +96,15 @@ mod tests {
         // Without DPMG_QUICK the default passes through.
         if !quick() {
             assert_eq!(trials(100), 100);
+        }
+    }
+
+    #[test]
+    fn quick_mode_selects_by_env() {
+        if quick() {
+            assert_eq!(quick_mode(1, 2), 1);
+        } else {
+            assert_eq!(quick_mode(1, 2), 2);
         }
     }
 }

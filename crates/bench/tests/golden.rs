@@ -49,9 +49,10 @@ fn assert_matches_golden(name: &str, actual: &str) {
     );
 }
 
-/// Drops machine-dependent output: the E17a timing table (from its header
-/// to the blank line that ends it), the parallelism note, and any verdict
-/// line about throughput.
+/// Drops machine-dependent output: timing tables (from a header containing
+/// "(timing" to the blank line that ends them — E17a, E19a), the
+/// parallelism note, any verdict line about throughput, and written-file
+/// notes (their paths embed the per-run experiment dir).
 fn deterministic_sections(stdout: &str) -> String {
     let mut out = String::new();
     let mut in_timing_table = false;
@@ -66,6 +67,9 @@ fn deterministic_sections(stdout: &str) -> String {
             continue;
         }
         if line.starts_with("(detected hardware parallelism") {
+            continue;
+        }
+        if line.starts_with("(wrote ") {
             continue;
         }
         if line.starts_with('[') && line.contains("throughput") {
@@ -105,6 +109,12 @@ fn golden_exp_e12_userlevel() {
 fn golden_exp_e17_pipeline() {
     let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e17_pipeline"), "exp_e17_pipeline");
     assert_matches_golden("exp_e17_pipeline", &deterministic_sections(&stdout));
+}
+
+#[test]
+fn golden_exp_e19_service() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e19_service"), "exp_e19_service");
+    assert_matches_golden("exp_e19_service", &deterministic_sections(&stdout));
 }
 
 #[test]

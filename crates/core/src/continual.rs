@@ -26,13 +26,14 @@
 //!   over \[11\] that each node's noise is `O(L/ε)` instead of `O(k·L/ε)`.
 //!   The sketch error is `M/(k+1)` by Lemma 29 (merging preserves it).
 
-use crate::pmg::{PrivateHistogram, PrivateMisraGries};
+use crate::mechanism::{PmgMechanism, ReleaseError, ReleaseMechanism};
+use crate::pmg::PrivateHistogram;
 use dpmg_noise::accounting::PrivacyParams;
 use dpmg_noise::NoiseError;
 use dpmg_sketch::merge::merge;
 use dpmg_sketch::misra_gries::MisraGries;
 use dpmg_sketch::traits::{Item, SketchError, Summary};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// A released dyadic node: the interval of epochs it covers and its noisy
 /// histogram.
@@ -61,18 +62,19 @@ pub struct ReleasedNode<K: Ord> {
 ///     for _ in 0..10_000 {
 ///         mech.observe(7);
 ///     }
-///     mech.end_epoch(&mut rng);
+///     mech.end_epoch(&mut rng).unwrap();
 ///     let _running_estimate = mech.estimate(&7);
 /// }
 /// assert!(mech.estimate(&7) > 20_000.0);
 /// ```
-#[derive(Debug)]
 pub struct ContinualRelease<K: Item> {
     k: usize,
     /// Total privacy budget over the whole history.
     params: PrivacyParams,
-    /// Per-node release mechanism at `(ε/L, δ/L)`.
-    node_mechanism: PrivateMisraGries,
+    /// Per-node release mechanism; by default PMG at `(ε/L, δ/L)`, but any
+    /// registry [`ReleaseMechanism`] can be adapted in through
+    /// [`ContinualRelease::with_node_mechanism`].
+    node_mechanism: Box<dyn ReleaseMechanism<K>>,
     levels_budgeted: usize,
     max_epochs: u64,
     /// Sketch of the in-progress epoch.
@@ -97,21 +99,77 @@ impl<K: Item> ContinualRelease<K> {
     ///
     /// Rejects `k = 0`, `max_epochs = 0`, or pure-DP budgets.
     pub fn new(k: usize, params: PrivacyParams, max_epochs: u64) -> Result<Self, NoiseError> {
+        let levels = Self::levels_for(k, max_epochs)?;
+        let node_params = PrivacyParams::new(
+            params.epsilon() / levels as f64,
+            params.delta() / levels as f64,
+        )?;
+        Ok(Self::assemble(
+            k,
+            params,
+            Box::new(PmgMechanism::new(node_params)?),
+            levels,
+            max_epochs,
+        ))
+    }
+
+    /// The continual → registry adapter: the same dyadic composition, with
+    /// an **arbitrary registry mechanism** as the per-node release primitive
+    /// instead of PMG. The mechanism's advertised
+    /// [`ReleaseMechanism::privacy`] is the per-node budget; the whole
+    /// release history then satisfies the sequential composition over the
+    /// `L = ⌈log₂ max_epochs⌉ + 1` levels, i.e. `(L·ε_node, L·δ_node)`-DP,
+    /// which [`Self::params`] reports.
+    ///
+    /// The caller is responsible for picking a mechanism whose sensitivity
+    /// model covers *merged* summaries when the fed epochs are themselves
+    /// merges (`dpmg-service` enforces this for its sharded epochs).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `k = 0`, `max_epochs = 0`, or a node budget whose `L`-fold
+    /// composition is not a valid parameter pair.
+    pub fn with_node_mechanism(
+        k: usize,
+        max_epochs: u64,
+        node_mechanism: Box<dyn ReleaseMechanism<K>>,
+    ) -> Result<Self, NoiseError> {
+        let levels = Self::levels_for(k, max_epochs)?;
+        let node = node_mechanism.privacy();
+        // No clamping: a composed δ ≥ 1 is a vacuous guarantee and must be
+        // rejected here, not silently reported as (Lε, ≈1)-DP.
+        let params =
+            PrivacyParams::new(node.epsilon() * levels as f64, node.delta() * levels as f64)?;
+        Ok(Self::assemble(
+            k,
+            params,
+            node_mechanism,
+            levels,
+            max_epochs,
+        ))
+    }
+
+    fn levels_for(k: usize, max_epochs: u64) -> Result<usize, NoiseError> {
         if k == 0 || max_epochs == 0 {
             return Err(NoiseError::InvalidPrivacyParameter {
                 name: "k/max_epochs",
                 value: 0.0,
             });
         }
-        let levels = (64 - (max_epochs - 1).leading_zeros()).max(1) as usize + 1;
-        let node_params = PrivacyParams::new(
-            params.epsilon() / levels as f64,
-            params.delta() / levels as f64,
-        )?;
-        Ok(Self {
+        Ok((64 - (max_epochs - 1).leading_zeros()).max(1) as usize + 1)
+    }
+
+    fn assemble(
+        k: usize,
+        params: PrivacyParams,
+        node_mechanism: Box<dyn ReleaseMechanism<K>>,
+        levels: usize,
+        max_epochs: u64,
+    ) -> Self {
+        Self {
             k,
             params,
-            node_mechanism: PrivateMisraGries::new(node_params)?,
+            node_mechanism,
             levels_budgeted: levels,
             max_epochs,
             current: MisraGries::new(k).expect("k validated"),
@@ -119,7 +177,7 @@ impl<K: Item> ContinualRelease<K> {
             open_nodes: Vec::new(),
             transcript: Vec::new(),
             completed_epochs: 0,
-        })
+        }
     }
 
     /// The total budget the whole release history satisfies.
@@ -127,9 +185,15 @@ impl<K: Item> ContinualRelease<K> {
         self.params
     }
 
-    /// The per-node budget (`ε/L`, `δ/L`).
+    /// The per-node budget (`ε/L`, `δ/L` for the default PMG primitive; the
+    /// adapted mechanism's advertised parameters otherwise).
     pub fn node_params(&self) -> PrivacyParams {
-        self.node_mechanism.params()
+        self.node_mechanism.privacy()
+    }
+
+    /// Registry name of the per-node release primitive (`"pmg"` by default).
+    pub fn node_mechanism_name(&self) -> &'static str {
+        self.node_mechanism.name()
     }
 
     /// Number of tree levels budgeted for.
@@ -142,6 +206,11 @@ impl<K: Item> ContinualRelease<K> {
         self.completed_epochs
     }
 
+    /// Elements observed in the current (open) epoch.
+    pub fn current_stream_len(&self) -> u64 {
+        self.current.stream_len()
+    }
+
     /// Feeds one element of the current epoch.
     pub fn observe(&mut self, x: K) {
         self.current.update(x);
@@ -151,46 +220,115 @@ impl<K: Item> ContinualRelease<K> {
     /// upward (merging + releasing each newly completed dyadic node), and
     /// refreshes the set of open nodes answering queries.
     ///
+    /// # Errors
+    ///
+    /// Propagates a node-release failure from the adapted mechanism; the
+    /// tree state (pending summaries, transcript, epoch counter) **and**
+    /// the in-progress epoch sketch are left untouched, so the epoch can
+    /// be retried, though the RNG may have advanced. The default PMG
+    /// primitive never fails.
+    ///
     /// # Panics
     ///
     /// Panics if the declared `max_epochs` horizon is exceeded — the privacy
     /// budget was allocated for `⌈log₂ max_epochs⌉ + 1` levels only.
-    pub fn end_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    pub fn end_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<(), ReleaseError> {
+        // Summarize without consuming: the epoch data must survive a failed
+        // release, or a retry would release an empty node and silently
+        // undercount the epoch.
+        self.advance_epoch(self.current.summary(), rng)?;
+        self.current = MisraGries::new(self.k).expect("k validated");
+        Ok(())
+    }
+
+    /// Closes the current epoch with an **externally built** summary — the
+    /// adapter used by `dpmg-service`, whose epochs are ingested by the
+    /// sharded pipeline and arrive here as merged per-epoch summaries
+    /// rather than through [`Self::observe`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::end_epoch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if elements were fed through [`Self::observe`] this epoch
+    /// (mixing the two ingestion routes would double count), if
+    /// `summary.k != k`, or if the epoch horizon is exhausted.
+    pub fn end_epoch_with_summary<R: Rng + ?Sized>(
+        &mut self,
+        summary: Summary<K>,
+        rng: &mut R,
+    ) -> Result<(), ReleaseError> {
+        assert_eq!(
+            self.current.stream_len(),
+            0,
+            "end_epoch_with_summary cannot be mixed with observe() in one epoch"
+        );
+        assert_eq!(summary.k, self.k, "summary sketch size mismatch");
+        self.advance_epoch(summary, rng)
+    }
+
+    fn advance_epoch<R: Rng + ?Sized>(
+        &mut self,
+        summary: Summary<K>,
+        rng: &mut R,
+    ) -> Result<(), ReleaseError> {
         assert!(
             self.completed_epochs < self.max_epochs,
             "epoch horizon exhausted: privacy budget was allocated for {} epochs",
             self.max_epochs
         );
-        let fresh = std::mem::replace(
-            &mut self.current,
-            MisraGries::new(self.k).expect("k validated"),
-        );
         let epoch = self.completed_epochs;
-        self.completed_epochs += 1;
 
-        // Binary-counter carry: merge upward while the level is occupied.
-        let mut carry: (u64, Summary<K>) = (epoch, fresh.summary());
+        // Phase 1 — simulate the binary-counter carry chain without touching
+        // state: collect every dyadic node this epoch completes, bottom-up.
+        // The last collected node is the one that parks in its pending slot.
+        let mut to_release: Vec<(usize, u64, Summary<K>)> = Vec::new();
+        let mut carry: (u64, Summary<K>) = (epoch, summary);
         let mut level = 0usize;
         loop {
-            // Release the node now covering [carry.0, carry.0 + 2^level).
-            self.release_node(level, carry.0, &carry.1, rng);
-            match self.pending[level].take() {
-                None => {
-                    self.pending[level] = Some(carry);
-                    break;
-                }
+            to_release.push((level, carry.0, carry.1.clone()));
+            match &self.pending[level] {
+                None => break,
                 Some((left_start, left)) => {
                     debug_assert_eq!(left_start + (1 << level), carry.0);
-                    carry = (left_start, merge(&left, &carry.1));
+                    carry = (*left_start, merge(left, &carry.1));
                     level += 1;
                     assert!(level < self.pending.len(), "carry exceeded budgeted levels");
                 }
             }
         }
 
-        // Open nodes = the pending entries' *released* histograms. Rebuild
-        // the open set from the transcript: for each occupied level, the
-        // most recent release at that level and start epoch.
+        // Phase 2 — release every completed node. The node mechanism's
+        // noise is calibrated for merged summaries disagreeing one-sidedly
+        // on up to k keys between neighbours (the classic Section 5.1
+        // threshold for PMG; Corollary 18 models for adapted mechanisms).
+        // On failure, return before any state mutation.
+        let mut released: Vec<ReleasedNode<K>> = Vec::with_capacity(to_release.len());
+        for (lvl, start, summ) in &to_release {
+            let mut reborrow = &mut *rng;
+            let hist = self
+                .node_mechanism
+                .release(summ, &mut reborrow as &mut dyn RngCore)?;
+            released.push(ReleasedNode {
+                level: *lvl,
+                start_epoch: *start,
+                histogram: hist,
+            });
+        }
+
+        // Phase 3 — commit: clear the consumed levels, park the top carry,
+        // extend the transcript, and rebuild the open set (for each occupied
+        // level, the most recent release at that level and start epoch).
+        let (last_level, last_start, last_summary) =
+            to_release.pop().expect("at least the epoch node");
+        for slot in &mut self.pending[..last_level] {
+            *slot = None;
+        }
+        self.pending[last_level] = Some((last_start, last_summary));
+        self.transcript.extend(released);
+        self.completed_epochs += 1;
         self.open_nodes = self
             .pending
             .iter()
@@ -206,37 +344,7 @@ impl<K: Item> ContinualRelease<K> {
                 })
             })
             .collect();
-    }
-
-    fn release_node<R: Rng + ?Sized>(
-        &mut self,
-        level: usize,
-        start_epoch: u64,
-        summary: &Summary<K>,
-        rng: &mut R,
-    ) {
-        // Rebuild a sketch-shaped input for PMG: the summary's counters are
-        // a valid (merged) MG state; release its entries via the classic
-        // path (no dummy slots exist after merging). The classic threshold
-        // with the node budget keeps the per-node guarantee.
-        let hist = self.release_summary(summary, rng);
-        self.transcript.push(ReleasedNode {
-            level,
-            start_epoch,
-            histogram: hist,
-        });
-    }
-
-    /// PMG-style release of a merged summary: per-counter + shared Laplace
-    /// noise at the node budget, thresholded for up-to-`k` differing keys
-    /// (merged sketches can disagree on up to `k` keys between neighbours,
-    /// so the classic Section 5.1 threshold applies).
-    fn release_summary<R: Rng + ?Sized>(
-        &self,
-        summary: &Summary<K>,
-        rng: &mut R,
-    ) -> PrivateHistogram<K> {
-        self.node_mechanism.release_summary(summary, rng)
+        Ok(())
     }
 
     /// Current private estimate of `x` over all completed epochs: the sum
@@ -309,7 +417,7 @@ mod tests {
             for _ in 0..1000 {
                 mech.observe(1);
             }
-            mech.end_epoch(&mut rng);
+            mech.end_epoch(&mut rng).unwrap();
             assert_eq!(
                 mech.open_node_count(),
                 epoch.count_ones() as usize,
@@ -328,7 +436,7 @@ mod tests {
             for i in 0..per_epoch {
                 mech.observe(if i % 2 == 0 { 9 } else { 100 + i % 500 });
             }
-            mech.end_epoch(&mut rng);
+            mech.end_epoch(&mut rng).unwrap();
             let truth = (epoch * per_epoch / 2) as f64;
             let est = mech.estimate(&9);
             // Tolerance: sketch error + L nodes of noise at ε/L.
@@ -347,7 +455,7 @@ mod tests {
             for _ in 0..100 {
                 mech.observe(1);
             }
-            mech.end_epoch(&mut rng);
+            mech.end_epoch(&mut rng).unwrap();
         }
         // Epochs 1..4 release: e1 → 1 node, e2 → 2 (level0 + level1),
         // e3 → 1, e4 → 3 (level0 + level1 + level2). Total 7.
@@ -366,7 +474,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..3 {
             mech.observe(1);
-            mech.end_epoch(&mut rng);
+            mech.end_epoch(&mut rng).unwrap();
         }
     }
 
@@ -378,11 +486,139 @@ mod tests {
             for _ in 0..5_000 {
                 mech.observe(1);
             }
-            mech.end_epoch(&mut rng);
+            mech.end_epoch(&mut rng).unwrap();
         }
         // Keys never observed cannot be released (MG stores only stream
         // elements and PMG strips dummies).
         assert_eq!(mech.estimate(&999), 0.0);
         assert!(mech.candidate_keys().contains(&1));
+    }
+
+    #[test]
+    fn registry_adapter_composes_node_budget_over_levels() {
+        use crate::mechanism::MergedLaplaceMechanism;
+
+        let node = PrivacyParams::new(0.2, 1e-8).unwrap();
+        let mech = ContinualRelease::<u64>::with_node_mechanism(
+            32,
+            16, // → 5 levels
+            Box::new(MergedLaplaceMechanism::new(node).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(mech.levels(), 5);
+        assert_eq!(mech.node_mechanism_name(), "merged-laplace");
+        assert!((mech.node_params().epsilon() - 0.2).abs() < 1e-15);
+        assert!((mech.params().epsilon() - 1.0).abs() < 1e-12);
+        assert!((mech.params().delta() - 5e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn adapted_mechanism_tracks_heavy_key() {
+        use crate::mechanism::MergedLaplaceMechanism;
+
+        let node = PrivacyParams::new(1.0, 1e-7).unwrap();
+        let mut mech = ContinualRelease::<u64>::with_node_mechanism(
+            64,
+            8,
+            Box::new(MergedLaplaceMechanism::new(node).unwrap()),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for epoch in 1..=4u64 {
+            for i in 0..20_000u64 {
+                mech.observe(if i % 2 == 0 { 9 } else { 100 + i % 500 });
+            }
+            mech.end_epoch(&mut rng).unwrap();
+            let truth = (epoch * 10_000) as f64;
+            let est = mech.estimate(&9);
+            assert!(
+                (est - truth).abs() < 0.3 * truth + 3_000.0,
+                "epoch {epoch}: est {est}, truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn external_epoch_summaries_match_observe_driven_twin_bitwise() {
+        // Feeding the summaries the observe() path would have built, with
+        // the same seed, must produce a bit-identical transcript — the
+        // adapter changes where epochs come from, not what is released.
+        let epochs: Vec<Vec<u64>> = (0..5u64)
+            .map(|e| (0..3_000u64).map(|i| (i * (e + 3)) % 41).collect())
+            .collect();
+        let mut by_observe = ContinualRelease::<u64>::new(16, params(), 8).unwrap();
+        let mut by_summary = ContinualRelease::<u64>::new(16, params(), 8).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        for epoch in &epochs {
+            for &x in epoch {
+                by_observe.observe(x);
+            }
+            let mut sketch = MisraGries::new(16).unwrap();
+            sketch.extend(epoch.iter().copied());
+            by_observe.end_epoch(&mut rng_a).unwrap();
+            by_summary
+                .end_epoch_with_summary(sketch.summary(), &mut rng_b)
+                .unwrap();
+        }
+        assert_eq!(by_observe.transcript().len(), by_summary.transcript().len());
+        for (a, b) in by_observe.transcript().iter().zip(by_summary.transcript()) {
+            assert_eq!((a.level, a.start_epoch), (b.level, b.start_epoch));
+            let bits = |h: &PrivateHistogram<u64>| -> Vec<(u64, u64)> {
+                h.iter().map(|(&k, v)| (k, v.to_bits())).collect()
+            };
+            assert_eq!(bits(&a.histogram), bits(&b.histogram));
+        }
+    }
+
+    #[test]
+    fn adapter_rejects_vacuous_composed_delta() {
+        use crate::mechanism::MergedLaplaceMechanism;
+
+        // δ = 0.3 per node × 5 levels = 1.5 ≥ 1: a vacuous guarantee the
+        // constructor must reject rather than clamp below 1.
+        let node = PrivacyParams::new(0.2, 0.3).unwrap();
+        assert!(ContinualRelease::<u64>::with_node_mechanism(
+            8,
+            16,
+            Box::new(MergedLaplaceMechanism::new(node).unwrap()),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn failed_node_release_preserves_the_epoch_data() {
+        use crate::mechanism::GshmMechanism;
+
+        // GSHM constructs at any ε but its exact Theorem 23 calibration
+        // rejects ε ≥ 1 at release time — a clean way to force a node
+        // failure mid-epoch.
+        let node = PrivacyParams::new(1.5, 1e-9).unwrap();
+        let mut mech = ContinualRelease::<u64>::with_node_mechanism(
+            8,
+            4,
+            Box::new(GshmMechanism::new(node).unwrap()),
+        )
+        .unwrap();
+        for _ in 0..500 {
+            mech.observe(7);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(mech.end_epoch(&mut rng).is_err());
+        // Nothing advanced, and the epoch's data is still in place for a
+        // retry — NOT silently dropped.
+        assert_eq!(mech.completed_epochs(), 0);
+        assert!(mech.transcript().is_empty());
+        assert_eq!(mech.current_stream_len(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be mixed with observe")]
+    fn external_summary_refuses_mixed_ingestion() {
+        let mut mech = ContinualRelease::<u64>::new(8, params(), 4).unwrap();
+        mech.observe(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let summary = Summary::from_entries(8, [(1u64, 5)]);
+        let _ = mech.end_epoch_with_summary(summary, &mut rng);
     }
 }

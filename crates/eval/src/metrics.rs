@@ -1,4 +1,7 @@
-//! Error metrics against exact ground truth.
+//! Error metrics against exact ground truth, plus the goodness-of-fit
+//! statistics (Kolmogorov–Smirnov, χ²) the service regression suite uses to
+//! check that released noise matches a mechanism's advertised distribution,
+//! and query-error trajectories over the epochs of a long-running service.
 
 use dpmg_sketch::exact::ExactHistogram;
 use dpmg_sketch::traits::{FrequencyOracle, Item};
@@ -131,6 +134,183 @@ pub fn hh_quality<K: Item>(reported: &[K], truth: &ExactHistogram<K>, threshold:
     }
 }
 
+/// One-sample Kolmogorov–Smirnov statistic `D_n = sup_x |F̂_n(x) − F(x)|`
+/// of `samples` against the hypothesized CDF `F`.
+///
+/// # Panics
+///
+/// Panics on an empty sample set or a sample that does not compare (NaN).
+pub fn ks_statistic(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!samples.is_empty(), "KS statistic of an empty sample set");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must be comparable"));
+    let n = sorted.len() as f64;
+    let mut worst = 0.0_f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        // Empirical CDF jumps from i/n to (i+1)/n at x; both sides bound D.
+        worst = worst.max((f - i as f64 / n).abs());
+        worst = worst.max(((i + 1) as f64 / n - f).abs());
+    }
+    worst
+}
+
+/// Asymptotic KS critical value at significance `alpha`:
+/// `D_crit = √(ln(2/α) / 2n)`. A sample of `n` draws genuinely from `F`
+/// exceeds it with probability ≈ `alpha`.
+///
+/// # Panics
+///
+/// Panics if `n = 0` or `alpha ∉ (0, 1)`.
+pub fn ks_critical(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0 && alpha > 0.0 && alpha < 1.0);
+    ((2.0 / alpha).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// χ² goodness-of-fit via the probability integral transform: each sample
+/// is mapped through the hypothesized CDF (uniform on `[0, 1]` under the
+/// null) and binned into `bins` equal cells; returns the χ² statistic with
+/// `bins − 1` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics on an empty sample set or `bins < 2`.
+pub fn chi_squared_pit(samples: &[f64], cdf: impl Fn(f64) -> f64, bins: usize) -> f64 {
+    assert!(!samples.is_empty() && bins >= 2);
+    let mut observed = vec![0usize; bins];
+    for &x in samples {
+        let u = cdf(x).clamp(0.0, 1.0);
+        let cell = ((u * bins as f64) as usize).min(bins - 1);
+        observed[cell] += 1;
+    }
+    let expected = samples.len() as f64 / bins as f64;
+    observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Upper critical value of the χ² distribution with `dof` degrees of
+/// freedom at significance `alpha`, via the Wilson–Hilferty cube-root
+/// normal approximation (accurate to a few percent for `dof ≥ 3` — plenty
+/// for a regression envelope).
+///
+/// # Panics
+///
+/// Panics if `dof = 0` or `alpha ∉ (0, 1)`.
+pub fn chi_squared_critical(dof: usize, alpha: f64) -> f64 {
+    assert!(dof > 0 && alpha > 0.0 && alpha < 1.0);
+    let k = dof as f64;
+    let z = normal_quantile(1.0 - alpha);
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// Standard-normal quantile (Acklam-style rational approximation, |err| <
+/// 1.15e-9 on (0, 1)).
+fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0);
+    // Coefficients of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Query error of one epoch snapshot of a long-running service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochQueryError {
+    /// Epoch index (1-based, as reported by the service).
+    pub epoch: u64,
+    /// `max_x |f̂(x) − f(x)|` over truth ∪ released keys.
+    pub max_err: f64,
+    /// Mean absolute error over the same key set.
+    pub mean_abs_err: f64,
+}
+
+/// One epoch's observation: `(epoch, oracle, released_keys, truth)`.
+pub type EpochObservation<'a, K> = (
+    u64,
+    &'a dyn FrequencyOracle<K>,
+    Vec<K>,
+    &'a ExactHistogram<K>,
+);
+
+/// Query-error trajectory over the epochs of a service: one
+/// [`EpochQueryError`] per [`EpochObservation`],
+/// where `truth` is the exact histogram of everything ingested *up to and
+/// including* that epoch (service snapshots answer cumulative queries).
+pub fn epoch_error_series<K: Item>(epochs: &[EpochObservation<'_, K>]) -> Vec<EpochQueryError> {
+    epochs
+        .iter()
+        .map(|(epoch, oracle, released, truth)| {
+            let keys: BTreeSet<K> = truth
+                .iter()
+                .map(|(k, _)| k.clone())
+                .chain(released.iter().cloned())
+                .collect();
+            let mut max_err = 0.0_f64;
+            let mut total = 0.0_f64;
+            for key in &keys {
+                let err = (oracle.estimate(key) - truth.count(key) as f64).abs();
+                max_err = max_err.max(err);
+                total += err;
+            }
+            let mean_abs_err = if keys.is_empty() {
+                0.0
+            } else {
+                total / keys.len() as f64
+            };
+            EpochQueryError {
+                epoch: *epoch,
+                max_err,
+                mean_abs_err,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +362,81 @@ mod tests {
         assert_eq!(q.f1, 0.0);
         let q = hh_quality::<u64>(&[], &t, 100); // no true HH at all
         assert_eq!((q.precision, q.recall), (1.0, 1.0));
+    }
+
+    #[test]
+    fn ks_statistic_detects_fit_and_misfit() {
+        use dpmg_noise::laplace::Laplace;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let lap = Laplace::new(3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples: Vec<f64> = (0..4000).map(|_| lap.sample(&mut rng)).collect();
+        let d_good = ks_statistic(&samples, |x| lap.cdf(x));
+        assert!(d_good < ks_critical(4000, 1e-3), "D = {d_good}");
+        // Against a wrongly scaled CDF, the statistic must blow past the
+        // critical value.
+        let wrong = Laplace::new(9.0).unwrap();
+        let d_bad = ks_statistic(&samples, |x| wrong.cdf(x));
+        assert!(d_bad > 3.0 * ks_critical(4000, 1e-3), "D = {d_bad}");
+    }
+
+    #[test]
+    fn ks_statistic_exact_on_tiny_sample() {
+        // Single sample at the median of U[0,1]: F̂ jumps 0 → 1 at 0.5, so
+        // D = 0.5 on both sides.
+        let d = ks_statistic(&[0.5], |x| x.clamp(0.0, 1.0));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_squared_pit_detects_fit_and_misfit() {
+        use dpmg_noise::gaussian::Gaussian;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let g = Gaussian::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..4000).map(|_| g.sample(&mut rng)).collect();
+        let bins = 10;
+        let stat = chi_squared_pit(&samples, |x| g.cdf(x), bins);
+        let crit = chi_squared_critical(bins - 1, 1e-3);
+        assert!(stat < crit, "χ² = {stat} ≥ {crit}");
+        let wrong = Gaussian::new(5.0).unwrap();
+        let stat_bad = chi_squared_pit(&samples, |x| wrong.cdf(x), bins);
+        assert!(stat_bad > 2.0 * crit, "χ² = {stat_bad}");
+    }
+
+    #[test]
+    fn chi_squared_critical_matches_tables() {
+        // χ²_{9, 0.05} ≈ 16.92, χ²_{7, 0.001} ≈ 24.32 (standard tables);
+        // Wilson–Hilferty is good to a few percent.
+        assert!((chi_squared_critical(9, 0.05) - 16.92).abs() < 0.3);
+        assert!((chi_squared_critical(7, 0.001) - 24.32).abs() < 0.6);
+    }
+
+    #[test]
+    fn epoch_error_series_tracks_trajectory() {
+        let truth1 = ExactHistogram::from_stream([1u64, 1, 2]);
+        let truth2 = ExactHistogram::from_stream([1u64, 1, 2, 1, 2, 3]);
+        let snap1 = Summary::from_entries(4, [(1u64, 2), (2, 1)]);
+        let snap2 = Summary::from_entries(4, [(1u64, 2), (2, 2), (3, 1)]);
+        let series = epoch_error_series(&[
+            (1, &snap1 as &dyn FrequencyOracle<u64>, vec![1, 2], &truth1),
+            (
+                2,
+                &snap2 as &dyn FrequencyOracle<u64>,
+                vec![1, 2, 3],
+                &truth2,
+            ),
+        ]);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].epoch, 1);
+        assert_eq!(series[0].max_err, 0.0);
+        // Epoch 2: key 1 off by 1, keys 2 and 3 exact.
+        assert_eq!(series[1].max_err, 1.0);
+        assert!((series[1].mean_abs_err - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -213,6 +213,54 @@ impl Accountant {
         }
     }
 
+    /// Reconstructs an accountant from persisted state — the crash/restart
+    /// path of `dpmg-service`: a restored service must resume with exactly
+    /// the budget its predecessor had left, or the composition argument
+    /// breaks across the restart boundary.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or negative spends, a spend exceeding the budget
+    /// (beyond the same one-ulp slack [`Accountant::can_afford`] allows), or
+    /// `charges = 0` with a non-zero spend.
+    pub fn restore(
+        budget: PrivacyParams,
+        spent_epsilon: f64,
+        spent_delta: f64,
+        charges: usize,
+    ) -> Result<Self, NoiseError> {
+        if !spent_epsilon.is_finite()
+            || spent_epsilon < 0.0
+            || spent_epsilon > budget.epsilon * (1.0 + 4.0 * f64::EPSILON)
+        {
+            return Err(NoiseError::InvalidPrivacyParameter {
+                name: "spent_epsilon",
+                value: spent_epsilon,
+            });
+        }
+        if !spent_delta.is_finite()
+            || spent_delta < 0.0
+            || spent_delta > budget.delta * (1.0 + 4.0 * f64::EPSILON)
+        {
+            return Err(NoiseError::InvalidPrivacyParameter {
+                name: "spent_delta",
+                value: spent_delta,
+            });
+        }
+        if charges == 0 && (spent_epsilon > 0.0 || spent_delta > 0.0) {
+            return Err(NoiseError::InvalidPrivacyParameter {
+                name: "charges",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            budget,
+            spent_epsilon,
+            spent_delta,
+            charges,
+        })
+    }
+
     /// The total budget.
     pub fn budget(&self) -> PrivacyParams {
         self.budget
@@ -229,6 +277,17 @@ impl Accountant {
     /// Number of successful charges.
     pub fn charges(&self) -> usize {
         self.charges
+    }
+
+    /// Raw `ε` spent so far (0 before the first charge) — the quantity
+    /// [`Accountant::restore`] rebuilds from.
+    pub fn spent_epsilon(&self) -> f64 {
+        self.spent_epsilon
+    }
+
+    /// Raw `δ` spent so far (0 before the first charge).
+    pub fn spent_delta(&self) -> f64 {
+        self.spent_delta
     }
 
     /// `ε` budget still available.
@@ -424,6 +483,43 @@ mod tests {
             .unwrap();
         // Nothing left: ε = 0 is invalid, so splitting errors.
         assert!(spent.split_remaining(2).is_err());
+    }
+
+    #[test]
+    fn restore_round_trips_and_validates() {
+        let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+        let mut acct = Accountant::new(budget);
+        let p = PrivacyParams::new(0.4, 3e-7).unwrap();
+        acct.charge(p).unwrap();
+        acct.charge(p).unwrap();
+        let back = Accountant::restore(
+            acct.budget(),
+            acct.spent_epsilon(),
+            acct.spent_delta(),
+            acct.charges(),
+        )
+        .unwrap();
+        assert_eq!(back.charges(), 2);
+        assert_eq!(
+            back.spent_epsilon().to_bits(),
+            acct.spent_epsilon().to_bits()
+        );
+        assert_eq!(
+            back.remaining_epsilon().to_bits(),
+            acct.remaining_epsilon().to_bits()
+        );
+        // The restored accountant refuses exactly what the original would.
+        let mut back = back;
+        assert!(back.charge(p).is_err());
+
+        assert!(Accountant::restore(budget, -0.1, 0.0, 1).is_err());
+        assert!(Accountant::restore(budget, 0.0, f64::NAN, 1).is_err());
+        assert!(Accountant::restore(budget, 1.5, 0.0, 1).is_err());
+        assert!(Accountant::restore(budget, 0.0, 2e-6, 1).is_err());
+        assert!(Accountant::restore(budget, 0.5, 1e-7, 0).is_err());
+        assert!(Accountant::restore(budget, 0.0, 0.0, 0).is_ok());
+        // Exactly-at-budget spends restore (the n × budget/n case).
+        assert!(Accountant::restore(budget, 1.0, 1e-6, 4).is_ok());
     }
 
     #[test]

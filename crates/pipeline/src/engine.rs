@@ -101,15 +101,11 @@ pub struct ShardedPipeline<K: Item + Send + 'static> {
     poisoned: Option<usize>,
 }
 
+/// Channel senders + worker handles of one generation of shard workers.
+type ShardWorkers<K> = (Vec<Sender<Vec<K>>>, Vec<JoinHandle<MisraGries<K>>>);
+
 impl<K: Item + Send + 'static> ShardedPipeline<K> {
-    /// Spawns the shard workers.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`PipelineError`] for invalid structural parameters or an
-    /// invalid sketch size.
-    pub fn new(config: PipelineConfig) -> Result<Self, PipelineError> {
-        config.validate()?;
+    fn spawn_workers(config: &PipelineConfig) -> Result<ShardWorkers<K>, PipelineError> {
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
@@ -127,6 +123,18 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
             senders.push(tx);
             workers.push(handle);
         }
+        Ok((senders, workers))
+    }
+
+    /// Spawns the shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] for invalid structural parameters or an
+    /// invalid sketch size.
+    pub fn new(config: PipelineConfig) -> Result<Self, PipelineError> {
+        config.validate()?;
+        let (senders, workers) = Self::spawn_workers(&config)?;
         Ok(Self {
             buffers: vec![Vec::with_capacity(config.batch_size); config.shards],
             senders,
@@ -305,6 +313,35 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
         let hist = mechanism.release(&merged, &mut rng as &mut dyn RngCore)?;
         Ok(hist)
     }
+
+    /// The epoch hook: finishes the in-flight epoch (flush, join, merge),
+    /// returns its pre-noise merged summary together with the epoch's
+    /// ingestion counters, and respawns fresh workers with empty sketches so
+    /// ingestion of the next epoch can continue immediately.
+    ///
+    /// The returned summary is NOT private — it is the release input the
+    /// epoch's DP mechanism will noise (`dpmg-service` routes it through the
+    /// mechanism registry). Counters restart at zero for the new epoch, so
+    /// [`Self::stats`] is always per-epoch after the first rotation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::finish`]; a poisoned pipeline stays poisoned and cannot
+    /// rotate.
+    pub fn rotate_epoch(&mut self) -> Result<(Summary<K>, PipelineStats), PipelineError> {
+        let merged = self.merged()?;
+        let stats = self.stats();
+        let (senders, workers) = Self::spawn_workers(&self.config)?;
+        self.senders = senders;
+        self.workers = workers;
+        self.buffers = vec![Vec::with_capacity(self.config.batch_size); self.config.shards];
+        self.rr_cursor = 0;
+        self.items = 0;
+        self.batches = 0;
+        self.shard_lens = Vec::new();
+        self.summaries = None;
+        Ok((merged, stats))
+    }
 }
 
 impl<K: Item + Send + 'static> Drop for ShardedPipeline<K> {
@@ -385,6 +422,37 @@ mod tests {
         // The non-private summaries remain available.
         pipe.finish().unwrap();
         assert_eq!(pipe.stats().shard_stream_lens.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn rotate_epoch_resets_state_and_matches_per_epoch_reference() {
+        let mut pipe =
+            ShardedPipeline::<u64>::new(PipelineConfig::new(3, 8).with_batch_size(7)).unwrap();
+        // Epoch 1: keys 0..500; epoch 2: keys 500..800 — summaries must be
+        // exactly what a fresh pipeline over each slice alone produces.
+        pipe.ingest_from((0..500u64).map(|i| i % 13)).unwrap();
+        let (merged1, stats1) = pipe.rotate_epoch().unwrap();
+        assert_eq!(stats1.items, 500);
+        assert_eq!(stats1.shard_stream_lens.iter().sum::<u64>(), 500);
+
+        pipe.ingest_from((0..300u64).map(|i| 100 + i % 7)).unwrap();
+        let (merged2, stats2) = pipe.rotate_epoch().unwrap();
+        assert_eq!(stats2.items, 300, "counters must restart per epoch");
+
+        let mut fresh1 = ShardedPipeline::<u64>::new(PipelineConfig::new(3, 8)).unwrap();
+        fresh1.ingest_from((0..500u64).map(|i| i % 13)).unwrap();
+        assert_eq!(merged1, fresh1.merged().unwrap());
+        let mut fresh2 = ShardedPipeline::<u64>::new(PipelineConfig::new(3, 8)).unwrap();
+        fresh2
+            .ingest_from((0..300u64).map(|i| 100 + i % 7))
+            .unwrap();
+        assert_eq!(merged2, fresh2.merged().unwrap());
+
+        // The rotated pipeline is still fully usable, including release.
+        let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        pipe.ingest_from(std::iter::repeat_n(7u64, 1000)).unwrap();
+        assert!(pipe.release(params, &mut rng).is_ok());
     }
 
     #[test]

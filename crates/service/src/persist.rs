@@ -1,0 +1,171 @@
+//! Crash/restart persistence for the service (`u64` keys, the wire-format
+//! key type).
+//!
+//! What is persisted is exactly the **post-privacy-boundary** state: the
+//! cumulative released snapshot (through
+//! [`dpmg_sketch::serialize::encode_snapshot`]) plus the accountant's
+//! budget arithmetic. Pre-noise state — open-epoch sketches, pending dyadic
+//! summaries — is deliberately *not* persisted: it is private data, and
+//! writing it to disk would move the privacy boundary. A restored service
+//! therefore resumes with an empty open epoch; items ingested after the
+//! last `end_epoch` of the saved service are lost, exactly as in a crash.
+//!
+//! Layout (all integers little-endian, floats as IEEE-754 bit patterns):
+//!
+//! ```text
+//! magic        : [u8; 4] = b"DPSV"
+//! version      : u8      = 1
+//! budget_eps   : f64 bits
+//! budget_delta : f64 bits
+//! spent_eps    : f64 bits
+//! spent_delta  : f64 bits
+//! charges      : u64
+//! snap_len     : u64
+//! snapshot     : snap_len bytes (the DPMS snapshot record, itself checksummed)
+//! checksum     : u64     (FNV-1a over every preceding byte)
+//! ```
+
+use crate::config::{ServiceError, ServiceMode};
+use crate::service::{DpmgService, EpochCore};
+use crate::snapshot::ReleasedSnapshot;
+use crate::ServiceConfig;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dpmg_core::mechanism::ReleaseMechanism;
+use dpmg_noise::accounting::{Accountant, PrivacyParams};
+use dpmg_sketch::serialize::{decode_snapshot, encode_snapshot, fnv1a_checksum, SnapshotRecord};
+
+const MAGIC: [u8; 4] = *b"DPSV";
+const VERSION: u8 = 1;
+const HEADER_LEN: usize = 4 + 1 + 8 * 4 + 8 + 8;
+
+impl DpmgService<u64> {
+    /// Serializes the service's released state: the latest snapshot and the
+    /// accountant. Only [`ServiceMode::Independent`] services are
+    /// persistable — a continual tree's pending dyadic summaries are
+    /// pre-noise data (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Persistence`] in continual mode.
+    pub fn save_state(&self) -> Result<Bytes, ServiceError> {
+        if !matches!(self.config().mode, ServiceMode::Independent) {
+            return Err(ServiceError::Persistence(
+                "continual-mode state is pre-noise and is not persisted; \
+                 only Independent services can save_state",
+            ));
+        }
+        let latest = self.latest();
+        let record = SnapshotRecord {
+            k: latest.k,
+            epoch: latest.epoch,
+            items: latest.items,
+            entries: latest.estimates.clone(),
+        };
+        let snapshot_bytes = encode_snapshot(&record);
+        let acct = self.accountant();
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + snapshot_bytes.len() + 8);
+        buf.put_slice(&MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64_le(acct.budget().epsilon().to_bits());
+        buf.put_u64_le(acct.budget().delta().to_bits());
+        buf.put_u64_le(acct.spent_epsilon().to_bits());
+        buf.put_u64_le(acct.spent_delta().to_bits());
+        buf.put_u64_le(acct.charges() as u64);
+        buf.put_u64_le(snapshot_bytes.len() as u64);
+        buf.put_slice(&snapshot_bytes);
+        let checksum = fnv1a_checksum(&buf);
+        buf.put_u64_le(checksum);
+        Ok(buf.freeze())
+    }
+
+    /// Restores a service from [`Self::save_state`] bytes: query answers
+    /// resume from the persisted snapshot, the accountant resumes with the
+    /// persisted remaining budget, and a fresh (empty) epoch opens for
+    /// ingestion. Fresh releases draw from `seed` — noise is never reused
+    /// across a restart. The epoch **transcript restarts empty** (its
+    /// pre-noise inputs are not persisted; see the module docs), while
+    /// `completed_epochs` and subsequent epoch numbering continue
+    /// absolutely from the persisted count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Persistence`] on any corruption (both layers are
+    /// checksummed, so any flipped byte is rejected), a `k` or mode
+    /// mismatch with `config`, or an accountant state inconsistent with its
+    /// own budget; plus every [`DpmgService::new`] error.
+    pub fn restore(
+        config: ServiceConfig,
+        mechanism: Box<dyn ReleaseMechanism<u64>>,
+        seed: u64,
+        bytes: &[u8],
+    ) -> Result<Self, ServiceError> {
+        if !matches!(config.mode, ServiceMode::Independent) {
+            return Err(ServiceError::Persistence(
+                "only Independent services can be restored",
+            ));
+        }
+        if bytes.len() < HEADER_LEN + 8 {
+            return Err(ServiceError::Persistence("truncated service state"));
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+        let mut checksum_bytes = trailer;
+        if fnv1a_checksum(payload) != checksum_bytes.get_u64_le() {
+            return Err(ServiceError::Persistence("service state checksum mismatch"));
+        }
+        let mut payload = payload;
+        let mut magic = [0u8; 4];
+        payload.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(ServiceError::Persistence("bad service state magic"));
+        }
+        if payload.get_u8() != VERSION {
+            return Err(ServiceError::Persistence(
+                "unsupported service state version",
+            ));
+        }
+        let budget_eps = f64::from_bits(payload.get_u64_le());
+        let budget_delta = f64::from_bits(payload.get_u64_le());
+        let spent_eps = f64::from_bits(payload.get_u64_le());
+        let spent_delta = f64::from_bits(payload.get_u64_le());
+        let charges = payload.get_u64_le();
+        let snap_len = payload.get_u64_le();
+        if payload.remaining() as u64 != snap_len {
+            return Err(ServiceError::Persistence(
+                "snapshot section length mismatch",
+            ));
+        }
+        let record = decode_snapshot(payload)
+            .map_err(|_| ServiceError::Persistence("embedded snapshot corrupt"))?;
+        if record.k != config.k {
+            return Err(ServiceError::Persistence(
+                "persisted k does not match the configuration",
+            ));
+        }
+        let budget = PrivacyParams::new(budget_eps, budget_delta)
+            .map_err(|_| ServiceError::Persistence("persisted budget invalid"))?;
+        let charges = usize::try_from(charges)
+            .map_err(|_| ServiceError::Persistence("charge count overflows usize"))?;
+        let accountant = Accountant::restore(budget, spent_eps, spent_delta, charges)
+            .map_err(|_| ServiceError::Persistence("persisted accountant state invalid"))?;
+        if record.epoch > 0 && charges == 0 {
+            return Err(ServiceError::Persistence(
+                "snapshot claims epochs but no charges were recorded",
+            ));
+        }
+
+        let mut core = EpochCore::new(&config, mechanism, budget, seed)?;
+        core.resume(
+            record.entries.clone(),
+            record.epoch,
+            record.items,
+            accountant,
+        );
+        let initial = ReleasedSnapshot {
+            epoch: record.epoch,
+            items: record.items,
+            k: record.k,
+            estimates: record.entries,
+        };
+        DpmgService::from_parts(config, core, initial)
+    }
+}

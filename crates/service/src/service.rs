@@ -1,0 +1,482 @@
+//! The epoch-driven query-serving layer.
+
+use crate::config::{ServiceConfig, ServiceError, ServiceMode};
+use crate::snapshot::{QueryHandle, ReleasedSnapshot, SnapshotNode};
+use dpmg_core::continual::ContinualRelease;
+use dpmg_core::mechanism::{release_metered, ReleaseError, ReleaseMechanism, SensitivityModel};
+use dpmg_core::pmg::PrivateHistogram;
+use dpmg_noise::accounting::{Accountant, BudgetExceeded, PrivacyParams};
+use dpmg_pipeline::{PipelineStats, ShardedPipeline};
+use dpmg_sketch::traits::{Item, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The public record of one completed epoch.
+///
+/// `pre_noise` is the release *input* (the epoch's merged summary) — it is
+/// **not** private and exists for error accounting and the statistical
+/// regression suite, exactly like
+/// [`ShardedPipeline::merged`](dpmg_pipeline::ShardedPipeline::merged);
+/// do not ship it across a privacy boundary.
+#[derive(Debug, Clone)]
+pub struct EpochRelease<K: Item> {
+    /// Epoch index, 1-based.
+    pub epoch: u64,
+    /// Items ingested during this epoch.
+    pub items: u64,
+    /// The pre-noise merged summary the mechanism released (NOT private).
+    pub pre_noise: Summary<K>,
+    /// The epoch's released histogram (in continual mode: the level-0
+    /// dyadic node covering exactly this epoch).
+    pub histogram: PrivateHistogram<K>,
+}
+
+/// Which release engine the mode compiled to.
+enum Engine<K: Item> {
+    Independent {
+        mechanism: Box<dyn ReleaseMechanism<K>>,
+    },
+    Continual {
+        // Boxed: the dyadic tree is much larger than the other variant.
+        tree: Box<ContinualRelease<K>>,
+        max_epochs: u64,
+    },
+}
+
+/// Everything below the ingestion engine: per-epoch release, budget
+/// accounting, cumulative estimates, and the epoch transcript. Shared
+/// verbatim by [`DpmgService`] and
+/// [`SequentialServiceReference`](crate::SequentialServiceReference) so the
+/// differential tests compare exactly the ingestion paths.
+pub(crate) struct EpochCore<K: Item> {
+    k: usize,
+    engine: Engine<K>,
+    accountant: Accountant,
+    rng: StdRng,
+    cumulative: BTreeMap<K, f64>,
+    completed_epochs: u64,
+    released_items: u64,
+    transcript: Vec<EpochRelease<K>>,
+    /// An epoch rotated out of the ingestion engine whose release failed
+    /// (e.g. a calibration error); retried by the next `end_epoch`.
+    pending: Option<(Summary<K>, u64)>,
+}
+
+impl<K: Item> EpochCore<K> {
+    pub(crate) fn new(
+        config: &ServiceConfig,
+        mechanism: Box<dyn ReleaseMechanism<K>>,
+        budget: PrivacyParams,
+        seed: u64,
+    ) -> Result<Self, ServiceError> {
+        config.validate()?;
+        // Merged summaries have the Corollary 18 neighbour structure, so
+        // they may only be released by MergedOneSided-calibrated mechanisms
+        // (mirroring PrivatizedPipeline). Epochs are merges at shards > 1;
+        // in continual mode the dyadic tree additionally *merges epoch
+        // summaries into level ≥ 1 nodes at every shard count*, so the
+        // guard must fire there too. Only a single-shard Independent
+        // service admits the whole registry.
+        let releases_merged_summaries =
+            config.shards > 1 || matches!(config.mode, ServiceMode::Continual { .. });
+        if releases_merged_summaries
+            && mechanism.sensitivity_model() != SensitivityModel::MergedOneSided
+        {
+            return Err(ServiceError::Release(ReleaseError::Unsupported {
+                mechanism: mechanism.name(),
+                reason: "multi-shard epoch summaries and continual-mode dyadic nodes have \
+                         the Corollary 18 merged neighbour structure; only \
+                         MergedOneSided-calibrated mechanisms (gshm, merged-laplace) may \
+                         serve them — use one of those, or a single-shard Independent \
+                         service",
+            }));
+        }
+        let mut accountant = Accountant::new(budget);
+        let engine = match config.mode {
+            ServiceMode::Independent => Engine::Independent { mechanism },
+            ServiceMode::Continual { max_epochs } => {
+                let tree = ContinualRelease::with_node_mechanism(config.k, max_epochs, mechanism)?;
+                // The whole dyadic transcript costs the L-level composition,
+                // paid up front: a service that could not afford its horizon
+                // must fail loudly at construction, not at epoch 1.
+                accountant
+                    .charge(tree.params())
+                    .map_err(|e| ServiceError::Release(ReleaseError::Budget(e)))?;
+                Engine::Continual {
+                    tree: Box::new(tree),
+                    max_epochs,
+                }
+            }
+        };
+        Ok(Self {
+            k: config.k,
+            engine,
+            accountant,
+            rng: StdRng::seed_from_u64(seed),
+            cumulative: BTreeMap::new(),
+            completed_epochs: 0,
+            released_items: 0,
+            transcript: Vec::new(),
+            pending: None,
+        })
+    }
+
+    pub(crate) fn accountant(&self) -> &Accountant {
+        &self.accountant
+    }
+
+    pub(crate) fn completed_epochs(&self) -> u64 {
+        self.completed_epochs
+    }
+
+    pub(crate) fn released_items(&self) -> u64 {
+        self.released_items
+    }
+
+    pub(crate) fn transcript(&self) -> &[EpochRelease<K>] {
+        &self.transcript
+    }
+
+    pub(crate) fn mechanism_name(&self) -> &'static str {
+        match &self.engine {
+            Engine::Independent { mechanism } => mechanism.name(),
+            Engine::Continual { tree, .. } => tree.node_mechanism_name(),
+        }
+    }
+
+    /// Restores persisted Independent-mode state (crash/restart path).
+    pub(crate) fn resume(
+        &mut self,
+        cumulative: BTreeMap<K, f64>,
+        completed_epochs: u64,
+        released_items: u64,
+        accountant: Accountant,
+    ) {
+        self.cumulative = cumulative;
+        self.completed_epochs = completed_epochs;
+        self.released_items = released_items;
+        self.accountant = accountant;
+    }
+
+    /// Closes one epoch whose merged summary is produced by `rotate` (the
+    /// ingestion engine's epoch hook). On a budget refusal the rotation is
+    /// never invoked, so the epoch stays open and ingestion can continue.
+    pub(crate) fn end_epoch(
+        &mut self,
+        rotate: impl FnOnce() -> Result<(Summary<K>, u64), ServiceError>,
+    ) -> Result<ReleasedSnapshot<K>, ServiceError> {
+        match &mut self.engine {
+            Engine::Independent { mechanism } => {
+                let price = mechanism.privacy();
+                if !self.accountant.can_afford(price) {
+                    return Err(ServiceError::Release(ReleaseError::Budget(
+                        BudgetExceeded {
+                            requested: price,
+                            remaining_epsilon: self.accountant.remaining_epsilon(),
+                            remaining_delta: self.accountant.remaining_delta(),
+                        },
+                    )));
+                }
+                let (merged, items) = match self.pending.take() {
+                    Some(stashed) => stashed,
+                    None => rotate()?,
+                };
+                let histogram = match release_metered(
+                    mechanism.as_ref(),
+                    &merged,
+                    &mut self.accountant,
+                    &mut self.rng,
+                ) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        // Keep the rotated epoch for a retry; nothing was
+                        // charged.
+                        self.pending = Some((merged, items));
+                        return Err(e.into());
+                    }
+                };
+                for (key, value) in histogram.iter() {
+                    *self.cumulative.entry(key.clone()).or_insert(0.0) += value;
+                }
+                self.completed_epochs += 1;
+                self.released_items += items;
+                self.transcript.push(EpochRelease {
+                    epoch: self.completed_epochs,
+                    items,
+                    pre_noise: merged,
+                    histogram,
+                });
+            }
+            Engine::Continual { tree, max_epochs } => {
+                if tree.completed_epochs() >= *max_epochs {
+                    return Err(ServiceError::HorizonExhausted {
+                        max_epochs: *max_epochs,
+                    });
+                }
+                let (merged, items) = match self.pending.take() {
+                    Some(stashed) => stashed,
+                    None => rotate()?,
+                };
+                let nodes_before = tree.transcript().len();
+                if let Err(e) = tree.end_epoch_with_summary(merged.clone(), &mut self.rng) {
+                    self.pending = Some((merged, items));
+                    return Err(e.into());
+                }
+                self.completed_epochs += 1;
+                self.released_items += items;
+                // The level-0 node released this epoch covers exactly it.
+                let epoch_node = tree.transcript()[nodes_before].histogram.clone();
+                self.transcript.push(EpochRelease {
+                    epoch: self.completed_epochs,
+                    items,
+                    pre_noise: merged,
+                    histogram: epoch_node,
+                });
+                // Cumulative answers come from the open dyadic nodes.
+                self.cumulative = tree
+                    .candidate_keys()
+                    .into_iter()
+                    .map(|key| {
+                        let est = tree.estimate(&key);
+                        (key, est)
+                    })
+                    .collect();
+            }
+        }
+        Ok(ReleasedSnapshot {
+            epoch: self.completed_epochs,
+            items: self.released_items,
+            k: self.k,
+            estimates: self.cumulative.clone(),
+        })
+    }
+}
+
+/// A long-running, epoch-driven DP query-serving layer over the sharded
+/// ingestion pipeline.
+///
+/// * **Ingestion** runs through a [`ShardedPipeline`]: `S` shard workers,
+///   key-hash routing, batched `extend_batch` hot path.
+/// * **Epochs** end by item count ([`ServiceConfig::with_epoch_len`]) or
+///   explicit [`DpmgService::end_epoch`] ticks. Each epoch's merged summary
+///   is released through the configured registry
+///   [`ReleaseMechanism`], metered against one
+///   [`Accountant`] budget — the service refuses epoch `N + 1`, uncharged
+///   and with the epoch left open, the moment the budget cannot afford it.
+/// * **Queries** (`point_query` / `top_k` / `histogram`) are served from
+///   the latest [`ReleasedSnapshot`], published on a lock-free append-only
+///   chain: readers holding a [`QueryHandle`] run concurrently with
+///   ingestion and never take a lock ([`crate::snapshot`] has the details).
+///
+/// ```
+/// use dpmg_core::mechanism::MergedLaplaceMechanism;
+/// use dpmg_noise::accounting::PrivacyParams;
+/// use dpmg_service::{DpmgService, ServiceConfig};
+///
+/// let per_epoch = PrivacyParams::new(0.5, 1e-8).unwrap();
+/// let budget = PrivacyParams::new(2.0, 1e-6).unwrap();
+/// let mechanism = Box::new(MergedLaplaceMechanism::new(per_epoch).unwrap());
+/// let config = ServiceConfig::new(2, 64).with_epoch_len(10_000);
+/// let mut service = DpmgService::new(config, mechanism, budget, 42).unwrap();
+///
+/// let mut handle = service.query_handle(); // move to any reader thread
+/// for i in 0..30_000u64 {
+///     service.ingest(if i % 2 == 0 { 7 } else { i }).unwrap();
+/// }
+/// assert_eq!(service.completed_epochs(), 3);
+/// assert!(handle.point_query(&7) > 10_000.0);
+/// assert_eq!(service.accountant().charges(), 3);
+/// ```
+pub struct DpmgService<K: Item + Send + 'static> {
+    config: ServiceConfig,
+    pipeline: ShardedPipeline<K>,
+    core: EpochCore<K>,
+    tail: Arc<SnapshotNode<K>>,
+    epoch_items: u64,
+}
+
+impl<K: Item + Send + 'static> std::fmt::Debug for DpmgService<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DpmgService")
+            .field("config", &self.config)
+            .field("mechanism", &self.core.mechanism_name())
+            .field("completed_epochs", &self.core.completed_epochs())
+            .field("open_epoch_items", &self.epoch_items)
+            .field("charges", &self.core.accountant().charges())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Item + Send + 'static> DpmgService<K> {
+    /// Spawns the service: sharded ingestion workers, the release engine
+    /// for `config.mode`, and the initial (empty) published snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Invalid configuration; a mechanism whose sensitivity model does not
+    /// cover multi-shard merged epochs (see [`EpochCore`] guard docs); in
+    /// continual mode, a budget that cannot afford the dyadic composition
+    /// over the horizon.
+    pub fn new(
+        config: ServiceConfig,
+        mechanism: Box<dyn ReleaseMechanism<K>>,
+        budget: PrivacyParams,
+        seed: u64,
+    ) -> Result<Self, ServiceError> {
+        let core = EpochCore::new(&config, mechanism, budget, seed)?;
+        let pipeline = ShardedPipeline::new(config.pipeline_config())?;
+        Ok(Self {
+            config,
+            pipeline,
+            core,
+            tail: SnapshotNode::root(config.k),
+            epoch_items: 0,
+        })
+    }
+
+    pub(crate) fn from_parts(
+        config: ServiceConfig,
+        core: EpochCore<K>,
+        initial: ReleasedSnapshot<K>,
+    ) -> Result<Self, ServiceError> {
+        let pipeline = ShardedPipeline::new(config.pipeline_config())?;
+        let root = SnapshotNode::root(config.k);
+        let tail = if initial.epoch > 0 {
+            SnapshotNode::publish(&root, initial)
+        } else {
+            root
+        };
+        Ok(Self {
+            config,
+            pipeline,
+            core,
+            tail,
+            epoch_items: 0,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The budget accountant (spent / remaining / charge count).
+    pub fn accountant(&self) -> &Accountant {
+        self.core.accountant()
+    }
+
+    /// Registry name of the release mechanism (the node mechanism in
+    /// continual mode).
+    pub fn mechanism_name(&self) -> &'static str {
+        self.core.mechanism_name()
+    }
+
+    /// Number of completed (released) epochs.
+    pub fn completed_epochs(&self) -> u64 {
+        self.core.completed_epochs()
+    }
+
+    /// Items ingested over all completed epochs (excludes the open epoch).
+    pub fn released_items(&self) -> u64 {
+        self.core.released_items()
+    }
+
+    /// Items ingested into the **current, unreleased** epoch.
+    pub fn open_epoch_items(&self) -> u64 {
+        self.epoch_items
+    }
+
+    /// Ingestion counters of the current epoch's pipeline.
+    pub fn stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+
+    /// The public record of completed epochs (see [`EpochRelease`] for
+    /// the privacy status of its fields). Covers every epoch **since this
+    /// process started**: a service rebuilt via `restore` begins with an
+    /// empty transcript — pre-noise epoch inputs are deliberately not
+    /// persisted — while [`Self::completed_epochs`] and the `epoch` fields
+    /// of later entries keep counting absolutely across the restart.
+    pub fn transcript(&self) -> &[EpochRelease<K>] {
+        self.core.transcript()
+    }
+
+    /// A read handle for concurrent queries; clone freely, move to any
+    /// thread. Readers never block ingestion or releases, and vice versa.
+    pub fn query_handle(&self) -> QueryHandle<K> {
+        QueryHandle::new(self.tail.clone())
+    }
+
+    /// The newest published snapshot.
+    pub fn latest(&self) -> Arc<ReleasedSnapshot<K>> {
+        self.tail.snapshot.clone()
+    }
+
+    /// Cumulative released estimate of `key` over all completed epochs.
+    pub fn point_query(&self, key: &K) -> f64 {
+        self.latest().point_query(key)
+    }
+
+    /// Top-`n` released keys over all completed epochs.
+    pub fn top_k(&self, n: usize) -> Vec<(K, f64)> {
+        self.latest().top_k(n)
+    }
+
+    /// Routes one item into the current epoch, closing the epoch first when
+    /// the configured `epoch_len` is reached.
+    ///
+    /// # Errors
+    ///
+    /// Ingestion failures, plus every [`Self::end_epoch`] failure when an
+    /// automatic epoch boundary fires — notably the budget refusal, which
+    /// repeats on every subsequent boundary until the caller stops (the
+    /// items themselves are never dropped; they accumulate in the open
+    /// epoch).
+    pub fn ingest(&mut self, item: K) -> Result<(), ServiceError> {
+        self.pipeline.ingest(item)?;
+        self.epoch_items += 1;
+        if let Some(len) = self.config.epoch_len {
+            if self.epoch_items >= len {
+                self.end_epoch()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests a whole stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::ingest`].
+    pub fn ingest_from(&mut self, items: impl IntoIterator<Item = K>) -> Result<(), ServiceError> {
+        for item in items {
+            self.ingest(item)?;
+        }
+        Ok(())
+    }
+
+    /// Explicit epoch tick: rotates the pipeline, performs the epoch's DP
+    /// release under the accountant, publishes the new snapshot, and
+    /// returns it.
+    ///
+    /// # Errors
+    ///
+    /// The budget refusal (`Release(Budget(_))` — uncharged, the epoch
+    /// stays open and ingestion may continue), `HorizonExhausted` in
+    /// continual mode, engine failures, and mechanism release failures
+    /// (after which the rotated epoch is kept pending and retried by the
+    /// next call).
+    pub fn end_epoch(&mut self) -> Result<Arc<ReleasedSnapshot<K>>, ServiceError> {
+        let pipeline = &mut self.pipeline;
+        let epoch_items = &mut self.epoch_items;
+        let snapshot = self.core.end_epoch(|| {
+            let (merged, stats) = pipeline.rotate_epoch()?;
+            *epoch_items = 0;
+            Ok((merged, stats.items))
+        })?;
+        self.tail = SnapshotNode::publish(&self.tail, snapshot);
+        Ok(self.tail.snapshot.clone())
+    }
+}

@@ -1,0 +1,259 @@
+//! Released snapshots and the lock-free read path.
+//!
+//! The service publishes one immutable [`ReleasedSnapshot`] per completed
+//! epoch. Snapshots form an append-only chain of
+//! `Arc<SnapshotNode>` links whose `next` pointers are
+//! [`OnceLock`]s: the single writer (the service) sets each link exactly
+//! once, and readers follow links with plain atomic loads — **no lock is
+//! ever taken on the read side**, and the writer never blocks a reader
+//! (publishing is an `OnceLock::set` *after* the snapshot is fully built).
+//! A [`QueryHandle`] caches its position in the chain, so advancing to the
+//! newest snapshot is amortized one atomic load per published epoch.
+
+use dpmg_sketch::traits::{FrequencyOracle, Item};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// The post-noise, queryable state of the service after a completed epoch:
+/// cumulative released estimates over epochs `1..=epoch`.
+///
+/// Snapshots are **post-privacy-boundary** data: everything in them came
+/// out of a DP release (plus post-processing sums), so handing them to any
+/// number of readers costs no additional privacy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleasedSnapshot<K: Ord> {
+    /// Number of completed epochs the estimates cover (0 for the initial
+    /// empty snapshot).
+    pub epoch: u64,
+    /// Items ingested over those epochs.
+    pub items: u64,
+    /// Sketch size of the producing service.
+    pub k: usize,
+    /// Cumulative released key → estimate map.
+    pub estimates: BTreeMap<K, f64>,
+}
+
+impl<K: Item> ReleasedSnapshot<K> {
+    /// The pre-first-epoch snapshot: nothing released yet.
+    pub fn empty(k: usize) -> Self {
+        Self {
+            epoch: 0,
+            items: 0,
+            k,
+            estimates: BTreeMap::new(),
+        }
+    }
+
+    /// Point query: the cumulative released estimate of `key`, 0 for keys
+    /// never released.
+    pub fn point_query(&self, key: &K) -> f64 {
+        self.estimates.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// The `n` keys with the largest estimates, descending (ties broken by
+    /// ascending key so the order is canonical).
+    pub fn top_k(&self, n: usize) -> Vec<(K, f64)> {
+        let mut all: Vec<(K, f64)> = self
+            .estimates
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        all.sort_by(|(ka, va), (kb, vb)| {
+            vb.partial_cmp(va)
+                .expect("estimates are finite")
+                .then_with(|| ka.cmp(kb))
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// The full released histogram.
+    pub fn histogram(&self) -> &BTreeMap<K, f64> {
+        &self.estimates
+    }
+
+    /// Number of released keys.
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Whether nothing has been released.
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+}
+
+impl<K: Item> FrequencyOracle<K> for ReleasedSnapshot<K> {
+    fn estimate(&self, key: &K) -> f64 {
+        self.point_query(key)
+    }
+}
+
+/// One link of the append-only snapshot chain.
+#[derive(Debug)]
+pub(crate) struct SnapshotNode<K: Ord> {
+    pub(crate) snapshot: Arc<ReleasedSnapshot<K>>,
+    pub(crate) next: OnceLock<Arc<SnapshotNode<K>>>,
+}
+
+impl<K: Ord> Drop for SnapshotNode<K> {
+    /// Unlinks the suffix iteratively. The default recursive drop would
+    /// consume one stack frame per chain link — a stale handle parked
+    /// since epoch 1 of a long-lived service would overflow the stack the
+    /// moment it is dropped.
+    fn drop(&mut self) {
+        let mut next = self.next.take();
+        while let Some(node) = next {
+            match Arc::try_unwrap(node) {
+                // Sole owner of the link: detach its suffix before the node
+                // drops (with `next` now empty, its drop cannot recurse).
+                Ok(mut inner) => next = inner.next.take(),
+                // Someone else (a live handle or the service tail) still
+                // holds the rest of the chain; their drop handles it.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl<K: Item> SnapshotNode<K> {
+    pub(crate) fn root(k: usize) -> Arc<Self> {
+        Arc::new(Self {
+            snapshot: Arc::new(ReleasedSnapshot::empty(k)),
+            next: OnceLock::new(),
+        })
+    }
+
+    /// Appends a snapshot after `tail` and returns the new tail. Single
+    /// writer only — the service owns the tail.
+    pub(crate) fn publish(tail: &Arc<Self>, snapshot: ReleasedSnapshot<K>) -> Arc<Self> {
+        let node = Arc::new(Self {
+            snapshot: Arc::new(snapshot),
+            next: OnceLock::new(),
+        });
+        tail.next
+            .set(node.clone())
+            .expect("snapshot chain has a single writer");
+        node
+    }
+}
+
+/// A reader's handle onto the snapshot chain, cheap to clone and safe to
+/// move to any thread. Every accessor first advances to the newest
+/// published snapshot with atomic loads only (no locks, no blocking on the
+/// writer), then answers from that immutable snapshot.
+#[derive(Debug)]
+pub struct QueryHandle<K: Ord> {
+    cursor: Arc<SnapshotNode<K>>,
+}
+
+impl<K: Ord> Clone for QueryHandle<K> {
+    fn clone(&self) -> Self {
+        Self {
+            cursor: self.cursor.clone(),
+        }
+    }
+}
+
+impl<K: Item> QueryHandle<K> {
+    pub(crate) fn new(cursor: Arc<SnapshotNode<K>>) -> Self {
+        Self { cursor }
+    }
+
+    /// The newest published snapshot (advancing the cached cursor).
+    pub fn snapshot(&mut self) -> Arc<ReleasedSnapshot<K>> {
+        while let Some(next) = self.cursor.next.get() {
+            self.cursor = next.clone();
+        }
+        self.cursor.snapshot.clone()
+    }
+
+    /// Cumulative released estimate of `key` as of the newest snapshot.
+    pub fn point_query(&mut self, key: &K) -> f64 {
+        self.snapshot().point_query(key)
+    }
+
+    /// Top-`n` keys by estimate as of the newest snapshot.
+    pub fn top_k(&mut self, n: usize) -> Vec<(K, f64)> {
+        self.snapshot().top_k(n)
+    }
+
+    /// Number of completed epochs as of the newest snapshot.
+    pub fn epoch(&mut self) -> u64 {
+        self.snapshot().epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_queries() {
+        let snap = ReleasedSnapshot {
+            epoch: 2,
+            items: 100,
+            k: 8,
+            estimates: [(1u64, 50.0), (2, 80.0), (3, 80.0), (4, 10.0)]
+                .into_iter()
+                .collect(),
+        };
+        assert_eq!(snap.point_query(&2), 80.0);
+        assert_eq!(snap.point_query(&99), 0.0);
+        assert_eq!(snap.estimate(&1), 50.0);
+        // Ties broken by ascending key.
+        assert_eq!(snap.top_k(3), vec![(2, 80.0), (3, 80.0), (1, 50.0)]);
+        assert_eq!(snap.top_k(0), vec![]);
+        assert_eq!(snap.len(), 4);
+        assert!(ReleasedSnapshot::<u64>::empty(4).is_empty());
+    }
+
+    #[test]
+    fn dropping_a_stale_handle_does_not_recurse_through_the_chain() {
+        // A handle parked at the root while 300k epochs publish owns the
+        // whole prefix when dropped; the iterative Drop must unlink it
+        // without one stack frame per epoch (test threads get ~2 MiB of
+        // stack — a recursive drop would abort long before 300k frames).
+        let root = SnapshotNode::<u64>::root(4);
+        let stale = QueryHandle::new(root.clone());
+        let mut tail = root;
+        for epoch in 1..=300_000u64 {
+            let snap = ReleasedSnapshot {
+                epoch,
+                items: 0,
+                k: 4,
+                estimates: std::collections::BTreeMap::new(),
+            };
+            tail = SnapshotNode::publish(&tail, snap);
+        }
+        drop(stale);
+        // The live tail survives the prefix teardown.
+        let mut fresh = QueryHandle::new(tail);
+        assert_eq!(fresh.epoch(), 300_000);
+    }
+
+    #[test]
+    fn chain_publishes_and_handles_advance() {
+        let root = SnapshotNode::<u64>::root(8);
+        let mut early = QueryHandle::new(root.clone());
+        assert_eq!(early.epoch(), 0);
+        assert_eq!(early.point_query(&1), 0.0);
+
+        let mut tail = root;
+        for epoch in 1..=3u64 {
+            let snap = ReleasedSnapshot {
+                epoch,
+                items: epoch * 10,
+                k: 8,
+                estimates: [(1u64, epoch as f64)].into_iter().collect(),
+            };
+            tail = SnapshotNode::publish(&tail, snap);
+        }
+        // The stale handle catches up to the newest snapshot on next use;
+        // a clone taken *before* catching up advances independently.
+        let mut late = early.clone();
+        assert_eq!(early.epoch(), 3);
+        assert_eq!(late.point_query(&1), 3.0);
+        assert_eq!(late.snapshot().items, 30);
+    }
+}

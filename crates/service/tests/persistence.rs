@@ -1,0 +1,195 @@
+//! Crash/restart tests: `save_state` → `restore` preserves query answers
+//! bit-for-bit and the accountant's remaining budget exactly; any byte of
+//! corruption is rejected (both the service wrapper and the embedded
+//! snapshot are FNV-checksummed).
+
+use dpmg_core::mechanism::{MergedLaplaceMechanism, ReleaseError};
+use dpmg_noise::accounting::PrivacyParams;
+use dpmg_service::{DpmgService, ServiceConfig, ServiceError, ServiceMode};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn mech() -> Box<MergedLaplaceMechanism> {
+    Box::new(MergedLaplaceMechanism::new(PrivacyParams::new(0.5, 1e-8).unwrap()).unwrap())
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig::new(2, 32)
+}
+
+fn stream(n: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(|i| {
+        if i % 2 == 0 {
+            1 + (i / 2) % 4
+        } else {
+            50 + i % 200
+        }
+    })
+}
+
+/// A service that has released three epochs against a budget that affords
+/// exactly four.
+fn three_epoch_service() -> DpmgService<u64> {
+    let budget = PrivacyParams::new(2.0, 1e-6).unwrap();
+    let mut svc = DpmgService::new(config(), mech(), budget, 41).unwrap();
+    for _ in 0..3 {
+        svc.ingest_from(stream(20_000)).unwrap();
+        svc.end_epoch().unwrap();
+    }
+    svc
+}
+
+#[test]
+fn restore_preserves_queries_and_budget_exactly() {
+    let svc = three_epoch_service();
+    let bytes = svc.save_state().unwrap();
+    let restored = DpmgService::restore(config(), mech(), 97, &bytes).unwrap();
+
+    // Query answers are preserved bit-for-bit.
+    assert_eq!(restored.completed_epochs(), 3);
+    assert_eq!(restored.released_items(), 60_000);
+    let (a, b) = (svc.latest(), restored.latest());
+    assert_eq!(a.estimates.len(), b.estimates.len());
+    for (key, value) in &a.estimates {
+        assert_eq!(
+            value.to_bits(),
+            b.estimates[key].to_bits(),
+            "estimate of {key} diverged across restart"
+        );
+    }
+    assert_eq!(restored.top_k(5), svc.top_k(5));
+
+    // The accountant resumes with the exact remaining budget.
+    assert_eq!(restored.accountant().charges(), 3);
+    assert_eq!(
+        restored.accountant().remaining_epsilon().to_bits(),
+        svc.accountant().remaining_epsilon().to_bits()
+    );
+    assert_eq!(
+        restored.accountant().remaining_delta().to_bits(),
+        svc.accountant().remaining_delta().to_bits()
+    );
+}
+
+#[test]
+fn restored_service_releases_until_the_same_budget_wall() {
+    let svc = three_epoch_service();
+    let bytes = svc.save_state().unwrap();
+    drop(svc);
+    let mut restored = DpmgService::restore(config(), mech(), 97, &bytes).unwrap();
+
+    // One more ε=0.5 epoch fits the ε=2.0 budget…
+    restored.ingest_from(stream(20_000)).unwrap();
+    let snap = restored.end_epoch().unwrap();
+    assert_eq!(snap.epoch, 4);
+    assert_eq!(restored.accountant().charges(), 4);
+    // …and epoch 5 hits the same wall the original would have.
+    restored.ingest_from(stream(1_000)).unwrap();
+    let err = restored.end_epoch().unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Release(ReleaseError::Budget(_))),
+        "{err}"
+    );
+}
+
+#[test]
+fn restore_validates_config_against_persisted_state() {
+    let svc = three_epoch_service();
+    let bytes = svc.save_state().unwrap();
+    // k mismatch.
+    let err = DpmgService::restore(ServiceConfig::new(2, 64), mech(), 1, &bytes).unwrap_err();
+    assert!(matches!(err, ServiceError::Persistence(_)), "{err}");
+    // Continual mode is not restorable.
+    let continual = ServiceConfig::new(2, 32).with_mode(ServiceMode::Continual { max_epochs: 4 });
+    let err = DpmgService::restore(continual, mech(), 1, &bytes).unwrap_err();
+    assert!(matches!(err, ServiceError::Persistence(_)), "{err}");
+    // Continual services refuse to save in the first place.
+    let node = PrivacyParams::new(0.1, 1e-9).unwrap();
+    let tree_svc: DpmgService<u64> = DpmgService::new(
+        ServiceConfig::new(1, 8).with_mode(ServiceMode::Continual { max_epochs: 4 }),
+        Box::new(MergedLaplaceMechanism::new(node).unwrap()),
+        PrivacyParams::new(1.0, 1e-6).unwrap(),
+        1,
+    )
+    .unwrap();
+    assert!(matches!(
+        tree_svc.save_state().unwrap_err(),
+        ServiceError::Persistence(_)
+    ));
+}
+
+#[test]
+fn key_churn_beyond_k_still_round_trips() {
+    // Released key sets shift across epochs, so the cumulative union can
+    // exceed one sketch's k; the snapshot format must carry it anyway.
+    let budget = PrivacyParams::new(10.0, 1e-5).unwrap();
+    let strong = PrivacyParams::new(2.0, 1e-8).unwrap();
+    let small_k = ServiceConfig::new(2, 4);
+    let mech4 = || -> Box<MergedLaplaceMechanism> {
+        Box::new(MergedLaplaceMechanism::new(strong).unwrap())
+    };
+    let mut svc = DpmgService::new(small_k, mech4(), budget, 61).unwrap();
+    // Epoch 1 releases heavy keys {1..4}; epoch 2 a disjoint set {101..104}.
+    for base in [1u64, 101] {
+        svc.ingest_from((0..20_000u64).map(|i| base + i % 4))
+            .unwrap();
+        svc.end_epoch().unwrap();
+    }
+    let union = svc.latest().len();
+    assert!(
+        union > 4,
+        "union of released keys must exceed k (got {union})"
+    );
+    let bytes = svc.save_state().unwrap();
+    let restored = DpmgService::restore(small_k, mech4(), 62, &bytes).unwrap();
+    assert_eq!(restored.latest().len(), union);
+    assert_eq!(restored.top_k(8), svc.top_k(8));
+}
+
+#[test]
+fn empty_service_round_trips() {
+    let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+    let svc: DpmgService<u64> = DpmgService::new(config(), mech(), budget, 1).unwrap();
+    let bytes = svc.save_state().unwrap();
+    let restored = DpmgService::restore(config(), mech(), 2, &bytes).unwrap();
+    assert_eq!(restored.completed_epochs(), 0);
+    assert!(restored.latest().is_empty());
+    assert_eq!(restored.accountant().charges(), 0);
+    assert_eq!(restored.accountant().remaining_epsilon(), 1.0);
+}
+
+/// The proptests corrupt one canonical saved state (building the service
+/// is the expensive part; the corruption space is over the bytes).
+fn saved_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| three_epoch_service().save_state().unwrap().to_vec())
+}
+
+proptest! {
+    /// Corruption of ANY single byte (any bit) of the persisted state is
+    /// rejected — the FNV checksum layers leave no silently-decodable flip.
+    #[test]
+    fn prop_any_byte_flip_is_rejected(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = saved_bytes().to_vec();
+        let pos = (bytes.len() as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(
+            DpmgService::restore(config(), mech(), 1, &bytes).is_err(),
+            "flip at byte {pos} bit {bit} restored"
+        );
+    }
+
+    /// Every strict prefix is rejected.
+    #[test]
+    fn prop_any_truncation_is_rejected(frac in 0.0f64..1.0) {
+        let bytes = saved_bytes();
+        let cut = (bytes.len() as f64 * frac) as usize;
+        prop_assert!(DpmgService::restore(config(), mech(), 1, &bytes[..cut]).is_err());
+    }
+
+    /// Restore is total and panic-free on arbitrary bytes.
+    #[test]
+    fn prop_arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let _ = DpmgService::restore(config(), mech(), 1, &bytes);
+    }
+}

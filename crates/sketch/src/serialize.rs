@@ -16,13 +16,53 @@
 //! len     : u64     (number of entries, ≤ k)
 //! entries : len × (key: u64, count: u64), keys strictly ascending
 //! ```
+//!
+//! A second record type, the **released snapshot** ([`SnapshotRecord`],
+//! magic `DPMS`), carries the *post-noise* state a long-running service
+//! persists across restarts: real-valued released estimates plus the epoch
+//! clock, sealed with an FNV-1a checksum so that **any** byte corruption —
+//! including flips inside the floating-point payload, which no structural
+//! check could catch — is rejected instead of silently restoring wrong
+//! answers:
+//!
+//! ```text
+//! magic    : [u8; 4] = b"DPMS"
+//! version  : u8      = 1
+//! k        : u64
+//! epoch    : u64     (completed epochs covered)
+//! items    : u64     (items covered by the released estimates)
+//! len      : u64     (number of entries; NOT capped at k — cumulative
+//!                     snapshots union released keys over many epochs)
+//! entries  : len × (key: u64, estimate: f64 bits), keys strictly ascending,
+//!            estimates finite
+//! checksum : u64     (FNV-1a over every preceding byte)
+//! ```
 
 use crate::traits::{SketchError, Summary};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
 
 const MAGIC: [u8; 4] = *b"DPMG";
 const VERSION: u8 = 1;
 const HEADER_LEN: usize = 4 + 1 + 8 + 8;
+
+const SNAPSHOT_MAGIC: [u8; 4] = *b"DPMS";
+const SNAPSHOT_VERSION: u8 = 1;
+const SNAPSHOT_HEADER_LEN: usize = 4 + 1 + 8 + 8 + 8 + 8;
+
+/// FNV-1a over a byte slice — the integrity checksum of the snapshot
+/// record and of `dpmg-service`'s persisted state. Each step
+/// `h ← (h ⊕ b)·p` is a bijection of the running state (odd prime, modulo
+/// 2^64), so flipping any single byte of the input always changes the
+/// digest — exactly the guarantee the corruption tests rely on.
+pub fn fnv1a_checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// Encodes a `u64`-keyed summary into the wire format.
 pub fn encode(summary: &Summary<u64>) -> Bytes {
@@ -64,7 +104,9 @@ pub fn decode(mut bytes: &[u8]) -> Result<Summary<u64>, SketchError> {
     }
     let k = usize::try_from(k).map_err(|_| SketchError::Corrupt("k overflows usize"))?;
     let len = len as usize;
-    if bytes.remaining() != len * 16 {
+    // Divide instead of multiplying: `len * 16` could overflow on a header
+    // declaring a huge count, wrapping past this guard into the read loop.
+    if bytes.remaining() % 16 != 0 || bytes.remaining() / 16 != len {
         return Err(SketchError::Corrupt("entry section length mismatch"));
     }
     let mut entries = std::collections::BTreeMap::new();
@@ -81,6 +123,111 @@ pub fn decode(mut bytes: &[u8]) -> Result<Summary<u64>, SketchError> {
         entries.insert(key, count);
     }
     Ok(Summary { k, entries })
+}
+
+/// The released state a query-serving layer persists across restarts: the
+/// cumulative post-noise estimates at a given epoch. Unlike [`Summary`]
+/// this is **post-privacy-boundary** data (safe to store anywhere), and its
+/// values are real-valued noisy estimates, not exact counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotRecord {
+    /// Sketch size of the producing service — metadata for compatibility
+    /// checks, **not** a bound on `entries`: the cumulative union of
+    /// released keys over many epochs can far exceed one sketch's `k`.
+    pub k: usize,
+    /// Completed epochs the estimates cover.
+    pub epoch: u64,
+    /// Items ingested over those epochs.
+    pub items: u64,
+    /// Released key → estimate map (finite values).
+    pub entries: BTreeMap<u64, f64>,
+}
+
+/// Encodes a released snapshot into the checksummed wire format.
+///
+/// # Panics
+///
+/// Panics on a non-finite estimate — such a record cannot round-trip.
+pub fn encode_snapshot(snapshot: &SnapshotRecord) -> Bytes {
+    let mut buf = BytesMut::with_capacity(SNAPSHOT_HEADER_LEN + snapshot.entries.len() * 16 + 8);
+    buf.put_slice(&SNAPSHOT_MAGIC);
+    buf.put_u8(SNAPSHOT_VERSION);
+    buf.put_u64_le(snapshot.k as u64);
+    buf.put_u64_le(snapshot.epoch);
+    buf.put_u64_le(snapshot.items);
+    buf.put_u64_le(snapshot.entries.len() as u64);
+    for (&key, &estimate) in &snapshot.entries {
+        assert!(estimate.is_finite(), "snapshot estimate must be finite");
+        buf.put_u64_le(key);
+        buf.put_u64_le(estimate.to_bits());
+    }
+    let checksum = fnv1a_checksum(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Decodes a released snapshot, validating structure **and** the trailing
+/// checksum, so any corrupted byte is rejected.
+///
+/// # Errors
+///
+/// Returns [`SketchError::Corrupt`] on truncated input, bad magic/version,
+/// non-ascending keys, non-finite estimates, trailing bytes, or a checksum
+/// mismatch. (`len` is deliberately *not* capped at `k` — cumulative
+/// snapshots hold the union of released keys over epochs.)
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotRecord, SketchError> {
+    if bytes.len() < SNAPSHOT_HEADER_LEN + 8 {
+        return Err(SketchError::Corrupt("truncated snapshot header"));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut checksum_bytes = trailer;
+    if fnv1a_checksum(payload) != checksum_bytes.get_u64_le() {
+        return Err(SketchError::Corrupt("snapshot checksum mismatch"));
+    }
+    let mut payload = payload;
+    let mut magic = [0u8; 4];
+    payload.copy_to_slice(&mut magic);
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SketchError::Corrupt("bad snapshot magic"));
+    }
+    if payload.get_u8() != SNAPSHOT_VERSION {
+        return Err(SketchError::Corrupt("unsupported snapshot version"));
+    }
+    let k = payload.get_u64_le();
+    let epoch = payload.get_u64_le();
+    let items = payload.get_u64_le();
+    let len = payload.get_u64_le();
+    let k = usize::try_from(k).map_err(|_| SketchError::Corrupt("snapshot k overflows usize"))?;
+    let len = len as usize;
+    // Divide instead of multiplying: see `decode` — a huge declared count
+    // must not wrap past this guard.
+    if payload.remaining() % 16 != 0 || payload.remaining() / 16 != len {
+        return Err(SketchError::Corrupt(
+            "snapshot entry section length mismatch",
+        ));
+    }
+    let mut entries = BTreeMap::new();
+    let mut prev: Option<u64> = None;
+    for _ in 0..len {
+        let key = payload.get_u64_le();
+        let estimate = f64::from_bits(payload.get_u64_le());
+        if let Some(p) = prev {
+            if key <= p {
+                return Err(SketchError::Corrupt("snapshot keys not strictly ascending"));
+            }
+        }
+        if !estimate.is_finite() {
+            return Err(SketchError::Corrupt("snapshot estimate not finite"));
+        }
+        prev = Some(key);
+        entries.insert(key, estimate);
+    }
+    Ok(SnapshotRecord {
+        k,
+        epoch,
+        items,
+        entries,
+    })
 }
 
 #[cfg(test)]
@@ -232,6 +379,137 @@ mod tests {
             if let Ok(summary) = decode(&bytes) {
                 prop_assert_eq!(encode(&summary).as_ref(), &bytes[..]);
             }
+        }
+    }
+
+    fn sample_snapshot() -> SnapshotRecord {
+        SnapshotRecord {
+            k: 8,
+            epoch: 5,
+            items: 123_456,
+            entries: [(3u64, 10.25), (7, 0.0), (100, 41.9)].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let s = sample_snapshot();
+        assert_eq!(decode_snapshot(&encode_snapshot(&s)).unwrap(), s);
+        let empty = SnapshotRecord {
+            k: 4,
+            epoch: 0,
+            items: 0,
+            entries: BTreeMap::new(),
+        };
+        assert_eq!(decode_snapshot(&encode_snapshot(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn snapshot_rejects_structural_damage() {
+        let bytes = encode_snapshot(&sample_snapshot());
+        for cut in [0, 4, SNAPSHOT_HEADER_LEN, bytes.len() - 1] {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut = {cut}");
+        }
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(decode_snapshot(&long).is_err(), "trailing byte accepted");
+    }
+
+    #[test]
+    fn huge_declared_len_is_rejected_not_wrapped() {
+        // A header declaring k = len = 2^60 makes `len * 16` wrap to 0 on
+        // 64-bit targets; the length guard must reject it (not panic in the
+        // entry loop). The snapshot variant even carries a *valid* checksum
+        // — FNV is unkeyed, so corruption guards cannot rely on it alone.
+        let huge = 1u64 << 60;
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"DPMG");
+        buf.put_u8(1);
+        buf.put_u64_le(huge); // k
+        buf.put_u64_le(huge); // len; entry section empty
+        assert_eq!(
+            decode(&buf).unwrap_err(),
+            SketchError::Corrupt("entry section length mismatch")
+        );
+
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"DPMS");
+        buf.put_u8(1);
+        buf.put_u64_le(huge); // k
+        buf.put_u64_le(3); // epoch
+        buf.put_u64_le(9); // items
+        buf.put_u64_le(huge); // len; entry section empty
+        let checksum = fnv1a_checksum(&buf);
+        buf.put_u64_le(checksum);
+        assert_eq!(
+            decode_snapshot(&buf).unwrap_err(),
+            SketchError::Corrupt("snapshot entry section length mismatch")
+        );
+    }
+
+    #[test]
+    fn summary_and_snapshot_encodings_do_not_alias() {
+        // A valid summary encoding must never decode as a snapshot and
+        // vice versa — the magics differ and each decoder checks its own.
+        let summary_bytes = encode(&sample());
+        assert!(decode_snapshot(&summary_bytes).is_err());
+        let snapshot_bytes = encode_snapshot(&sample_snapshot());
+        assert!(decode(&snapshot_bytes).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_snapshot_round_trip(
+            entries in proptest::collection::btree_map(
+                0u64..1000, -1.0e9f64..1.0e9, 0..16),
+            epoch in 0u64..1000,
+            items in 0u64..1_000_000_000,
+        ) {
+            let snapshot = SnapshotRecord { k: 16, epoch, items, entries };
+            let back = decode_snapshot(&encode_snapshot(&snapshot)).unwrap();
+            prop_assert_eq!(snapshot, back);
+        }
+
+        /// Stronger than the summary guarantee: thanks to the checksum,
+        /// flipping ANY single bit anywhere — header, float payload, or the
+        /// checksum itself — is rejected, never silently decoded.
+        #[test]
+        fn prop_snapshot_rejects_every_byte_flip(
+            entries in proptest::collection::btree_map(
+                0u64..1000, -1.0e9f64..1.0e9, 1..16),
+            epoch in 0u64..1000,
+            pos_frac in 0.0f64..1.0,
+            bit in 0u8..8,
+        ) {
+            let snapshot = SnapshotRecord { k: 16, epoch, items: 7, entries };
+            let mut bytes = encode_snapshot(&snapshot).to_vec();
+            let pos = (bytes.len() as f64 * pos_frac) as usize;
+            bytes[pos] ^= 1 << bit;
+            prop_assert!(
+                decode_snapshot(&bytes).is_err(),
+                "flip at byte {pos} bit {bit} decoded"
+            );
+        }
+
+        /// Every strict prefix is rejected.
+        #[test]
+        fn prop_snapshot_rejects_every_truncation(
+            entries in proptest::collection::btree_map(
+                0u64..1000, -1.0e9f64..1.0e9, 0..16),
+            frac in 0.0f64..1.0,
+        ) {
+            let snapshot = SnapshotRecord { k: 16, epoch: 3, items: 9, entries };
+            let bytes = encode_snapshot(&snapshot);
+            let cut = (bytes.len() as f64 * frac) as usize;
+            prop_assert!(decode_snapshot(&bytes[..cut]).is_err());
+        }
+
+        /// Decoding is total and panic-free on arbitrary bytes.
+        #[test]
+        fn prop_snapshot_arbitrary_bytes_never_panic(
+            bytes in proptest::collection::vec(0u8..=255, 0..256),
+        ) {
+            let _ = decode_snapshot(&bytes);
         }
     }
 }

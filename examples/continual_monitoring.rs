@@ -39,7 +39,7 @@ fn main() {
             mech.observe(q);
         }
         total_queries += queries.len() as u64;
-        mech.end_epoch(&mut rng);
+        mech.end_epoch(&mut rng).unwrap();
 
         if hour % 6 == 0 {
             // Publish the running top queries (noisy, safe to share).

@@ -1,0 +1,90 @@
+//! A long-running DP query service — the deployment the ROADMAP aims at:
+//! traffic streams in around the clock, the service publishes a private
+//! heavy-hitter snapshot every epoch, and dashboards query the latest
+//! snapshot concurrently, never blocking ingestion.
+//!
+//! ```sh
+//! cargo run --release --example epoch_service
+//! ```
+
+use dp_misra_gries::core::mechanism::GshmMechanism;
+use dp_misra_gries::prelude::*;
+use dp_misra_gries::workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let epochs = 6u64;
+    let per_epoch = 200_000u64;
+    let per_epoch_budget = PrivacyParams::new(0.5, 1e-9).unwrap();
+    let total_budget = PrivacyParams::new(4.0, 1e-7).unwrap();
+
+    // 4 ingestion shards, k = 256 counters, auto-epoch every `per_epoch`
+    // items, GSHM releases (the paper's Section 7 recommendation — sound
+    // for multi-shard merged epochs).
+    let config = ServiceConfig::new(4, 256).with_epoch_len(per_epoch);
+    let mechanism = Box::new(GshmMechanism::new(per_epoch_budget).unwrap());
+    let mut service = DpmgService::new(config, mechanism, total_budget, 2024).unwrap();
+    println!(
+        "service up: 4 shards, k = 256, {} per epoch, {} total budget",
+        per_epoch_budget, total_budget
+    );
+
+    // A dashboard thread polls the latest snapshot while we ingest.
+    let mut dashboard = service.query_handle();
+    let poller = std::thread::spawn(move || {
+        let mut seen = 0u64;
+        while seen < epochs {
+            let snap = dashboard.snapshot();
+            if snap.epoch > seen {
+                seen = snap.epoch;
+                let top: Vec<String> = snap
+                    .top_k(3)
+                    .into_iter()
+                    .map(|(k, v)| format!("{k}≈{v:.0}"))
+                    .collect();
+                println!(
+                    "  dashboard: epoch {seen} live — {} keys, top-3 = {top:?}",
+                    snap.len()
+                );
+            }
+            std::thread::yield_now();
+        }
+    });
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let zipf = Zipf::new(1_000_000, 1.2);
+    for _hour in 0..epochs {
+        let traffic = zipf.stream(per_epoch as usize, &mut rng);
+        service.ingest_from(traffic).unwrap();
+    }
+    poller.join().unwrap();
+
+    println!(
+        "\n{} epochs released by `{}`, {} of budget spent over {} charges",
+        service.completed_epochs(),
+        service.mechanism_name(),
+        service.accountant().spent().unwrap(),
+        service.accountant().charges(),
+    );
+
+    // Persist the released state; a restarted service resumes queries and
+    // remaining budget exactly (noise is never reused).
+    let saved = service.save_state().unwrap();
+    let restored = DpmgService::restore(
+        ServiceConfig::new(4, 256).with_epoch_len(per_epoch),
+        Box::new(GshmMechanism::new(per_epoch_budget).unwrap()),
+        2025,
+        &saved,
+    )
+    .unwrap();
+    assert_eq!(restored.completed_epochs(), epochs);
+    assert_eq!(restored.top_k(3), service.top_k(3));
+    println!(
+        "state persisted ({} bytes) and restored: epoch {}, remaining ε = {:.2}",
+        saved.len(),
+        restored.completed_epochs(),
+        restored.accountant().remaining_epsilon()
+    );
+    println!("epoch_service OK");
+}

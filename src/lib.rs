@@ -28,8 +28,14 @@
 //!   shard workers over channels, binary merge tree, one trusted DP release
 //!   (the distributed deployment of Section 7, sound by Lemma 17 /
 //!   Corollary 18).
-//! * [`eval`] — error metrics, experiment sweeps, and an empirical privacy
-//!   auditor.
+//! * [`service`] — the epoch-driven DP query-serving layer over the
+//!   pipeline: per-epoch registry releases metered by an `Accountant`
+//!   budget (independent or binary-tree continual composition), a
+//!   lock-free snapshot read path answering `point_query`/`top_k`
+//!   concurrently with ingestion, and checksummed crash/restart
+//!   persistence.
+//! * [`eval`] — error metrics, goodness-of-fit statistics, experiment
+//!   sweeps, and an empirical privacy auditor.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +66,7 @@ pub use dpmg_core as core;
 pub use dpmg_eval as eval;
 pub use dpmg_noise as noise;
 pub use dpmg_pipeline as pipeline;
+pub use dpmg_service as service;
 pub use dpmg_sketch as sketch;
 pub use dpmg_workload as workload;
 
@@ -74,6 +81,10 @@ pub mod prelude {
     pub use dpmg_noise::accounting::{Accountant, PrivacyParams};
     pub use dpmg_pipeline::{
         PipelineConfig, PrivatizedPipeline, SequentialBaseline, ShardedPipeline, StreamingMechanism,
+    };
+    pub use dpmg_service::{
+        DpmgService, QueryHandle, ReleasedSnapshot, SequentialServiceReference, ServiceConfig,
+        ServiceError, ServiceMode,
     };
     pub use dpmg_sketch::misra_gries::MisraGries;
     pub use dpmg_sketch::pamg::PrivacyAwareMisraGries;

@@ -145,6 +145,92 @@ fn sketch_state_is_stream_order_sensitive_but_estimates_obey_fact7_anyway() {
 }
 
 #[test]
+fn service_matches_sequential_reference_bit_for_bit_at_every_shard_count() {
+    // The concurrent service (threaded shard workers, batching, channel
+    // backpressure) against the single-threaded SequentialServiceReference:
+    // same config, same seed, same stream ⇒ every epoch release, query
+    // answer, and budget charge must be byte-identical, at 1/2/4/8 shards.
+    use dp_misra_gries::core::mechanism::{GshmMechanism, MergedLaplaceMechanism};
+
+    let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+    let budget = PrivacyParams::new(50.0, 1e-4).unwrap();
+    let epochs: Vec<Vec<u64>> = (0..4u64)
+        .map(|e| {
+            (0..12_000u64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        1 + (i / 2) % 4
+                    } else {
+                        (i * (e + 7)) % 900
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let hist_bits = |h: &PrivateHistogram<u64>| -> Vec<(u64, u64)> {
+        h.iter().map(|(&k, v)| (k, v.to_bits())).collect()
+    };
+    for shards in [1usize, 2, 4, 8] {
+        for mech_name in ["merged-laplace", "gshm"] {
+            let mechanism = || -> Box<dyn ReleaseMechanism<u64>> {
+                match mech_name {
+                    "merged-laplace" => Box::new(MergedLaplaceMechanism::new(params).unwrap()),
+                    _ => Box::new(GshmMechanism::new(params).unwrap()),
+                }
+            };
+            let seed = 0xD1FF ^ shards as u64;
+            let config = ServiceConfig::new(shards, 32).with_batch_size(173);
+            let mut svc = DpmgService::new(config, mechanism(), budget, seed).unwrap();
+            let mut oracle =
+                SequentialServiceReference::new(config, mechanism(), budget, seed).unwrap();
+            for (i, epoch) in epochs.iter().enumerate() {
+                svc.ingest_from(epoch.iter().copied()).unwrap();
+                oracle.ingest_from(epoch.iter().copied()).unwrap();
+                let snap_svc = svc.end_epoch().unwrap();
+                let snap_ref = oracle.end_epoch().unwrap();
+
+                // Epoch releases bit-for-bit (pre-noise input AND noisy
+                // output), via the public transcripts.
+                let (a, b) = (&svc.transcript()[i], &oracle.transcript()[i]);
+                assert_eq!(
+                    a.pre_noise, b.pre_noise,
+                    "{mech_name}/{shards} shards, epoch {i}: pre-noise summary diverged"
+                );
+                assert_eq!(
+                    hist_bits(&a.histogram),
+                    hist_bits(&b.histogram),
+                    "{mech_name}/{shards} shards, epoch {i}: released histogram diverged"
+                );
+                assert_eq!(
+                    a.histogram.threshold().to_bits(),
+                    b.histogram.threshold().to_bits()
+                );
+                assert_eq!((a.epoch, a.items), (b.epoch, b.items));
+
+                // Query answers identical after every epoch.
+                assert_eq!(snap_svc.epoch, snap_ref.epoch);
+                assert_eq!(snap_svc.estimates.len(), snap_ref.estimates.len());
+                for (key, value) in &snap_svc.estimates {
+                    assert_eq!(
+                        value.to_bits(),
+                        snap_ref.estimates[key].to_bits(),
+                        "{mech_name}/{shards} shards, epoch {i}: query for {key} diverged"
+                    );
+                }
+                assert_eq!(svc.top_k(8), oracle.top_k(8));
+            }
+            // And the budget arithmetic marched in lockstep.
+            assert_eq!(svc.accountant().charges(), oracle.accountant().charges());
+            assert_eq!(
+                svc.accountant().remaining_epsilon().to_bits(),
+                oracle.accountant().remaining_epsilon().to_bits()
+            );
+        }
+    }
+}
+
+#[test]
 fn independent_releases_differ() {
     // Releasing twice with different seeds must (overwhelmingly) differ —
     // guards against accidentally caching noise.

@@ -70,6 +70,33 @@ fn prelude_names_resolve_and_release_end_to_end() {
     let generic: Vec<Box<dyn ReleaseMechanism<String>>> = registry_generic(&spec).unwrap();
     assert!(!generic.is_empty());
     let _: Option<ReleaseError> = None; // nameable via the prelude
+
+    // The service layer via the prelude: epoch-driven releases served from
+    // a lock-free snapshot handle.
+    let mechanism = dp_misra_gries::core::mechanism::MergedLaplaceMechanism::new(params).unwrap();
+    let config = ServiceConfig::new(2, 64).with_epoch_len(2_000);
+    let mut service = DpmgService::new(
+        config,
+        Box::new(mechanism),
+        PrivacyParams::new(4.0, 1e-6).unwrap(),
+        7,
+    )
+    .unwrap();
+    let mut handle: QueryHandle<u64> = service.query_handle();
+    service.ingest_from(stream.iter().copied()).unwrap();
+    assert_eq!(service.completed_epochs(), 2);
+    let snapshot: std::sync::Arc<ReleasedSnapshot<u64>> = handle.snapshot();
+    assert_eq!(snapshot.epoch, 2);
+    let _ = ServiceMode::Independent; // nameable via the prelude
+    let _: Option<ServiceError> = None;
+    let reference: SequentialServiceReference<u64> = SequentialServiceReference::new(
+        ServiceConfig::new(2, 64),
+        Box::new(dp_misra_gries::core::mechanism::MergedLaplaceMechanism::new(params).unwrap()),
+        PrivacyParams::new(4.0, 1e-6).unwrap(),
+        7,
+    )
+    .unwrap();
+    assert_eq!(reference.completed_epochs(), 0);
 }
 
 #[test]
@@ -83,4 +110,7 @@ fn module_reexports_reach_every_member_crate() {
     assert_eq!(zipf.stream(16, &mut rng).len(), 16);
     let stats = dp_misra_gries::eval::experiment::stats(&[1.0, 2.0]);
     assert!((stats.mean - 1.5).abs() < 1e-12);
+    assert!(dp_misra_gries::service::ServiceConfig::new(1, 8)
+        .validate()
+        .is_ok());
 }

@@ -1,0 +1,252 @@
+//! Statistical regression suite for the epoch-driven service.
+//!
+//! Three layers of evidence that the service's per-epoch releases are
+//! exactly what the mechanism registry advertises:
+//!
+//! 1. **Noise distribution** (KS / χ² goodness-of-fit): across many seeded
+//!    service runs, the per-epoch released count of a heavy key minus its
+//!    pre-noise merged counter must follow the mechanism's advertised
+//!    noise law — `Laplace(k/ε)` for `merged-laplace`, `N(0, σ²)` with the
+//!    Theorem 23 calibration for `gshm`. A regression that reorders RNG
+//!    draws, double-noises, or mis-scales shows up here.
+//! 2. **Error radius**: the advertised `error_radius(k)` (a `1 − β` bound,
+//!    β = 0.05 for merged-laplace; `1 − 2δ` for the GSHM's τ) really covers
+//!    the empirical noise at at least its nominal rate.
+//! 3. **Empirical `(ε, δ)`** (`eval::audit` over ≥ 200 neighbour pairs):
+//!    epoch releases of neighbouring streams are statistically no more
+//!    distinguishable than the claimed budget allows, for every shard
+//!    count.
+
+use dp_misra_gries::core::gshm::GshmParams;
+use dp_misra_gries::core::mechanism::{GshmMechanism, MergedLaplaceMechanism, ReleaseMechanism};
+use dp_misra_gries::eval::audit::{audit_mechanism, AuditConfig};
+use dp_misra_gries::eval::metrics::{
+    chi_squared_critical, chi_squared_pit, ks_critical, ks_statistic,
+};
+use dp_misra_gries::noise::gaussian::Gaussian;
+use dp_misra_gries::noise::laplace::Laplace;
+use dp_misra_gries::prelude::*;
+use dp_misra_gries::workload::streams::remove_at;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EPS: f64 = 0.9;
+const DELTA: f64 = 1e-8;
+const K: usize = 16;
+
+fn params() -> PrivacyParams {
+    PrivacyParams::new(EPS, DELTA).unwrap()
+}
+
+/// Two epochs of a fixed stream: the heavy key 1 appears 2000 times per
+/// epoch (far above both mechanisms' thresholds at k = 16), plus a small
+/// tail that fits the sketch exactly — so the pre-noise counter of key 1
+/// is exact and the released noise is untruncated.
+fn epoch_stream() -> Vec<u64> {
+    (0..4_000u64)
+        .map(|i| if i % 2 == 0 { 1 } else { 100 + i % 10 })
+        .collect()
+}
+
+/// Runs the service for `seeds` release seeds × 2 epochs and returns, per
+/// run and epoch, the released-minus-pre-noise residual of the heavy key —
+/// i.e. samples of the mechanism's per-epoch noise *as the service applied
+/// it* (transcript pre-noise is the release input by construction).
+fn epoch_noise_samples(
+    mechanism_for: impl Fn() -> Box<dyn ReleaseMechanism<u64>>,
+    seeds: u64,
+) -> Vec<f64> {
+    let stream = epoch_stream();
+    let budget = PrivacyParams::new(100.0, 1e-4).unwrap();
+    let mut samples = Vec::with_capacity(2 * seeds as usize);
+    for seed in 0..seeds {
+        let config = ServiceConfig::new(2, K).with_batch_size(97);
+        let mut svc = DpmgService::new(config, mechanism_for(), budget, seed).unwrap();
+        for _ in 0..2 {
+            svc.ingest_from(stream.iter().copied()).unwrap();
+            svc.end_epoch().unwrap();
+        }
+        for epoch in svc.transcript() {
+            let pre = epoch.pre_noise.count(&1) as f64;
+            assert_eq!(pre, 2_000.0, "heavy counter must be exact (no decrements)");
+            let released = epoch.histogram.estimate(&1);
+            assert!(released > 0.0, "heavy key suppressed at seed {seed}");
+            samples.push(released - pre);
+        }
+    }
+    samples
+}
+
+/// KS check: merged-laplace epoch noise is `Laplace(k/ε)`.
+#[test]
+fn epoch_noise_matches_advertised_laplace_distribution() {
+    let samples = epoch_noise_samples(
+        || Box::new(MergedLaplaceMechanism::new(params()).unwrap()),
+        128,
+    );
+    assert_eq!(samples.len(), 256);
+    let lap = Laplace::new(K as f64 / EPS).unwrap();
+    let d = ks_statistic(&samples, |x| lap.cdf(x));
+    let crit = ks_critical(samples.len(), 1e-3);
+    assert!(
+        d < crit,
+        "KS statistic {d:.4} exceeds the α = 1e-3 critical value {crit:.4}: \
+         the released noise does not follow Laplace(k/ε)"
+    );
+    // And it is NOT, say, unit-scale noise (the classic sensitivity bug):
+    // against Laplace(1/ε) the fit must fail decisively.
+    let wrong = Laplace::new(1.0 / EPS).unwrap();
+    let d_wrong = ks_statistic(&samples, |x| wrong.cdf(x));
+    assert!(
+        d_wrong > 3.0 * crit,
+        "KS {d_wrong:.4} vs mis-scaled CDF suspiciously small — test has no power"
+    );
+}
+
+/// χ² check: GSHM epoch noise is `N(0, σ²)` at the Theorem 23 calibration.
+#[test]
+fn epoch_noise_matches_advertised_gaussian_distribution() {
+    let samples = epoch_noise_samples(|| Box::new(GshmMechanism::new(params()).unwrap()), 128);
+    assert_eq!(samples.len(), 256);
+    let sigma = GshmParams::calibrate(EPS, DELTA, K).unwrap().sigma;
+    let gauss = Gaussian::new(sigma).unwrap();
+    let bins = 8;
+    let stat = chi_squared_pit(&samples, |x| gauss.cdf(x), bins);
+    let crit = chi_squared_critical(bins - 1, 1e-3);
+    assert!(
+        stat < crit,
+        "χ² = {stat:.2} exceeds the α = 1e-3 critical value {crit:.2}: \
+         the released noise does not follow N(0, σ²)"
+    );
+    // Power check against a mis-calibrated σ.
+    let wrong = Gaussian::new(3.0 * sigma).unwrap();
+    let stat_wrong = chi_squared_pit(&samples, |x| wrong.cdf(x), bins);
+    assert!(stat_wrong > 2.0 * crit, "χ² = {stat_wrong:.2} has no power");
+}
+
+/// The advertised error radius covers the empirical epoch noise at at
+/// least its nominal rate, for both merged-calibrated mechanisms.
+#[test]
+fn advertised_error_radius_covers_epoch_noise() {
+    type MechanismFactory = Box<dyn Fn() -> Box<dyn ReleaseMechanism<u64>>>;
+    let cases: [(&str, MechanismFactory, f64); 2] = [
+        (
+            "merged-laplace",
+            Box::new(|| Box::new(MergedLaplaceMechanism::new(params()).unwrap())),
+            0.95, // error_radius quotes the 1 − β bound at β = 0.05
+        ),
+        (
+            "gshm",
+            Box::new(|| Box::new(GshmMechanism::new(params()).unwrap())),
+            0.99, // the GSHM radius is the τ envelope at 1 − 2δ, δ = 1e-8
+        ),
+    ];
+    for (name, mechanism_for, nominal) in cases {
+        let radius = mechanism_for().error_radius(K).unwrap();
+        let samples = epoch_noise_samples(&mechanism_for, 128);
+        let covered =
+            samples.iter().filter(|x| x.abs() <= radius).count() as f64 / samples.len() as f64;
+        // Allow binomial sampling slack below the nominal coverage
+        // (256 draws: 3σ ≈ 0.04 at p = 0.95).
+        assert!(
+            covered >= nominal - 0.05,
+            "{name}: radius {radius:.2} covered only {covered:.3} of epoch noise \
+             (nominal {nominal})"
+        );
+    }
+}
+
+/// Empirical `(ε, δ)` audit of epoch releases over 200 neighbouring
+/// dataset pairs (50 data seeds × shard counts 1/2/4/8).
+///
+/// For each pair, the *service* computes the epoch's pre-noise merged
+/// summary (transcript), and the audit samples the epoch release over 200
+/// seeds per side. The audited ε̂ is a lower bound on the true privacy
+/// loss, so `ε̂ ≤ ε` (up to sampling slack) on every pair is consistent
+/// with the claim, and a single pair blowing past it would falsify the
+/// release path.
+#[test]
+fn empirical_epsilon_audit_of_epoch_releases_over_200_neighbour_pairs() {
+    let mechanism = MergedLaplaceMechanism::new(params()).unwrap();
+    let config = AuditConfig {
+        delta: DELTA,
+        ..AuditConfig::default()
+    };
+
+    /// The service's epoch pre-noise summary for one stream.
+    fn epoch_summary(
+        stream: &[u64],
+        shards: usize,
+    ) -> dp_misra_gries::sketch::traits::Summary<u64> {
+        let svc_config = ServiceConfig::new(shards, 8).with_batch_size(61);
+        let budget = PrivacyParams::new(100.0, 1e-4).unwrap();
+        let mechanism =
+            Box::new(MergedLaplaceMechanism::new(PrivacyParams::new(EPS, DELTA).unwrap()).unwrap());
+        let mut svc = DpmgService::new(svc_config, mechanism, budget, 1).unwrap();
+        svc.ingest_from(stream.iter().copied()).unwrap();
+        svc.end_epoch().unwrap();
+        svc.transcript()[0].pre_noise.clone()
+    }
+
+    let mut pairs = 0usize;
+    let mut worst: f64 = 0.0;
+    let mut eps_hats: Vec<f64> = Vec::new();
+    for data_seed in 0..50u64 {
+        let mut rng = StdRng::seed_from_u64(data_seed);
+        let len = rng.random_range(600..1200);
+        // Heavy key 1 on half the positions (comfortably above the release
+        // threshold), light tail elsewhere — the released statistic moves
+        // when the neighbour drops an element.
+        let stream: Vec<u64> = (0..len)
+            .map(|_| {
+                if rng.random_range(0..2u32) == 0 {
+                    1
+                } else {
+                    rng.random_range(2..=30u64)
+                }
+            })
+            .collect();
+        let neighbour = remove_at(&stream, rng.random_range(0..stream.len()));
+        for shards in [1usize, 2, 4, 8] {
+            let summary_a = epoch_summary(&stream, shards);
+            let summary_b = epoch_summary(&neighbour, shards);
+            let stat = |summary: dp_misra_gries::sketch::traits::Summary<u64>| {
+                let mechanism = mechanism.clone();
+                move |seed: u64| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let hist = ReleaseMechanism::<u64>::release(
+                        &mechanism,
+                        &summary,
+                        &mut rng as &mut dyn rand::RngCore,
+                    )
+                    .unwrap();
+                    hist.iter().map(|(_, v)| v).sum::<f64>()
+                }
+            };
+            let eps_hat = audit_mechanism(
+                200,
+                0xE5 ^ (data_seed << 3) ^ shards as u64,
+                &config,
+                stat(summary_a),
+                stat(summary_b),
+            );
+            worst = worst.max(eps_hat);
+            eps_hats.push(eps_hat);
+            pairs += 1;
+            assert!(
+                eps_hat <= EPS * 1.75,
+                "pair (seed {data_seed}, {shards} shards): audited ε̂ = {eps_hat:.3} \
+                 far exceeds the claimed ε = {EPS}"
+            );
+        }
+    }
+    assert_eq!(pairs, 200);
+    // In aggregate the estimator must sit at or below the claim: the
+    // median over 200 pairs has negligible sampling slack.
+    eps_hats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = eps_hats[eps_hats.len() / 2];
+    assert!(
+        median <= EPS,
+        "median audited ε̂ = {median:.3} over {pairs} pairs exceeds ε = {EPS} (worst {worst:.3})"
+    );
+}
