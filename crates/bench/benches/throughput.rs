@@ -38,6 +38,15 @@ fn bench_updates(c: &mut Criterion) {
                 black_box(mg.count(&1))
             })
         });
+        group.bench_with_input(BenchmarkId::new("misra_gries_batch", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut mg = MisraGries::new(k).unwrap();
+                for chunk in stream.chunks(4096) {
+                    mg.extend_batch(chunk);
+                }
+                black_box(mg.count(&1))
+            })
+        });
         group.bench_with_input(BenchmarkId::new("classic_mg", k), &k, |b, &k| {
             b.iter(|| {
                 let mut mg = ClassicMisraGries::new(k).unwrap();

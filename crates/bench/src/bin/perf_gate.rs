@@ -1,0 +1,269 @@
+//! The CI perf-regression gate: compares freshly measured
+//! `BENCH_ingest.json` / `BENCH_service.json` (written by quick-mode
+//! `exp_e20_ingest` / `exp_e19_service` into the experiment dir) against
+//! the baselines committed at the repo root, and fails the build only on a
+//! heavy regression.
+//!
+//! Design constraints, in order:
+//!
+//! * **Noisy-runner-safe.** CI machines are slower and noisier than the
+//!   machine that produced the committed baselines, and quick-mode runs
+//!   amortize less setup. The gate therefore (a) compares the *geometric
+//!   mean* throughput ratio per file instead of any single row, and (b)
+//!   only fails when that mean drops below `1 − tolerance` with a generous
+//!   default tolerance of 35% (`DPMG_PERF_TOLERANCE` overrides, e.g.
+//!   `0.5`). A genuine hot-path regression (the flat table silently
+//!   falling back to per-item rehashing, a lock on the read path, …)
+//!   moves the mean far more than runner noise does.
+//! * **No JSON dependency.** The bench JSONs are flat, machine-written
+//!   one-object-per-line files; a small brace scanner extracts the run
+//!   records, keyed by their identifying fields (k, universe, skew, mode,
+//!   shards) with measurement fields (throughput, latencies, epoch counts)
+//!   excluded so quick and full runs of the same sweep point compare.
+//!
+//! Exit status 0 = within tolerance, 1 = regression or missing file.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Fields that carry measurements (or run-length choices that differ
+/// between quick and full mode) rather than identifying a sweep point.
+const MEASUREMENT_FIELDS: [&str; 5] = [
+    "throughput_items_per_s",
+    "queries_served",
+    "query_p50_us",
+    "query_p99_us",
+    "epochs",
+];
+
+/// Extracts every innermost `{...}` object containing a
+/// `throughput_items_per_s` field, returning `(identity key, throughput)`
+/// pairs. The identity key is the object's remaining fields, normalized
+/// and sorted.
+fn parse_runs(json: &str) -> Vec<(String, f64)> {
+    let mut runs = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, c) in json.char_indices() {
+        match c {
+            '{' => {
+                depth += 1;
+                start = Some(i);
+            }
+            '}' => {
+                if let (Some(s), true) = (start, depth >= 2) {
+                    if let Some(run) = parse_object(&json[s + 1..i]) {
+                        runs.push(run);
+                    }
+                }
+                depth = depth.saturating_sub(1);
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    runs
+}
+
+/// Parses one flat `"key": value, ...` body; returns `None` when it has no
+/// throughput field (e.g. the top-level object's leading fields).
+fn parse_object(body: &str) -> Option<(String, f64)> {
+    let mut throughput = None;
+    let mut identity: Vec<String> = Vec::new();
+    for field in body.split(',') {
+        let (key, value) = field.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim().trim_matches('"');
+        if key == "throughput_items_per_s" {
+            throughput = value.parse::<f64>().ok();
+        } else if !MEASUREMENT_FIELDS.contains(&key) {
+            identity.push(format!("{key}={value}"));
+        }
+    }
+    identity.sort();
+    Some((identity.join(" "), throughput?))
+}
+
+fn tolerance() -> f64 {
+    std::env::var("DPMG_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.35)
+}
+
+/// Compares one measured file against its committed baseline; returns
+/// `Ok(geomean ratio)` or an error string.
+fn gate_file(name: &str, baseline_dir: &Path, measured_dir: &Path) -> Result<f64, String> {
+    let baseline_path = baseline_dir.join(name);
+    let measured_path = measured_dir.join(name);
+    let read = |p: &Path| {
+        std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
+    };
+    let baseline: BTreeMap<String, f64> = parse_runs(&read(&baseline_path)?).into_iter().collect();
+    let measured: BTreeMap<String, f64> = parse_runs(&read(&measured_path)?).into_iter().collect();
+    if baseline.is_empty() {
+        return Err(format!("no runs parsed from {}", baseline_path.display()));
+    }
+
+    println!("== {name} ==");
+    println!(
+        "{:<58} {:>12} {:>12} {:>7}",
+        "run", "baseline/s", "measured/s", "ratio"
+    );
+    let mut log_sum = 0.0;
+    let mut matched = 0usize;
+    let mut unmatched = 0usize;
+    for (key, &base) in &baseline {
+        match measured.get(key) {
+            Some(&meas) if base > 0.0 => {
+                let ratio = meas / base;
+                println!("{key:<58} {base:>12.0} {meas:>12.0} {ratio:>7.2}");
+                log_sum += ratio.ln();
+                matched += 1;
+            }
+            _ => {
+                println!("{key:<58} {base:>12.0} {:>12} {:>7}", "missing", "-");
+                unmatched += 1;
+            }
+        }
+    }
+    for key in measured.keys().filter(|k| !baseline.contains_key(*k)) {
+        println!("{key:<58} {:>12} (not in baseline; ignored)", "-");
+    }
+    // A baseline row absent from the measurement means the sweep changed
+    // (or a run died mid-way): refusing keeps a regression from hiding
+    // behind a vanished sweep point. Re-bless the baselines after an
+    // intentional sweep change.
+    if unmatched > 0 {
+        return Err(format!(
+            "{unmatched} baseline run(s) missing from the fresh measurement — \
+             the sweep changed or the run was incomplete; re-bless the committed \
+             {name} from a full run if intentional"
+        ));
+    }
+    if matched == 0 {
+        return Err(format!(
+            "no matching runs between {name} baseline and measurement"
+        ));
+    }
+    Ok((log_sum / matched as f64).exp())
+}
+
+fn main() {
+    let baseline_dir = std::env::var_os("DPMG_BASELINE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let measured_dir = dpmg_bench::out_dir();
+    let tol = tolerance();
+    let floor = 1.0 - tol;
+    println!(
+        "perf gate: measured {} vs committed baseline {} (tolerance {:.0}%: geomean ratio must stay ≥ {floor:.2})\n",
+        measured_dir.display(),
+        baseline_dir.display(),
+        tol * 100.0
+    );
+
+    let mut failed = false;
+    for name in ["BENCH_ingest.json", "BENCH_service.json"] {
+        match gate_file(name, &baseline_dir, &measured_dir) {
+            Ok(geomean) => {
+                let ok = geomean >= floor;
+                println!(
+                    "[{}] {name}: geomean throughput ratio {geomean:.2} (floor {floor:.2})\n",
+                    if ok { "PERF-OK  " } else { "PERF-FAIL" }
+                );
+                failed |= !ok;
+            }
+            Err(e) => {
+                println!("[PERF-FAIL] {name}: {e}\n");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        println!(
+            "perf gate FAILED. If this is runner slowness rather than a code \
+             regression, widen the tolerance (DPMG_PERF_TOLERANCE=0.5); after an \
+             intentional perf-relevant change, re-bless the baselines from a full \
+             run (see README, \"Ingest performance\")."
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate passed");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "experiment": "e20_ingest",
+  "quick": false,
+  "items_per_run": 4000000,
+  "single_thread": [
+    {"k": 64, "universe": 10000, "skew": 0.80, "mode": "item", "throughput_items_per_s": 9190000},
+    {"k": 64, "universe": 10000, "skew": 0.80, "mode": "batch", "throughput_items_per_s": 9440000}
+  ],
+  "sharded": [
+    {"shards": 1, "k": 256, "throughput_items_per_s": 12110000}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_all_run_objects() {
+        let runs = parse_runs(SAMPLE);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].0, "k=64 mode=item skew=0.80 universe=10000");
+        assert_eq!(runs[0].1, 9_190_000.0);
+        assert_eq!(runs[2].0, "k=256 shards=1");
+        assert_eq!(runs[2].1, 12_110_000.0);
+    }
+
+    #[test]
+    fn identity_excludes_measurement_fields() {
+        let service = r#"{"runs": [
+            {"shards": 2, "epochs": 8, "throughput_items_per_s": 3243357,
+             "queries_served": 25746517, "query_p50_us": 0.047, "query_p99_us": 0.073}
+        ]}"#;
+        let runs = parse_runs(service);
+        assert_eq!(runs.len(), 1);
+        // Quick (epochs=4) and full (epochs=8) runs of the same shard
+        // count must share an identity key.
+        assert_eq!(runs[0].0, "shards=2");
+    }
+
+    #[test]
+    fn top_level_fields_are_not_a_run() {
+        assert_eq!(parse_runs(r#"{"experiment": "x", "quick": true}"#).len(), 0);
+    }
+
+    #[test]
+    fn stale_baseline_fails_instead_of_shrinking_the_geomean() {
+        let dir = std::env::temp_dir().join(format!("dpmg_perf_gate_{}", std::process::id()));
+        let base_dir = dir.join("base");
+        let meas_dir = dir.join("meas");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&meas_dir).unwrap();
+        let baseline = r#"{"runs": [
+            {"shards": 1, "throughput_items_per_s": 100},
+            {"shards": 2, "throughput_items_per_s": 200}
+        ]}"#;
+        // The slow point (shards=2) vanished from the fresh run; the fast
+        // one even improved. The gate must refuse, not average over what
+        // remains.
+        let measured = r#"{"runs": [{"shards": 1, "throughput_items_per_s": 150}]}"#;
+        std::fs::write(base_dir.join("BENCH_ingest.json"), baseline).unwrap();
+        std::fs::write(meas_dir.join("BENCH_ingest.json"), measured).unwrap();
+        let err = gate_file("BENCH_ingest.json", &base_dir, &meas_dir).unwrap_err();
+        assert!(err.contains("missing from the fresh measurement"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_tolerance_is_generous() {
+        if std::env::var("DPMG_PERF_TOLERANCE").is_err() {
+            assert_eq!(tolerance(), 0.35);
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! Shared infrastructure for the experiment binaries (`src/bin/exp_*.rs`,
-//! E1–E17) and criterion benches.
+//! E1–E20), the CI perf gate (`perf_gate`) and criterion benches.
 //!
 //! Every experiment in DESIGN.md §3 is a binary target printing the
 //! table(s) recorded in EXPERIMENTS.md and writing CSVs under
@@ -29,6 +29,16 @@ pub fn trials(default: usize) -> usize {
 /// Whether quick mode is on.
 pub fn quick() -> bool {
     std::env::var("DPMG_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Whether the CI perf-gate job is running (`DPMG_PERF=1`): quick-mode
+/// timing sections upgrade to workloads sized to be comparable with the
+/// committed full-run baselines, while plain quick runs (golden tests,
+/// `cargo test`, smoke passes) keep the small fast sizing.
+pub fn perf_mode() -> bool {
+    std::env::var("DPMG_PERF")
         .map(|v| v == "1")
         .unwrap_or(false)
 }

@@ -118,6 +118,12 @@ fn golden_exp_e19_service() {
 }
 
 #[test]
+fn golden_exp_e20_ingest() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e20_ingest"), "exp_e20_ingest");
+    assert_matches_golden("exp_e20_ingest", &deterministic_sections(&stdout));
+}
+
+#[test]
 fn e17_filter_strips_only_timing() {
     let sample = "\
 ################################################################

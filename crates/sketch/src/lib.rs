@@ -25,6 +25,9 @@
 //!   streams of user *sets*: counters are decremented at most once per user,
 //!   so neighbouring sketches differ by at most 1 per counter (Lemma 27)
 //!   giving ℓ2-sensitivity `√k` independent of the set size `m`.
+//! * [`flat_counters`] — the cache-friendly flat open-addressing counter
+//!   table backing the [`misra_gries`] update hot path (fx hashing, linear
+//!   probing, backward-shift deletion, documented ½-load capacity policy).
 //! * [`merge`] — the merging algorithm of Agarwal et al. \[1\] analysed in
 //!   Section 7 (Lemma 17, Corollary 18).
 //! * [`exact`] — exact histograms, the non-streaming baseline.
@@ -41,6 +44,7 @@ pub mod count_min;
 pub mod count_sketch;
 pub mod exact;
 pub mod fixed_decrement;
+pub mod flat_counters;
 pub mod merge;
 pub mod misra_gries;
 pub mod misra_gries_classic;
@@ -51,6 +55,7 @@ pub mod space_saving;
 pub mod traits;
 
 pub use exact::ExactHistogram;
+pub use flat_counters::FlatCounters;
 pub use misra_gries::MisraGries;
 pub use misra_gries_classic::ClassicMisraGries;
 pub use pamg::PrivacyAwareMisraGries;

@@ -26,16 +26,28 @@
 //! Branch 2 touches all `k` counters; executing it literally costs `O(k)`
 //! per decrement and `O(nk)` in the worst case. We instead keep a global
 //! `offset` and store each counter as `stored = effective + offset`, making
-//! Branch 2 a single `offset += 1`. Zero-count keys are exactly those with
+//! Branch 2 a single `offset += 1` — an O(1) scalar add in place of the
+//! full-table sweep. Zero-count keys are exactly those with
 //! `stored == offset`. The smallest zero-count key is found with a lazy
 //! min-heap over `(stored, key)` pairs: entries go stale when a counter is
 //! incremented and are repaired on access, which costs amortized `O(log k)`
-//! per stream element. The [`naive`] submodule contains a literal transcription
-//! of Algorithm 1 used for differential testing.
+//! per stream element.
+//!
+//! The counters themselves live in a [`FlatCounters`] table (one
+//! contiguous open-addressing slot array, linear probing, fx hashing, ½
+//! load factor) rather than a `HashMap`: Branch 1 — the overwhelmingly
+//! common case on skewed streams — is a single multiplicative hash plus a
+//! short linear probe over consecutive cache lines, with no SipHash setup
+//! and no bucket indirection. See the [`crate::flat_counters`] module docs
+//! for the layout and the documented capacity policy. The [`naive`]
+//! submodule contains a literal transcription of Algorithm 1 used for
+//! differential testing; the two implementations are proptest-equivalent
+//! on every prefix of random streams.
 
+use crate::flat_counters::{fx_hash, FlatCounters};
 use crate::traits::{FrequencyOracle, Item, SketchError, Summary, TopKSketch};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// A slot key: either a real universe element or one of the `k` initial
 /// dummy counters.
@@ -83,9 +95,10 @@ pub struct MisraGries<K: Item> {
     k: usize,
     /// Global decrement offset: effective counter = stored − offset.
     offset: u64,
-    /// Stored (shifted) counter per slot. Invariant: `stored ≥ offset`,
-    /// `counts.len() == k` at all times.
-    counts: HashMap<Slot<K>, u64>,
+    /// Stored (shifted) counter per slot, in a flat open-addressing table
+    /// pre-sized for exactly `k` live entries (it never grows). Invariant:
+    /// `stored ≥ offset`, `counts.len() == k` at all times.
+    counts: FlatCounters<Slot<K>>,
     /// Lazy min-heap over `(stored, key)`; exactly one entry per live slot,
     /// possibly stale (stored value smaller than the map's). The freshest
     /// minimum identifies the smallest zero-count key.
@@ -94,6 +107,14 @@ pub struct MisraGries<K: Item> {
     n: u64,
     /// Number of Branch-2 (decrement-all) executions, the `α` of Lemma 15.
     decrements: u64,
+    /// Whether the heap's top entry is known fresh (its recorded stored
+    /// value equals the table's). While true, [`Self::fresh_min`] is a
+    /// single heap peek with *no* table lookups — Branch 2 never touches
+    /// stored values or the heap, so the validated top survives any number
+    /// of offset bumps; only a Branch-1 increment of the top key itself
+    /// (checked in [`Self::note_increment`]) or a Branch-3 replacement can
+    /// invalidate it.
+    min_fresh: bool,
 }
 
 impl<K: Item> MisraGries<K> {
@@ -107,8 +128,12 @@ impl<K: Item> MisraGries<K> {
         if k == 0 {
             return Err(SketchError::InvalidK(0));
         }
-        let mut counts = HashMap::with_capacity(k * 2);
-        let mut heap = BinaryHeap::with_capacity(k * 2);
+        // Capacity policy: the sketch holds exactly `k` live slots for its
+        // whole lifetime, so the flat table is sized once for `k` live
+        // entries (≤ ½ load factor, see `FlatCounters::with_live_capacity`)
+        // and the heap for its one-entry-per-slot invariant.
+        let mut counts = FlatCounters::with_live_capacity(k);
+        let mut heap = BinaryHeap::with_capacity(k);
         for i in 0..k {
             let slot = Slot::Dummy(i as u32);
             counts.insert(slot.clone(), 0);
@@ -121,6 +146,8 @@ impl<K: Item> MisraGries<K> {
             heap,
             n: 0,
             decrements: 0,
+            // Every initial entry is pushed with its true stored value.
+            min_fresh: true,
         })
     }
 
@@ -153,13 +180,31 @@ impl<K: Item> MisraGries<K> {
     pub fn update(&mut self, x: K) {
         self.n += 1;
         let key = Slot::Item(x);
-        if let Some(stored) = self.counts.get_mut(&key) {
+        let hash = fx_hash(&key);
+        if let Some(stored) = self.counts.get_mut_hashed(&key, hash) {
             // Branch 1: increment. The heap entry for `key` goes stale and is
             // repaired lazily on the next minimum query.
             *stored += 1;
+            self.note_increment(&key);
             return;
         }
-        self.slow_absent(key, 1);
+        self.slow_absent(key, hash, 1);
+    }
+
+    /// Records that `key`'s counter was incremented: if it is the heap's
+    /// validated top entry, that entry is no longer fresh. Incrementing any
+    /// *other* key cannot disturb the top's minimality — every heap entry's
+    /// recorded value is a lower bound on its true counter, so a fresh top
+    /// (recorded ≤ every other recorded ≤ every other true value) remains
+    /// the exact `(counter, key)`-lexicographic minimum.
+    #[inline]
+    fn note_increment(&mut self, key: &Slot<K>) {
+        if self.min_fresh {
+            let Reverse((_, top)) = self.heap.peek().expect("heap holds k entries");
+            if top == key {
+                self.min_fresh = false;
+            }
+        }
     }
 
     /// Branches 2/3 for `m ≥ 1` consecutive occurrences of an absent key.
@@ -173,10 +218,11 @@ impl<K: Item> MisraGries<K> {
     /// `fresh_min` identified, now at effective count 0 — and the rest are
     /// Branch-1 increments on the freshly inserted key.
     #[inline]
-    fn slow_absent(&mut self, key: Slot<K>, m: u64) {
-        let (min_stored, _) = self.fresh_min();
+    fn slow_absent(&mut self, key: Slot<K>, hash: u64, m: u64) {
+        let min_stored = self.fresh_min();
         // Branch 2 × min(m, g): every effective counter is ≥ 1; decrement
-        // all of them by bumping the global offset.
+        // all of them by bumping the global offset. The heap and the stored
+        // values are untouched, so the validated top stays fresh.
         let decrements = (min_stored - self.offset).min(m);
         self.offset += decrements;
         self.decrements += decrements;
@@ -184,13 +230,19 @@ impl<K: Item> MisraGries<K> {
         if remaining > 0 {
             // Branch 3: evict the smallest zero-count key (the fresh heap
             // minimum, whose stored value equals the offset) and take its
-            // slot; then `remaining − 1` Branch-1 increments.
-            let Reverse((_, victim)) = self.heap.pop().expect("heap holds k entries");
+            // slot; then `remaining − 1` Branch-1 increments. Swapping the
+            // new entry in through `peek_mut` costs one sift instead of a
+            // pop + push pair; the swapped-out victim was the validated
+            // entry, so the new top's freshness is unknown until the next
+            // repair.
+            let stored = self.offset + remaining;
+            let mut top = self.heap.peek_mut().expect("heap holds k entries");
+            let Reverse((_, victim)) = std::mem::replace(&mut *top, Reverse((stored, key.clone())));
+            drop(top);
             let removed = self.counts.remove(&victim);
             debug_assert_eq!(removed, Some(self.offset));
-            let stored = self.offset + remaining;
-            self.counts.insert(key.clone(), stored);
-            self.heap.push(Reverse((stored, key)));
+            self.counts.insert_hashed(key, hash, stored);
+            self.min_fresh = false;
         }
     }
 
@@ -212,11 +264,15 @@ impl<K: Item> MisraGries<K> {
     /// pipeline (`dpmg-pipeline`), where key-routed substreams of skewed
     /// workloads have much higher run density than the global stream.
     pub fn extend_batch(&mut self, batch: &[K]) {
-        let mut rest = batch;
-        while let Some((first, tail)) = rest.split_first() {
-            let run = 1 + tail.iter().take_while(|x| *x == first).count();
-            self.update_run(first, run as u64);
-            rest = &rest[run..];
+        let mut i = 0;
+        while i < batch.len() {
+            let first = &batch[i];
+            let mut j = i + 1;
+            while j < batch.len() && batch[j] == *first {
+                j += 1;
+            }
+            self.update_run(first, (j - i) as u64);
+            i = j;
         }
     }
 
@@ -229,24 +285,35 @@ impl<K: Item> MisraGries<K> {
         debug_assert!(m >= 1);
         self.n += m;
         let key = Slot::Item(x.clone());
-        if let Some(stored) = self.counts.get_mut(&key) {
+        let hash = fx_hash(&key);
+        if let Some(stored) = self.counts.get_mut_hashed(&key, hash) {
             *stored += m;
+            self.note_increment(&key);
             return;
         }
-        self.slow_absent(key, m);
+        self.slow_absent(key, hash, m);
     }
 
-    /// Repairs stale heap entries until the top is fresh, then returns the
-    /// minimum `(stored, key)` pair by value.
-    fn fresh_min(&mut self) -> (u64, Slot<K>) {
+    /// Returns the minimum stored value, repairing stale heap entries until
+    /// the top is fresh. When the top is already validated
+    /// (`min_fresh`, the common case on miss-heavy streams) this is a
+    /// single heap peek with no table lookups; the repair loop leaves the
+    /// heap top as the exact `(counter, key)`-lexicographic minimum, which
+    /// Branch 3 pops as its eviction victim.
+    fn fresh_min(&mut self) -> u64 {
+        if self.min_fresh {
+            let Reverse((s, _)) = self.heap.peek().expect("heap holds k entries");
+            return *s;
+        }
         loop {
             let Reverse((s, key)) = self.heap.peek().expect("heap holds k entries").clone();
-            let current = *self
+            let current = self
                 .counts
                 .get(&key)
-                .expect("heap keys always live in the map");
+                .expect("heap keys always live in the table");
             if current == s {
-                return (s, key);
+                self.min_fresh = true;
+                return s;
             }
             // Stale: the counter was incremented since this entry was
             // pushed. Replace with the fresh value.
@@ -267,7 +334,7 @@ impl<K: Item> MisraGries<K> {
     /// Whether `x` currently occupies a slot (its counter may be 0 — the
     /// paper's variant keeps zero-count keys).
     pub fn contains(&self, x: &K) -> bool {
-        self.counts.contains_key(&Slot::Item(x.clone()))
+        self.counts.contains(&Slot::Item(x.clone()))
     }
 
     /// All `k` slots with their effective counters, sorted by slot order
@@ -277,7 +344,7 @@ impl<K: Item> MisraGries<K> {
         let mut out: Vec<(Slot<K>, u64)> = self
             .counts
             .iter()
-            .map(|(slot, &s)| (slot.clone(), s - self.offset))
+            .map(|(slot, s)| (slot.clone(), s - self.offset))
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
@@ -290,7 +357,7 @@ impl<K: Item> MisraGries<K> {
             self.k,
             self.counts
                 .iter()
-                .filter_map(|(slot, &s)| slot.item().map(|k| (k.clone(), s - self.offset))),
+                .filter_map(|(slot, s)| slot.item().map(|k| (k.clone(), s - self.offset))),
         )
     }
 
@@ -298,6 +365,16 @@ impl<K: Item> MisraGries<K> {
     /// `k` keys + `k` counters = `2k` words (Theorem 14).
     pub fn space_words(&self) -> usize {
         2 * self.k
+    }
+
+    /// Real heap footprint of the sketch in bytes: the flat counter table
+    /// (capacity × slot size under the ½-load policy) plus the lazy
+    /// min-heap's backing buffer. This is the concrete-machine counterpart
+    /// of the paper's `2k`-word accounting ([`Self::space_words`]), used
+    /// by the E13 space experiment.
+    pub fn space_bytes(&self) -> usize {
+        self.counts.space_bytes()
+            + self.heap.capacity() * std::mem::size_of::<Reverse<(u64, Slot<K>)>>()
     }
 }
 
@@ -311,8 +388,8 @@ impl<K: Item> TopKSketch<K> for MisraGries<K> {
     fn stored_keys(&self) -> Vec<K> {
         let mut keys: Vec<K> = self
             .counts
-            .keys()
-            .filter_map(|slot| slot.item().cloned())
+            .iter()
+            .filter_map(|(slot, _)| slot.item().cloned())
             .collect();
         keys.sort();
         keys
@@ -653,6 +730,36 @@ mod tests {
             prop_assert_eq!(batched.slots(), naive.slots());
             prop_assert_eq!(batched.stream_len(), sequential.stream_len());
             prop_assert_eq!(batched.decrement_count(), sequential.decrement_count());
+        }
+
+        /// Differential test with variable-length `String` keys: exercises
+        /// the flat table's byte-stream hashing path (`Hasher::write` — both
+        /// full 8-byte chunks and the tagged sub-word remainder) and key
+        /// comparisons on probe collisions, which the `u64` streams above
+        /// never touch.
+        #[test]
+        fn prop_fast_matches_naive_string_keys(
+            raw in proptest::collection::vec(0usize..12, 0..200),
+            k in 1usize..6,
+        ) {
+            const PALETTE: [&str; 12] = [
+                "", "a", "b", "c", "ab", "bc", "ca", "abc",
+                "abcdefgh", "abcdefghi", "quite-a-long-key", "quite-a-long-key2",
+            ];
+            let stream: Vec<String> = raw.iter().map(|&i| PALETTE[i].to_string()).collect();
+            let mut fast = MisraGries::new(k).unwrap();
+            let mut slow = NaiveMisraGries::new(k).unwrap();
+            for x in &stream {
+                fast.update(x.clone());
+                slow.update(x.clone());
+            }
+            prop_assert_eq!(fast.slots(), slow.slots());
+            prop_assert_eq!(fast.summary(), Summary::from_entries(
+                k,
+                slow.slots()
+                    .into_iter()
+                    .filter_map(|(s, c)| s.item().cloned().map(|key| (key, c))),
+            ));
         }
 
         /// Fact 7: estimates live in [f(x) − n/(k+1), f(x)] for every key.

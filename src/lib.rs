@@ -86,6 +86,7 @@ pub mod prelude {
         DpmgService, QueryHandle, ReleasedSnapshot, SequentialServiceReference, ServiceConfig,
         ServiceError, ServiceMode,
     };
+    pub use dpmg_sketch::flat_counters::FlatCounters;
     pub use dpmg_sketch::misra_gries::MisraGries;
     pub use dpmg_sketch::pamg::PrivacyAwareMisraGries;
     pub use dpmg_sketch::traits::{FrequencyOracle, TopKSketch};
