@@ -1,8 +1,13 @@
 //! The CI perf-regression gate: compares freshly measured
-//! `BENCH_ingest.json` / `BENCH_service.json` (written by quick-mode
-//! `exp_e20_ingest` / `exp_e19_service` into the experiment dir) against
-//! the baselines committed at the repo root, and fails the build only on a
-//! heavy regression.
+//! `BENCH_ingest.json` / `BENCH_service.json` / `BENCH_durability.json`
+//! (written by quick-mode `exp_e20_ingest` / `exp_e19_service` /
+//! `exp_e23_durability` into the experiment dir) against the baselines
+//! committed at the repo root, and fails the build only on a heavy
+//! regression. The durability file additionally carries an **in-process**
+//! WAL overhead ratio (wal-on vs wal-off ingest measured back-to-back on
+//! the same machine), gated against an absolute < 10% bound — runner speed
+//! cancels out of that ratio, so it gets a hard limit rather than the
+//! generous cross-machine tolerance.
 //!
 //! Design constraints, in order:
 //!
@@ -91,6 +96,43 @@ fn tolerance() -> f64 {
         .unwrap_or(0.35)
 }
 
+/// The WAL-on ingest overhead bound, percent (`DPMG_WAL_OVERHEAD_LIMIT`
+/// overrides). The measured value is a same-machine ratio, so the default
+/// is the tight bound the durability design promises, not a noisy-runner
+/// tolerance.
+fn wal_overhead_limit() -> f64 {
+    std::env::var("DPMG_WAL_OVERHEAD_LIMIT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(10.0)
+}
+
+/// Extracts the top-level `"wal_overhead_pct"` scalar from the freshly
+/// measured `BENCH_durability.json` (same no-JSON-dependency convention as
+/// the run parser).
+fn parse_wal_overhead(json: &str) -> Option<f64> {
+    let idx = json.find("\"wal_overhead_pct\"")?;
+    let rest = &json[idx..];
+    let value = rest.split_once(':')?.1;
+    value
+        .trim_start()
+        .split([',', '\n', '}'])
+        .next()?
+        .trim()
+        .parse::<f64>()
+        .ok()
+}
+
+/// Gates the in-process WAL overhead ratio from the measured durability
+/// file; returns `Ok(pct)` or an error string.
+fn gate_wal_overhead(measured_dir: &Path) -> Result<f64, String> {
+    let path = measured_dir.join("BENCH_durability.json");
+    let json = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_wal_overhead(&json)
+        .ok_or_else(|| format!("no wal_overhead_pct field in {}", path.display()))
+}
+
 /// Compares one measured file against its committed baseline; returns
 /// `Ok(geomean ratio)` or an error string.
 fn gate_file(name: &str, baseline_dir: &Path, measured_dir: &Path) -> Result<f64, String> {
@@ -164,7 +206,11 @@ fn main() {
     );
 
     let mut failed = false;
-    for name in ["BENCH_ingest.json", "BENCH_service.json"] {
+    for name in [
+        "BENCH_ingest.json",
+        "BENCH_service.json",
+        "BENCH_durability.json",
+    ] {
         match gate_file(name, &baseline_dir, &measured_dir) {
             Ok(geomean) => {
                 let ok = geomean >= floor;
@@ -178,6 +224,22 @@ fn main() {
                 println!("[PERF-FAIL] {name}: {e}\n");
                 failed = true;
             }
+        }
+    }
+    match gate_wal_overhead(&measured_dir) {
+        Ok(pct) => {
+            let limit = wal_overhead_limit();
+            let ok = pct < limit;
+            println!(
+                "[{}] WAL ingest overhead: {pct:.1}% (limit {limit:.0}%; same-machine ratio, \
+                 runner speed cancels)\n",
+                if ok { "PERF-OK  " } else { "PERF-FAIL" }
+            );
+            failed |= !ok;
+        }
+        Err(e) => {
+            println!("[PERF-FAIL] WAL ingest overhead: {e}\n");
+            failed = true;
         }
     }
     if failed {
@@ -258,6 +320,23 @@ mod tests {
         let err = gate_file("BENCH_ingest.json", &base_dir, &meas_dir).unwrap_err();
         assert!(err.contains("missing from the fresh measurement"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_overhead_scalar_parses() {
+        let json = r#"{
+  "experiment": "e23_durability",
+  "wal_overhead_pct": 4.37,
+  "runs": [{"mode": "wal_on", "throughput_items_per_s": 100}]
+}"#;
+        assert_eq!(parse_wal_overhead(json), Some(4.37));
+        assert_eq!(parse_wal_overhead(r#"{"experiment": "x"}"#), None);
+        // Negative overhead (wal-on measured faster than wal-off, pure
+        // noise) still parses and trivially passes the limit.
+        assert_eq!(
+            parse_wal_overhead(r#"{"wal_overhead_pct": -1.20}"#),
+            Some(-1.2)
+        );
     }
 
     #[test]

@@ -124,6 +124,15 @@ fn golden_exp_e20_ingest() {
 }
 
 #[test]
+fn golden_exp_e23_durability() {
+    let stdout = run_quick(
+        env!("CARGO_BIN_EXE_exp_e23_durability"),
+        "exp_e23_durability",
+    );
+    assert_matches_golden("exp_e23_durability", &deterministic_sections(&stdout));
+}
+
+#[test]
 fn e17_filter_strips_only_timing() {
     let sample = "\
 ################################################################

@@ -534,4 +534,57 @@ mod tests {
     fn serde_json_like(p: &PrivacyParams) -> String {
         format!("{{\"epsilon\":{},\"delta\":{}}}", p.epsilon(), p.delta())
     }
+
+    proptest::proptest! {
+        /// Restore is an exact round trip after ANY affordable charge
+        /// sequence: spent, remaining, charge count, and the refusal
+        /// boundary are all preserved to the bit — the crash/restart path
+        /// must not drift the composition arithmetic by even one ulp.
+        #[test]
+        fn prop_restore_round_trips_any_charge_history(
+            budget_eps in 0.1f64..20.0,
+            fracs in proptest::collection::vec(0.01f64..0.3, 0..12),
+        ) {
+            let budget = PrivacyParams::new(budget_eps, 1e-6).unwrap();
+            let mut acct = Accountant::new(budget);
+            for frac in fracs {
+                let price =
+                    PrivacyParams::new(budget_eps * frac, 1e-6 * frac).unwrap();
+                if acct.can_afford(price) {
+                    acct.charge(price).unwrap();
+                }
+            }
+            let back = Accountant::restore(
+                budget,
+                acct.spent_epsilon(),
+                acct.spent_delta(),
+                acct.charges(),
+            )
+            .unwrap();
+            proptest::prop_assert_eq!(back.charges(), acct.charges());
+            proptest::prop_assert_eq!(
+                back.spent_epsilon().to_bits(),
+                acct.spent_epsilon().to_bits()
+            );
+            proptest::prop_assert_eq!(
+                back.spent_delta().to_bits(),
+                acct.spent_delta().to_bits()
+            );
+            proptest::prop_assert_eq!(
+                back.remaining_epsilon().to_bits(),
+                acct.remaining_epsilon().to_bits()
+            );
+            proptest::prop_assert_eq!(
+                back.remaining_delta().to_bits(),
+                acct.remaining_delta().to_bits()
+            );
+            // The refusal boundary is identical: a probe the original
+            // refuses, the restored one refuses, and vice versa.
+            for probe_frac in [0.01, 0.5, 1.0] {
+                let probe =
+                    PrivacyParams::new(budget_eps * probe_frac, 1e-6 * probe_frac).unwrap();
+                proptest::prop_assert_eq!(back.can_afford(probe), acct.can_afford(probe));
+            }
+        }
+    }
 }

@@ -5,7 +5,7 @@ use crossbeam::channel::{self, Sender};
 use dpmg_core::mechanism::ReleaseMechanism;
 use dpmg_core::pmg::PrivateHistogram;
 use dpmg_noise::accounting::PrivacyParams;
-use dpmg_sketch::merge::merge_tree;
+use dpmg_sketch::merge::{merge, merge_tree};
 use dpmg_sketch::misra_gries::MisraGries;
 use dpmg_sketch::traits::{Item, Summary};
 use rand::{Rng, RngCore};
@@ -96,6 +96,12 @@ pub struct ShardedPipeline<K: Item + Send + 'static> {
     batches: u64,
     shard_lens: Vec<u64>,
     summaries: Option<Vec<Summary<K>>>,
+    /// Merged summary of shard generations retired by [`Self::reshard`]
+    /// within the current epoch (Lemma 17: merging is associative on the
+    /// summary semantics, so the retired shards' contribution is carried as
+    /// one summary and folded into [`Self::merged`]). `None` between
+    /// epochs and after every rotation.
+    carry: Option<Summary<K>>,
     /// First shard whose worker panicked; once set, every finish/summary/
     /// release call keeps failing instead of serving partial results.
     poisoned: Option<usize>,
@@ -106,11 +112,24 @@ type ShardWorkers<K> = (Vec<Sender<Vec<K>>>, Vec<JoinHandle<MisraGries<K>>>);
 
 impl<K: Item + Send + 'static> ShardedPipeline<K> {
     fn spawn_workers(config: &PipelineConfig) -> Result<ShardWorkers<K>, PipelineError> {
+        let sketches = (0..config.shards)
+            .map(|_| MisraGries::new(config.k))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::spawn_workers_with(config, sketches))
+    }
+
+    /// Spawns one worker per sketch, each continuing from the given sketch
+    /// state — the crash-recovery and checkpoint respawn path. Fresh
+    /// workers are the `MisraGries::new` special case.
+    fn spawn_workers_with(
+        config: &PipelineConfig,
+        sketches: Vec<MisraGries<K>>,
+    ) -> ShardWorkers<K> {
+        debug_assert_eq!(sketches.len(), config.shards);
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
+        for (shard, mut sketch) in sketches.into_iter().enumerate() {
             let (tx, rx) = channel::bounded::<Vec<K>>(config.channel_capacity);
-            let mut sketch = MisraGries::new(config.k)?;
             let handle = std::thread::Builder::new()
                 .name(format!("dpmg-shard-{shard}"))
                 .spawn(move || {
@@ -123,7 +142,7 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
             senders.push(tx);
             workers.push(handle);
         }
-        Ok((senders, workers))
+        (senders, workers)
     }
 
     /// Spawns the shard workers.
@@ -144,6 +163,53 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
             batches: 0,
             shard_lens: Vec::new(),
             summaries: None,
+            carry: None,
+            poisoned: None,
+            config,
+        })
+    }
+
+    /// Spawns the shard workers **continuing from restored sketch states**
+    /// — the crash-recovery path: `sketches` are a checkpoint's per-shard
+    /// states (one per shard, same `k`), `items` the open epoch's item
+    /// count at the checkpoint, and `carry` the retired-generation summary
+    /// if the epoch had been live-resharded before the checkpoint. The
+    /// rebuilt pipeline's epoch observables (merged summary, item counter)
+    /// continue exactly where the captured pipeline stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError`] for invalid structural parameters, a sketch count
+    /// that does not match `config.shards`, or a sketch whose `k` differs
+    /// from the configuration.
+    pub fn with_initial_sketches(
+        config: PipelineConfig,
+        sketches: Vec<MisraGries<K>>,
+        items: u64,
+        carry: Option<Summary<K>>,
+    ) -> Result<Self, PipelineError> {
+        config.validate()?;
+        if sketches.len() != config.shards {
+            return Err(PipelineError::InvalidShards(sketches.len()));
+        }
+        if sketches.iter().any(|s| s.k() != config.k) {
+            return Err(PipelineError::Sketch(
+                dpmg_sketch::traits::SketchError::Corrupt(
+                    "restored sketch k does not match the pipeline configuration",
+                ),
+            ));
+        }
+        let (senders, workers) = Self::spawn_workers_with(&config, sketches);
+        Ok(Self {
+            buffers: vec![Vec::with_capacity(config.batch_size); config.shards],
+            senders,
+            workers,
+            rr_cursor: 0,
+            items,
+            batches: 0,
+            shard_lens: Vec::new(),
+            summaries: None,
+            carry,
             poisoned: None,
             config,
         })
@@ -238,31 +304,9 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
         if self.summaries.is_some() {
             return Ok(());
         }
-        for shard in 0..self.config.shards {
-            self.dispatch(shard)?;
-        }
-        self.senders.clear(); // disconnects the channels, ending the workers
-        let mut summaries = Vec::with_capacity(self.config.shards);
-        let mut lens = Vec::with_capacity(self.config.shards);
-        let mut first_panic = None;
-        for (shard, handle) in self.workers.drain(..).enumerate() {
-            // Join every worker even after a panic so no thread leaks.
-            match handle.join() {
-                Ok(sketch) => {
-                    lens.push(sketch.stream_len());
-                    summaries.push(sketch.summary());
-                }
-                Err(_) => {
-                    let _ = first_panic.get_or_insert(shard);
-                }
-            }
-        }
-        if let Some(shard) = first_panic {
-            self.poisoned = Some(shard);
-            return Err(PipelineError::WorkerPanicked { shard });
-        }
-        self.shard_lens = lens;
-        self.summaries = Some(summaries);
+        let sketches = self.retire_workers()?;
+        self.shard_lens = sketches.iter().map(|s| s.stream_len()).collect();
+        self.summaries = Some(sketches.iter().map(|s| s.summary()).collect());
         Ok(())
     }
 
@@ -277,16 +321,31 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
     }
 
     /// The pre-noise merged summary: binary merge tree over the shard
-    /// summaries (finishing ingestion first). This is NOT private — it is
-    /// the quantity the Lemma 17 / Corollary 18 invariant tests inspect.
+    /// summaries (finishing ingestion first), folded with the
+    /// [`Self::reshard`] carry when the epoch was live-resharded. This is
+    /// NOT private — it is the quantity the Lemma 17 / Corollary 18
+    /// invariant tests inspect.
     ///
     /// # Errors
     ///
     /// As [`Self::finish`].
     pub fn merged(&mut self) -> Result<Summary<K>, PipelineError> {
         let k = self.config.k;
+        let carry = self.carry.clone();
         let summaries = self.shard_summaries()?;
-        Ok(merge_tree(summaries).unwrap_or_else(|| Summary::empty(k)))
+        let shard_merged = merge_tree(summaries).unwrap_or_else(|| Summary::empty(k));
+        Ok(match carry {
+            Some(c) => merge(&c, &shard_merged),
+            None => shard_merged,
+        })
+    }
+
+    /// The retired-generation carry summary of the current epoch, if a
+    /// [`Self::reshard`] happened mid-epoch (see the field docs). Exposed
+    /// so checkpoints can persist it and sequential references replicate
+    /// the merge shape.
+    pub fn carry(&self) -> Option<&Summary<K>> {
+        self.carry.as_ref()
     }
 
     /// Performs the single `(ε, δ)`-DP release of the merge-tree summary
@@ -340,7 +399,120 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
         self.batches = 0;
         self.shard_lens = Vec::new();
         self.summaries = None;
+        self.carry = None;
         Ok((merged, stats))
+    }
+
+    /// Live elastic resharding: retires the current shard generation by
+    /// **merging** its summaries into the epoch's carry (Lemma 17/29 —
+    /// merging preserves the summary semantics, so not one item's
+    /// contribution is lost), re-splits the FNV key-hash routing over
+    /// `new_shards`, and respawns fresh workers at the new width.
+    ///
+    /// The epoch in flight continues: [`Self::merged`] for this epoch is
+    /// `merge(carry, merge_tree(new-generation summaries))`, and by the
+    /// shape-independence of the merged sensitivity (Corollary 18) the
+    /// release distribution of the epoch is unchanged — which is what makes
+    /// this a *runtime* operation rather than a drain-and-restart. Item and
+    /// batch counters span the reshard (they are epoch-scoped).
+    ///
+    /// At an epoch boundary (no items ingested yet) the retired generation
+    /// is empty and no carry is created: the reshard is then exactly a
+    /// routing re-split plus worker respawn.
+    ///
+    /// Callers that perform DP releases must gate this on a merged-
+    /// calibrated mechanism (`dpmg-service` refuses otherwise): after a
+    /// mid-epoch reshard the epoch summary is a merge even at one shard.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidShards`] for `new_shards = 0`;
+    /// [`PipelineError::AlreadyFinished`] after [`Self::finish`]; worker
+    /// panics as [`Self::finish`]. A poisoned pipeline stays poisoned.
+    pub fn reshard(&mut self, new_shards: usize) -> Result<(), PipelineError> {
+        if new_shards == 0 {
+            return Err(PipelineError::InvalidShards(0));
+        }
+        if let Some(shard) = self.poisoned {
+            return Err(PipelineError::WorkerPanicked { shard });
+        }
+        if self.summaries.is_some() {
+            return Err(PipelineError::AlreadyFinished);
+        }
+        let retired = self.retire_workers()?;
+        let retired_summaries: Vec<Summary<K>> =
+            retired.iter().map(|sketch| sketch.summary()).collect();
+        let shard_merged =
+            merge_tree(&retired_summaries).unwrap_or_else(|| Summary::empty(self.config.k));
+        if !shard_merged.is_empty() {
+            self.carry = Some(match self.carry.take() {
+                Some(c) => merge(&c, &shard_merged),
+                None => shard_merged,
+            });
+        }
+        self.config.shards = new_shards;
+        let (senders, workers) = Self::spawn_workers(&self.config)?;
+        self.senders = senders;
+        self.workers = workers;
+        self.buffers = vec![Vec::with_capacity(self.config.batch_size); self.config.shards];
+        self.rr_cursor = 0;
+        self.shard_lens = Vec::new();
+        Ok(())
+    }
+
+    /// Captures the full per-shard sketch states of the open epoch — the
+    /// checkpoint hook. Flushes the partial batches, joins the current
+    /// workers, and respawns workers **continuing from clones of the
+    /// captured states**, so ingestion resumes exactly where it stopped;
+    /// the returned states (plus [`Self::carry`] and the item counter) are
+    /// everything a restore needs to rebuild this pipeline via
+    /// [`Self::with_initial_sketches`] bit-identically.
+    ///
+    /// The captured states are **pre-noise** data: they must stay inside
+    /// the operator's trust boundary, like the raw stream.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::AlreadyFinished`] after [`Self::finish`]; worker
+    /// panics as [`Self::finish`].
+    pub fn checkpoint_sketches(&mut self) -> Result<Vec<MisraGries<K>>, PipelineError> {
+        if let Some(shard) = self.poisoned {
+            return Err(PipelineError::WorkerPanicked { shard });
+        }
+        if self.summaries.is_some() {
+            return Err(PipelineError::AlreadyFinished);
+        }
+        let sketches = self.retire_workers()?;
+        let (senders, workers) = Self::spawn_workers_with(&self.config, sketches.clone());
+        self.senders = senders;
+        self.workers = workers;
+        Ok(sketches)
+    }
+
+    /// Flushes buffers, closes the channels, and joins the current worker
+    /// generation, returning the sketches in shard order. The pipeline is
+    /// left without workers; callers must respawn before further ingestion.
+    fn retire_workers(&mut self) -> Result<Vec<MisraGries<K>>, PipelineError> {
+        for shard in 0..self.config.shards {
+            self.dispatch(shard)?;
+        }
+        self.senders.clear(); // disconnects the channels, ending the workers
+        let mut sketches = Vec::with_capacity(self.config.shards);
+        let mut first_panic = None;
+        for (shard, handle) in self.workers.drain(..).enumerate() {
+            // Join every worker even after a panic so no thread leaks.
+            match handle.join() {
+                Ok(sketch) => sketches.push(sketch),
+                Err(_) => {
+                    let _ = first_panic.get_or_insert(shard);
+                }
+            }
+        }
+        if let Some(shard) = first_panic {
+            self.poisoned = Some(shard);
+            return Err(PipelineError::WorkerPanicked { shard });
+        }
+        Ok(sketches)
     }
 }
 
@@ -453,6 +625,114 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         pipe.ingest_from(std::iter::repeat_n(7u64, 1000)).unwrap();
         assert!(pipe.release(params, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn reshard_at_epoch_boundary_is_pure_respawn() {
+        let mut pipe = ShardedPipeline::<u64>::new(PipelineConfig::new(1, 8)).unwrap();
+        pipe.reshard(4).unwrap();
+        assert_eq!(pipe.config().shards, 4);
+        assert!(
+            pipe.carry().is_none(),
+            "boundary reshard must not create a carry"
+        );
+        pipe.ingest_from((0..500u64).map(|i| i % 13)).unwrap();
+        let merged = pipe.merged().unwrap();
+        // Identical to a pipeline born at 4 shards.
+        let mut fresh = ShardedPipeline::<u64>::new(PipelineConfig::new(4, 8)).unwrap();
+        fresh.ingest_from((0..500u64).map(|i| i % 13)).unwrap();
+        assert_eq!(merged, fresh.merged().unwrap());
+    }
+
+    #[test]
+    fn mid_epoch_reshard_chain_loses_no_items() {
+        // 1 → 2 → 8 with items in flight at every step: the carry preserves
+        // every retired generation's contribution, the item counter spans
+        // the reshards, and the final merged summary is a sound Lemma 17
+        // merge over all generations.
+        let stream: Vec<u64> = (0..900u64).map(|i| i % 17).collect();
+        let mut pipe =
+            ShardedPipeline::<u64>::new(PipelineConfig::new(1, 16).with_batch_size(7)).unwrap();
+        pipe.ingest_from(stream[..300].iter().copied()).unwrap();
+        pipe.reshard(2).unwrap();
+        assert!(pipe.carry().is_some());
+        pipe.ingest_from(stream[300..600].iter().copied()).unwrap();
+        pipe.reshard(8).unwrap();
+        pipe.ingest_from(stream[600..].iter().copied()).unwrap();
+        assert_eq!(pipe.stats().items, 900);
+        let merged = pipe.merged().unwrap();
+        // Conservation: the merged counter mass accounts for every item up
+        // to the merge error (counts only ever shrink, never appear).
+        let total: u64 = merged.entries.values().sum();
+        assert!(total <= 900);
+        assert!(total > 0);
+        // Heavy keys survive: each of the 17 keys appears ~53 times with
+        // k = 16 ≫ distinct keys per shard, so estimates stay positive.
+        assert!(merged.entries.contains_key(&0));
+        // The epoch after the reshard chain starts clean.
+        let (_, stats) = pipe.rotate_epoch().unwrap();
+        assert_eq!(stats.items, 900);
+        assert!(pipe.carry().is_none());
+        assert_eq!(pipe.stats().items, 0);
+    }
+
+    #[test]
+    fn reshard_rejects_zero_and_finished() {
+        let mut pipe = ShardedPipeline::<u64>::new(PipelineConfig::new(2, 8)).unwrap();
+        assert!(matches!(
+            pipe.reshard(0),
+            Err(PipelineError::InvalidShards(0))
+        ));
+        pipe.finish().unwrap();
+        assert!(matches!(
+            pipe.reshard(4),
+            Err(PipelineError::AlreadyFinished)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_sketches_capture_and_resume() {
+        let stream: Vec<u64> = (0..700u64).map(|i| i % 11).collect();
+        let mut pipe =
+            ShardedPipeline::<u64>::new(PipelineConfig::new(3, 8).with_batch_size(13)).unwrap();
+        pipe.ingest_from(stream[..400].iter().copied()).unwrap();
+        let states = pipe.checkpoint_sketches().unwrap();
+        assert_eq!(states.len(), 3);
+        assert_eq!(states.iter().map(|s| s.stream_len()).sum::<u64>(), 400);
+
+        // The checkpointed pipeline keeps ingesting unharmed…
+        pipe.ingest_from(stream[400..].iter().copied()).unwrap();
+        let live_merged = pipe.merged().unwrap();
+        assert_eq!(pipe.stats().items, 700);
+
+        // …and a pipeline rebuilt from the captured states converges to the
+        // identical epoch state over the remaining items.
+        let mut rebuilt = ShardedPipeline::with_initial_sketches(
+            PipelineConfig::new(3, 8).with_batch_size(13),
+            states,
+            400,
+            None,
+        )
+        .unwrap();
+        rebuilt.ingest_from(stream[400..].iter().copied()).unwrap();
+        assert_eq!(rebuilt.stats().items, 700);
+        assert_eq!(rebuilt.merged().unwrap(), live_merged);
+    }
+
+    #[test]
+    fn with_initial_sketches_validates_shape() {
+        let states = vec![MisraGries::<u64>::new(8).unwrap()];
+        // Wrong sketch count for a 2-shard config.
+        assert!(
+            ShardedPipeline::with_initial_sketches(PipelineConfig::new(2, 8), states, 0, None)
+                .is_err()
+        );
+        // Wrong k.
+        let states = vec![MisraGries::<u64>::new(4).unwrap()];
+        assert!(
+            ShardedPipeline::with_initial_sketches(PipelineConfig::new(1, 8), states, 0, None)
+                .is_err()
+        );
     }
 
     #[test]

@@ -135,6 +135,8 @@ pub enum ServiceError {
     },
     /// Saving or restoring service state failed.
     Persistence(&'static str),
+    /// A write-ahead-log or checkpoint filesystem operation failed.
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -151,6 +153,7 @@ impl std::fmt::Display for ServiceError {
                 "continual epoch horizon exhausted: budget was allocated for {max_epochs} epochs"
             ),
             ServiceError::Persistence(what) => write!(f, "service persistence error: {what}"),
+            ServiceError::Io(e) => write!(f, "service durability I/O error: {e}"),
         }
     }
 }
@@ -162,8 +165,15 @@ impl std::error::Error for ServiceError {
             ServiceError::Release(e) => Some(e),
             ServiceError::Noise(e) => Some(e),
             ServiceError::Sketch(e) => Some(e),
+            ServiceError::Io(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
     }
 }
 

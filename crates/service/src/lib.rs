@@ -32,7 +32,14 @@
 //!   oracle: same routing, same merge shape, same release core — byte-for-
 //!   byte identical releases under the same seed, or the pipeline is buggy.
 //! * `save_state` / `restore` persist the released snapshot plus the
-//!   accountant across restarts (checksummed; any corruption is rejected).
+//!   accountant across restarts (checksummed; any corruption is rejected);
+//!   the restore reports [`OpenEpochStatus::OpenEpochLost`] because the
+//!   open epoch dies with the process on this path.
+//! * [`DurableService`] adds full durability and elasticity on top: a
+//!   group-committed write-ahead log, periodic whole-service checkpoints
+//!   that truncate it, **bit-identical** crash recovery
+//!   ([`OpenEpochStatus::Replayed`]), and journaled live resharding
+//!   ([`DpmgService::reshard`]) — see [`wal`].
 //!
 //! # Privacy
 //!
@@ -55,8 +62,10 @@ mod persist;
 pub mod reference;
 pub mod service;
 pub mod snapshot;
+pub mod wal;
 
 pub use config::{ServiceConfig, ServiceError, ServiceMode};
 pub use reference::SequentialServiceReference;
-pub use service::{DpmgService, EpochRelease};
+pub use service::{DpmgService, EpochRelease, OpenEpochStatus};
 pub use snapshot::{QueryHandle, ReleasedSnapshot};
+pub use wal::{DurabilityConfig, DurableService, RecoveryReport};

@@ -1,16 +1,35 @@
 //! Crash/restart persistence for the service (`u64` keys, the wire-format
-//! key type).
+//! key type): the lightweight released-state format (`DPSV`) and the
+//! whole-service durable checkpoint (`DPCK`).
 //!
-//! What is persisted is exactly the **post-privacy-boundary** state: the
-//! cumulative released snapshot (through
-//! [`dpmg_sketch::serialize::encode_snapshot`]) plus the accountant's
-//! budget arithmetic. Pre-noise state — open-epoch sketches, pending dyadic
-//! summaries — is deliberately *not* persisted: it is private data, and
-//! writing it to disk would move the privacy boundary. A restored service
-//! therefore resumes with an empty open epoch; items ingested after the
-//! last `end_epoch` of the saved service are lost, exactly as in a crash.
+//! **The `DPSV` released-state format** persists exactly the
+//! **post-privacy-boundary** state: the cumulative released snapshot
+//! (through [`dpmg_sketch::serialize::encode_snapshot`]) plus the
+//! accountant's budget arithmetic. Pre-noise state — open-epoch sketches,
+//! pending dyadic summaries — is *not* carried: these bytes are safe to
+//! store anywhere, but a restored service resumes with an empty open
+//! epoch, which is why [`DpmgService::restore`] hands back an explicit
+//! [`OpenEpochStatus::OpenEpochLost`] marker — items ingested after the
+//! last `end_epoch` of the saved service died with the process.
 //!
-//! Layout (all integers little-endian, floats as IEEE-754 bit patterns):
+//! **The `DPCK` checkpoint format** is the durable path
+//! ([`crate::DurableService`]): it additionally captures the full
+//! open-epoch engine state (per-shard sketch states including dummy-slot
+//! identities, the reshard carry, the epoch clock) and the noise
+//! generator's state, so a crashed service replays its write-ahead log and
+//! resumes **bit-identically**. Unlike `DPSV` bytes, a checkpoint holds
+//! **pre-noise** data: it must stay inside the operator's trust boundary —
+//! the same boundary that already holds the raw stream — exactly like the
+//! WAL segments next to it. Released snapshots remain the only artifact
+//! that may cross a privacy boundary.
+//!
+//! Both formats share the store discipline: one version byte, rejected —
+//! never guessed at — when unknown; a trailing FNV-1a checksum over every
+//! preceding byte, so any corruption is refused instead of restoring wrong
+//! answers; and embedded records (`DPMS` snapshot, `DPMG` carry, `DPKS`
+//! sketch states) that each re-validate their own invariants.
+//!
+//! `DPSV` layout (all integers little-endian, floats as IEEE-754 bits):
 //!
 //! ```text
 //! magic        : [u8; 4] = b"DPSV"
@@ -24,19 +43,53 @@
 //! snapshot     : snap_len bytes (the DPMS snapshot record, itself checksummed)
 //! checksum     : u64     (FNV-1a over every preceding byte)
 //! ```
+//!
+//! `DPCK` layout:
+//!
+//! ```text
+//! magic            : [u8; 4] = b"DPCK"
+//! version          : u8      = 1
+//! wal_seq          : u64     (first WAL segment to replay)
+//! shards           : u64     (shard count at the checkpoint — resharding
+//!                             makes this a runtime value, not config)
+//! k                : u64
+//! epoch_len        : u64     (0 = explicit epoch ticks)
+//! completed_epochs : u64
+//! released_items   : u64
+//! epoch_items      : u64     (open-epoch items at the checkpoint)
+//! rng_state        : 4 × u64 (xoshiro256++ words; all-zero rejected)
+//! budget_eps/delta : 2 × f64 bits
+//! spent_eps/delta  : 2 × f64 bits
+//! charges          : u64
+//! snap_len + DPMS snapshot bytes
+//! carry_flag       : u8 (0/1) [+ carry_len + DPMG summary bytes]
+//! sketches         : shards × (len: u64 + DPKS sketch-state bytes)
+//! checksum         : u64     (FNV-1a over every preceding byte)
+//! ```
 
 use crate::config::{ServiceError, ServiceMode};
-use crate::service::{DpmgService, EpochCore};
+use crate::service::{DpmgService, EpochCore, OpenEpochStatus};
 use crate::snapshot::ReleasedSnapshot;
 use crate::ServiceConfig;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dpmg_core::mechanism::ReleaseMechanism;
 use dpmg_noise::accounting::{Accountant, PrivacyParams};
-use dpmg_sketch::serialize::{decode_snapshot, encode_snapshot, fnv1a_checksum, SnapshotRecord};
+use dpmg_sketch::misra_gries::MisraGries;
+use dpmg_sketch::serialize::{
+    decode, decode_sketch_state, decode_snapshot, encode, encode_sketch_state, encode_snapshot,
+    fnv1a_checksum, SnapshotRecord,
+};
+use dpmg_sketch::traits::Summary;
 
 const MAGIC: [u8; 4] = *b"DPSV";
 const VERSION: u8 = 1;
 const HEADER_LEN: usize = 4 + 1 + 8 * 4 + 8 + 8;
+
+const CHECKPOINT_MAGIC: [u8; 4] = *b"DPCK";
+const CHECKPOINT_VERSION: u8 = 1;
+/// Fixed-size prefix: magic + version + 7 u64 scalars + 4 rng words +
+/// 4 budget floats + charges.
+const CHECKPOINT_HEADER_LEN: usize = 4 + 1 + 8 * 7 + 8 * 4 + 8 * 4 + 8;
 
 impl DpmgService<u64> {
     /// Serializes the service's released state: the latest snapshot and the
@@ -87,6 +140,12 @@ impl DpmgService<u64> {
     /// `completed_epochs` and subsequent epoch numbering continue
     /// absolutely from the persisted count.
     ///
+    /// The returned status is always [`OpenEpochStatus::OpenEpochLost`]:
+    /// `DPSV` bytes never carry the open epoch, so any items ingested after
+    /// the saved service's last `end_epoch` are gone. Callers that need
+    /// those items replayed must run under [`crate::DurableService`], whose
+    /// recovery reports [`OpenEpochStatus::Replayed`] instead.
+    ///
     /// # Errors
     ///
     /// [`ServiceError::Persistence`] on any corruption (both layers are
@@ -98,7 +157,7 @@ impl DpmgService<u64> {
         mechanism: Box<dyn ReleaseMechanism<u64>>,
         seed: u64,
         bytes: &[u8],
-    ) -> Result<Self, ServiceError> {
+    ) -> Result<(Self, OpenEpochStatus), ServiceError> {
         if !matches!(config.mode, ServiceMode::Independent) {
             return Err(ServiceError::Persistence(
                 "only Independent services can be restored",
@@ -166,6 +225,243 @@ impl DpmgService<u64> {
             k: record.k,
             estimates: record.entries,
         };
-        DpmgService::from_parts(config, core, initial)
+        let service = DpmgService::from_parts(config, core, initial)?;
+        Ok((service, OpenEpochStatus::OpenEpochLost))
     }
+}
+
+/// Full pre-noise service state at a checkpoint, as written by
+/// [`crate::DurableService`]. See the module docs for the `DPCK` wire
+/// layout and the trust-boundary discussion (these bytes are pre-noise —
+/// they must not cross a privacy boundary).
+#[derive(Debug, Clone)]
+pub(crate) struct CheckpointState {
+    /// First WAL segment sequence number to replay on recovery; segments
+    /// with smaller sequence numbers are subsumed by this checkpoint.
+    pub wal_seq: u64,
+    /// Shard count at the checkpoint (a runtime value under resharding).
+    pub shards: usize,
+    /// Sketch size (shared by every shard, the carry, and the snapshot).
+    pub k: usize,
+    /// `epoch_len` the service ran with (`0` encodes explicit ticks); a
+    /// recovery under a different epoch length would replay different
+    /// boundaries, so it is validated, not assumed.
+    pub epoch_len: u64,
+    pub completed_epochs: u64,
+    pub released_items: u64,
+    /// Open-epoch items already folded into the checkpointed sketches.
+    pub epoch_items: u64,
+    /// xoshiro256++ state words of the release core's noise source.
+    pub rng: [u64; 4],
+    pub budget_eps: f64,
+    pub budget_delta: f64,
+    pub spent_eps: f64,
+    pub spent_delta: f64,
+    pub charges: u64,
+    /// Cumulative released snapshot (post-noise), as a `DPMS` record.
+    pub snapshot: SnapshotRecord,
+    /// Retired-generation reshard carry, if a reshard happened mid-epoch.
+    pub carry: Option<Summary<u64>>,
+    /// Per-shard open-epoch sketch states, in shard order.
+    pub sketches: Vec<MisraGries<u64>>,
+}
+
+/// Serializes a [`CheckpointState`] as a `DPCK` record.
+pub(crate) fn encode_checkpoint(state: &CheckpointState) -> Bytes {
+    let snapshot_bytes = encode_snapshot(&state.snapshot);
+    let carry_bytes = state.carry.as_ref().map(encode);
+    let sketch_bytes: Vec<Bytes> = state.sketches.iter().map(encode_sketch_state).collect();
+    let body_len: usize = snapshot_bytes.len()
+        + 1
+        + carry_bytes.as_ref().map_or(0, |b| 8 + b.len())
+        + sketch_bytes.iter().map(|b| 8 + b.len()).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(CHECKPOINT_HEADER_LEN + 8 + body_len + 8);
+    buf.put_slice(&CHECKPOINT_MAGIC);
+    buf.put_u8(CHECKPOINT_VERSION);
+    buf.put_u64_le(state.wal_seq);
+    buf.put_u64_le(state.shards as u64);
+    buf.put_u64_le(state.k as u64);
+    buf.put_u64_le(state.epoch_len);
+    buf.put_u64_le(state.completed_epochs);
+    buf.put_u64_le(state.released_items);
+    buf.put_u64_le(state.epoch_items);
+    for word in state.rng {
+        buf.put_u64_le(word);
+    }
+    buf.put_u64_le(state.budget_eps.to_bits());
+    buf.put_u64_le(state.budget_delta.to_bits());
+    buf.put_u64_le(state.spent_eps.to_bits());
+    buf.put_u64_le(state.spent_delta.to_bits());
+    buf.put_u64_le(state.charges);
+    buf.put_u64_le(snapshot_bytes.len() as u64);
+    buf.put_slice(&snapshot_bytes);
+    match &carry_bytes {
+        Some(bytes) => {
+            buf.put_u8(1);
+            buf.put_u64_le(bytes.len() as u64);
+            buf.put_slice(bytes);
+        }
+        None => buf.put_u8(0),
+    }
+    for bytes in &sketch_bytes {
+        buf.put_u64_le(bytes.len() as u64);
+        buf.put_slice(bytes);
+    }
+    let checksum = fnv1a_checksum(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Reads one length-prefixed embedded record out of `payload`, guarding the
+/// declared length against the bytes actually present.
+fn take_section<'a>(payload: &mut &'a [u8], what: &'static str) -> Result<&'a [u8], ServiceError> {
+    if payload.remaining() < 8 {
+        return Err(ServiceError::Persistence(what));
+    }
+    let len = payload.get_u64_le();
+    if (payload.remaining() as u64) < len {
+        return Err(ServiceError::Persistence(what));
+    }
+    let len = len as usize;
+    let (section, rest) = payload.split_at(len);
+    *payload = rest;
+    Ok(section)
+}
+
+/// Decodes and validates a `DPCK` record. Every structural invariant is
+/// re-checked: the outer checksum, version, `k`-consistency of the
+/// snapshot/carry/sketches, shard-count agreement, a live RNG state, and an
+/// accountant state consistent with its own budget (via
+/// [`Accountant::restore`] at the call site).
+pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointState, ServiceError> {
+    if bytes.len() < CHECKPOINT_HEADER_LEN + 8 + 1 + 8 {
+        return Err(ServiceError::Persistence("truncated checkpoint"));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut checksum_bytes = trailer;
+    if fnv1a_checksum(payload) != checksum_bytes.get_u64_le() {
+        return Err(ServiceError::Persistence("checkpoint checksum mismatch"));
+    }
+    let mut payload = payload;
+    let mut magic = [0u8; 4];
+    payload.copy_to_slice(&mut magic);
+    if magic != CHECKPOINT_MAGIC {
+        return Err(ServiceError::Persistence("bad checkpoint magic"));
+    }
+    if payload.get_u8() != CHECKPOINT_VERSION {
+        return Err(ServiceError::Persistence("unsupported checkpoint version"));
+    }
+    let wal_seq = payload.get_u64_le();
+    let shards = payload.get_u64_le();
+    let k = payload.get_u64_le();
+    let epoch_len = payload.get_u64_le();
+    let completed_epochs = payload.get_u64_le();
+    let released_items = payload.get_u64_le();
+    let epoch_items = payload.get_u64_le();
+    let rng = [
+        payload.get_u64_le(),
+        payload.get_u64_le(),
+        payload.get_u64_le(),
+        payload.get_u64_le(),
+    ];
+    if rng == [0; 4] {
+        return Err(ServiceError::Persistence(
+            "checkpoint rng state is the degenerate all-zero state",
+        ));
+    }
+    let budget_eps = f64::from_bits(payload.get_u64_le());
+    let budget_delta = f64::from_bits(payload.get_u64_le());
+    let spent_eps = f64::from_bits(payload.get_u64_le());
+    let spent_delta = f64::from_bits(payload.get_u64_le());
+    let charges = payload.get_u64_le();
+    let shards = usize::try_from(shards)
+        .ok()
+        .filter(|s| *s >= 1)
+        .ok_or(ServiceError::Persistence("checkpoint shard count invalid"))?;
+    let k = usize::try_from(k)
+        .ok()
+        .filter(|k| *k >= 1)
+        .ok_or(ServiceError::Persistence("checkpoint k invalid"))?;
+    // Divide, don't multiply: a hostile shard count cannot overflow the
+    // plausibility guard. Each sketch section is at least 8 length bytes.
+    if shards > payload.remaining() / 8 {
+        return Err(ServiceError::Persistence(
+            "checkpoint declares more shards than the bytes can hold",
+        ));
+    }
+    let snap_section = take_section(&mut payload, "checkpoint snapshot section truncated")?;
+    let snapshot = decode_snapshot(snap_section)
+        .map_err(|_| ServiceError::Persistence("checkpoint snapshot corrupt"))?;
+    if snapshot.k != k {
+        return Err(ServiceError::Persistence(
+            "checkpoint snapshot k does not match the checkpoint k",
+        ));
+    }
+    if payload.remaining() < 1 {
+        return Err(ServiceError::Persistence("checkpoint carry flag missing"));
+    }
+    let carry = match payload.get_u8() {
+        0 => None,
+        1 => {
+            let section = take_section(&mut payload, "checkpoint carry section truncated")?;
+            let summary = decode(section)
+                .map_err(|_| ServiceError::Persistence("checkpoint carry corrupt"))?;
+            if summary.k != k {
+                return Err(ServiceError::Persistence(
+                    "checkpoint carry k does not match the checkpoint k",
+                ));
+            }
+            Some(summary)
+        }
+        _ => return Err(ServiceError::Persistence("checkpoint carry flag invalid")),
+    };
+    let mut sketches = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let section = take_section(&mut payload, "checkpoint sketch section truncated")?;
+        let sketch = decode_sketch_state(section)
+            .map_err(|_| ServiceError::Persistence("checkpoint sketch state corrupt"))?;
+        if sketch.k() != k {
+            return Err(ServiceError::Persistence(
+                "checkpoint sketch k does not match the checkpoint k",
+            ));
+        }
+        sketches.push(sketch);
+    }
+    if payload.has_remaining() {
+        return Err(ServiceError::Persistence(
+            "checkpoint has trailing bytes after the last sketch",
+        ));
+    }
+    // The shard sketches hold the current generation's items; retired
+    // generations live only in the carry (a `Summary`, which does not
+    // record its stream length). Without a carry the counts must agree
+    // exactly; with one the sketches can only account for a prefix.
+    let shard_items: u64 = sketches.iter().map(|s| s.stream_len()).sum();
+    let consistent = match &carry {
+        None => shard_items == epoch_items,
+        Some(_) => shard_items <= epoch_items,
+    };
+    if !consistent {
+        return Err(ServiceError::Persistence(
+            "checkpoint epoch item count disagrees with its sketch states",
+        ));
+    }
+    Ok(CheckpointState {
+        wal_seq,
+        shards,
+        k,
+        epoch_len,
+        completed_epochs,
+        released_items,
+        epoch_items,
+        rng,
+        budget_eps,
+        budget_delta,
+        spent_eps,
+        spent_delta,
+        charges,
+        snapshot,
+        carry,
+        sketches,
+    })
 }

@@ -3,10 +3,11 @@
 use crate::config::{ServiceConfig, ServiceError};
 use crate::service::{EpochCore, EpochRelease};
 use crate::snapshot::ReleasedSnapshot;
+use dpmg_core::mechanism::ReleaseError;
 use dpmg_core::mechanism::ReleaseMechanism;
 use dpmg_noise::accounting::{Accountant, PrivacyParams};
 use dpmg_pipeline::shard_of_key;
-use dpmg_sketch::merge::merge_tree;
+use dpmg_sketch::merge::{merge, merge_tree};
 use dpmg_sketch::misra_gries::MisraGries;
 use dpmg_sketch::traits::{Item, Summary};
 use std::sync::Arc;
@@ -28,6 +29,9 @@ pub struct SequentialServiceReference<K: Item> {
     core: EpochCore<K>,
     latest: Arc<ReleasedSnapshot<K>>,
     epoch_items: u64,
+    /// Retired-generation carry of a mid-epoch [`Self::reshard`] —
+    /// replicates `ShardedPipeline`'s carry fold exactly.
+    carry: Option<Summary<K>>,
 }
 
 impl<K: Item> SequentialServiceReference<K> {
@@ -53,7 +57,51 @@ impl<K: Item> SequentialServiceReference<K> {
             sketches,
             core,
             epoch_items: 0,
+            carry: None,
         })
+    }
+
+    /// Live resharding, mirroring
+    /// [`DpmgService::reshard`](crate::DpmgService::reshard) observable-for-
+    /// observable: the retired shard sketches' summaries are merge-tree'd
+    /// into the carry (skipped when empty, exactly like the pipeline) and
+    /// the shard set restarts fresh at the new width.
+    ///
+    /// # Errors
+    ///
+    /// As [`DpmgService::reshard`](crate::DpmgService::reshard).
+    pub fn reshard(&mut self, new_shards: usize) -> Result<(), ServiceError> {
+        if new_shards == 0 {
+            return Err(ServiceError::Pipeline(
+                dpmg_pipeline::PipelineError::InvalidShards(0),
+            ));
+        }
+        let creates_merged_structure =
+            new_shards > 1 || self.epoch_items > 0 || self.carry.is_some();
+        if creates_merged_structure && !self.core.releases_merged_only() {
+            return Err(ServiceError::Release(ReleaseError::Unsupported {
+                mechanism: self.core.mechanism_name(),
+                reason: "resharding creates Corollary 18 merged epoch structure \
+                         (multi-shard epochs, or a mid-epoch carry merge); only \
+                         MergedOneSided-calibrated mechanisms (gshm, merged-laplace) \
+                         can release such epochs — reshard at an epoch boundary to \
+                         one shard, or run a merged-calibrated mechanism",
+            }));
+        }
+        let k = self.config.k;
+        let summaries: Vec<Summary<K>> = self.sketches.iter().map(|s| s.summary()).collect();
+        let shard_merged = merge_tree(&summaries).unwrap_or_else(|| Summary::empty(k));
+        if !shard_merged.is_empty() {
+            self.carry = Some(match self.carry.take() {
+                Some(c) => merge(&c, &shard_merged),
+                None => shard_merged,
+            });
+        }
+        self.sketches = (0..new_shards)
+            .map(|_| MisraGries::new(k))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.config.shards = new_shards;
+        Ok(())
     }
 
     /// Routes one item to its shard sketch inline; closes the epoch at the
@@ -95,10 +143,16 @@ impl<K: Item> SequentialServiceReference<K> {
     pub fn end_epoch(&mut self) -> Result<Arc<ReleasedSnapshot<K>>, ServiceError> {
         let sketches = &mut self.sketches;
         let epoch_items = &mut self.epoch_items;
+        let carry = &mut self.carry;
         let k = self.config.k;
         let snapshot = self.core.end_epoch(|| {
             let summaries: Vec<Summary<K>> = sketches.iter().map(|s| s.summary()).collect();
-            let merged = merge_tree(&summaries).unwrap_or_else(|| Summary::empty(k));
+            let shard_merged = merge_tree(&summaries).unwrap_or_else(|| Summary::empty(k));
+            // Identical fold order to `ShardedPipeline::merged`.
+            let merged = match carry.take() {
+                Some(c) => merge(&c, &shard_merged),
+                None => shard_merged,
+            };
             let items = *epoch_items;
             for sketch in sketches.iter_mut() {
                 *sketch = MisraGries::new(k).expect("k validated at construction");

@@ -33,6 +33,26 @@ pub struct EpochRelease<K: Item> {
     pub histogram: PrivateHistogram<K>,
 }
 
+/// What happened to the epoch that was **open** (rotated into but not yet
+/// released) when a persisted service state was written — returned by every
+/// restore path so callers are never silently handed a service missing
+/// in-flight data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenEpochStatus {
+    /// The state held only *released* snapshots (the pre-WAL
+    /// `save_state`/`restore` format): any items ingested after the last
+    /// released epoch died with the process. The restored service starts a
+    /// fresh, empty epoch — callers that cannot tolerate the loss must run
+    /// the durable WAL path ([`crate::DurableService`]) instead.
+    OpenEpochLost,
+    /// Durable recovery replayed the open epoch from the write-ahead log:
+    /// `items` in-flight items were reconstructed bit-identically.
+    Replayed {
+        /// Items in the reconstructed open epoch.
+        items: u64,
+    },
+}
+
 /// Which release engine the mode compiled to.
 enum Engine<K: Item> {
     Independent {
@@ -158,6 +178,40 @@ impl<K: Item> EpochCore<K> {
         self.completed_epochs = completed_epochs;
         self.released_items = released_items;
         self.accountant = accountant;
+    }
+
+    /// The raw generator state, persisted by durable checkpoints so a
+    /// recovered service re-draws the *identical* noise stream for every
+    /// replayed and future release.
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Continues the noise stream from a checkpointed generator state
+    /// (callers validate the state is non-degenerate before this).
+    pub(crate) fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
+    /// Whether a rotated epoch is parked awaiting a release retry. Pending
+    /// summaries are pre-noise state the checkpoint format does not carry,
+    /// so checkpoints refuse while one exists.
+    pub(crate) fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Whether every release this engine performs is calibrated for the
+    /// Corollary 18 merged neighbour structure — the precondition for
+    /// live resharding (a mid-epoch reshard turns the epoch summary into a
+    /// merge even at one shard). Continual engines pass the construction
+    /// guard, so they always qualify.
+    pub(crate) fn releases_merged_only(&self) -> bool {
+        match &self.engine {
+            Engine::Independent { mechanism } => {
+                mechanism.sensitivity_model() == SensitivityModel::MergedOneSided
+            }
+            Engine::Continual { .. } => true,
+        }
     }
 
     /// Closes one epoch whose merged summary is produced by `rotate` (the
@@ -342,19 +396,41 @@ impl<K: Item + Send + 'static> DpmgService<K> {
         initial: ReleasedSnapshot<K>,
     ) -> Result<Self, ServiceError> {
         let pipeline = ShardedPipeline::new(config.pipeline_config())?;
+        Ok(Self::from_restored(config, core, initial, pipeline, 0))
+    }
+
+    /// Assembles a service around an already-rebuilt ingestion pipeline —
+    /// the durable-recovery path, where the pipeline's workers continue
+    /// from checkpointed sketch states and `epoch_items` items are already
+    /// in the open epoch.
+    pub(crate) fn from_restored(
+        config: ServiceConfig,
+        core: EpochCore<K>,
+        initial: ReleasedSnapshot<K>,
+        pipeline: ShardedPipeline<K>,
+        epoch_items: u64,
+    ) -> Self {
         let root = SnapshotNode::root(config.k);
         let tail = if initial.epoch > 0 {
             SnapshotNode::publish(&root, initial)
         } else {
             root
         };
-        Ok(Self {
+        Self {
             config,
             pipeline,
             core,
             tail,
-            epoch_items: 0,
-        })
+            epoch_items,
+        }
+    }
+
+    pub(crate) fn core(&self) -> &EpochCore<K> {
+        &self.core
+    }
+
+    pub(crate) fn pipeline_mut(&mut self) -> &mut ShardedPipeline<K> {
+        &mut self.pipeline
     }
 
     /// The configuration in use.
@@ -397,8 +473,13 @@ impl<K: Item + Send + 'static> DpmgService<K> {
     /// the privacy status of its fields). Covers every epoch **since this
     /// process started**: a service rebuilt via `restore` begins with an
     /// empty transcript — pre-noise epoch inputs are deliberately not
-    /// persisted — while [`Self::completed_epochs`] and the `epoch` fields
-    /// of later entries keep counting absolutely across the restart.
+    /// persisted, and the restore hands back
+    /// [`OpenEpochStatus::OpenEpochLost`] so the caller knows any open
+    /// epoch died with the crash — while [`Self::completed_epochs`] and the
+    /// `epoch` fields of later entries keep counting absolutely across the
+    /// restart. A [`crate::DurableService`] recovery replays post-restart
+    /// epochs into the transcript (status
+    /// [`OpenEpochStatus::Replayed`]).
     pub fn transcript(&self) -> &[EpochRelease<K>] {
         self.core.transcript()
     }
@@ -478,5 +559,45 @@ impl<K: Item + Send + 'static> DpmgService<K> {
         })?;
         self.tail = SnapshotNode::publish(&self.tail, snapshot);
         Ok(self.tail.snapshot.clone())
+    }
+
+    /// Live elastic resharding, as a first-class runtime operation: retires
+    /// the current shard generation (merging its summaries into the epoch's
+    /// carry — Lemma 17/29, zero data loss), re-splits the FNV key-hash
+    /// routing over `new_shards`, and respawns workers at the new width.
+    /// The open epoch continues across the reshard; queries, the epoch
+    /// clock, and the budget are untouched.
+    ///
+    /// **Release soundness.** After a mid-epoch reshard the epoch's
+    /// release input is a merge of summaries, and the merged sensitivity is
+    /// shape-independent (Corollary 18) — so for the
+    /// `MergedOneSided`-calibrated mechanisms (`gshm`, `merged-laplace`)
+    /// the release distribution is *exactly* what it would have been
+    /// without the reshard. Services running single-sketch-calibrated
+    /// mechanisms (admitted only at one shard, Independent mode) refuse any
+    /// reshard that would create merged structure: growing beyond one shard
+    /// or resharding with items in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Release`] (`Unsupported`) when the mechanism is not
+    /// merged-calibrated and the reshard would create merged epoch
+    /// structure; pipeline failures as [`Self::end_epoch`].
+    pub fn reshard(&mut self, new_shards: usize) -> Result<(), ServiceError> {
+        let creates_merged_structure =
+            new_shards > 1 || self.epoch_items > 0 || self.pipeline.carry().is_some();
+        if creates_merged_structure && !self.core.releases_merged_only() {
+            return Err(ServiceError::Release(ReleaseError::Unsupported {
+                mechanism: self.core.mechanism_name(),
+                reason: "resharding creates Corollary 18 merged epoch structure \
+                         (multi-shard epochs, or a mid-epoch carry merge); only \
+                         MergedOneSided-calibrated mechanisms (gshm, merged-laplace) \
+                         can release such epochs — reshard at an epoch boundary to \
+                         one shard, or run a merged-calibrated mechanism",
+            }));
+        }
+        self.pipeline.reshard(new_shards)?;
+        self.config.shards = new_shards;
+        Ok(())
     }
 }

@@ -1,0 +1,978 @@
+//! Write-ahead durability for the service: segmented ingest log,
+//! whole-service checkpoints, and crash recovery that reconstructs the open
+//! epoch **bit-identically**.
+//!
+//! # The recovery contract
+//!
+//! A [`DurableService`] killed at any instant and reopened over the same
+//! directory produces exactly the releases, query answers, and budget
+//! arithmetic the uninterrupted service would have produced over the
+//! *durable prefix* of its input. Three pieces make that true:
+//!
+//! 1. **The WAL** (`wal-{seq}.dpwl` segments). Ingested items are
+//!    group-committed as checksummed `Items` records *before* they are
+//!    applied to the in-memory pipeline; explicit epoch ticks are logged
+//!    before the release they trigger. Replay is therefore a superset of
+//!    what the dead process externally served, never a subset.
+//! 2. **Checkpoints** (`checkpoint-{seq}.dpck`). Every
+//!    [`DurabilityConfig::checkpoint_every_epochs`] completed epochs the
+//!    full pre-noise state is written through
+//!    `persist::encode_checkpoint` — per-shard sketch states (dummy slots
+//!    and all), the reshard carry, the epoch clock, the accountant ledger,
+//!    the released snapshot, and the xoshiro256++ noise-generator words —
+//!    with an atomic tmp-file + rename, after which older segments and
+//!    checkpoints are deleted. Because the generator state is captured,
+//!    every replayed *and future* release re-draws the identical noise.
+//! 3. **Replay.** Recovery decodes the newest checkpoint (reject — never
+//!    guess — on any checksum, version, or invariant failure), rebuilds the
+//!    service around it, and re-applies WAL records from the checkpoint's
+//!    `wal_seq` on. A torn tail — a half-written record at the end of the
+//!    final segment — stops replay at the last valid record, exactly the
+//!    durable prefix; corruption anywhere *before* the tail is refused
+//!    outright.
+//!
+//! Replay mirrors live error behaviour: budget refusals
+//! (`ServiceError::Release`) and horizon exhaustion during replay are
+//! swallowed, because the live caller observed the same error and carried
+//! on ingesting — the WAL records what happened *after* it. Epoch
+//! boundaries driven by [`ServiceConfig::with_epoch_len`] are deliberately
+//! **not** logged: they are a pure function of the item count, so replaying
+//! the items replays the boundaries.
+//!
+//! # Wire formats
+//!
+//! Segment files (all integers little-endian):
+//!
+//! ```text
+//! header   : magic b"DPWL" | version u8 = 1 | seq u64 | k u64
+//!            | shards u64 | completed_epochs u64 | checksum u64
+//! record   : len u32 | payload (kind u8 + body) | checksum u64
+//!            (checksums: word-folded FNV-1a over the preceding bytes —
+//!            see `fnv1a_words_checksum`)
+//! kinds    : 0 = Items (count u64, count × key u64)
+//!            1 = EpochEnd (explicit tick; empty body)
+//!            2 = Reshard (new shard count u64)
+//! ```
+//!
+//! Checkpoint files hold one `DPCK` record (layout in [`crate::persist`]).
+//! Both live inside the operator's trust boundary: WAL items are the raw
+//! stream and checkpoints are pre-noise state. Only released snapshots may
+//! cross a privacy boundary.
+
+use crate::config::{ServiceConfig, ServiceError, ServiceMode};
+use crate::persist::{decode_checkpoint, encode_checkpoint, CheckpointState};
+use crate::service::{DpmgService, EpochCore, EpochRelease, OpenEpochStatus};
+use crate::snapshot::{QueryHandle, ReleasedSnapshot};
+use bytes::{Buf, BufMut, BytesMut};
+use dpmg_core::mechanism::ReleaseMechanism;
+use dpmg_noise::accounting::{Accountant, PrivacyParams};
+use dpmg_pipeline::ShardedPipeline;
+use dpmg_sketch::serialize::SnapshotRecord;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const SEGMENT_MAGIC: [u8; 4] = *b"DPWL";
+const SEGMENT_VERSION: u8 = 1;
+const SEGMENT_HEADER_LEN: usize = 4 + 1 + 8 * 4 + 8;
+
+const RECORD_ITEMS: u8 = 0;
+const RECORD_EPOCH_END: u8 = 1;
+const RECORD_RESHARD: u8 = 2;
+
+const SEGMENT_EXT: &str = "dpwl";
+const CHECKPOINT_EXT: &str = "dpck";
+
+/// FNV-1a folded over 64-bit little-endian words — the WAL's checksum.
+///
+/// `Items` records carry 8 bytes per ingested item, and byte-at-a-time
+/// FNV-1a is a serial multiply-xor chain costing several percent of ingest
+/// throughput on its own; folding a word per step cuts that 8×. The input
+/// length is folded in first, so the zero-padding of a final partial word
+/// cannot collide with genuine trailing zeros. Each step `h ← (h ⊕ w)·p`
+/// is a bijection of the running state (odd prime, modulo 2^64), so
+/// flipping any single bit of the input always changes the digest —
+/// exactly the guarantee the crash-injection suite relies on.
+fn fnv1a_words_checksum(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h ^= bytes.len() as u64;
+    h = h.wrapping_mul(PRIME);
+    let mut words = bytes.chunks_exact(8);
+    for word in &mut words {
+        h ^= u64::from_le_bytes(word.try_into().expect("exact chunk"));
+        h = h.wrapping_mul(PRIME);
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        let mut word = [0u8; 8];
+        word[..tail.len()].copy_from_slice(tail);
+        h ^= u64::from_le_bytes(word);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Durability knobs for [`DurableService`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the WAL segments and checkpoints. Created on
+    /// open; one service per directory.
+    pub dir: PathBuf,
+    /// Items buffered per group commit: each WAL write covers up to this
+    /// many items, amortising the write (and optional fsync) cost.
+    /// Buffered items are not yet durable — [`DurableService::flush`]
+    /// forces them out. Default 1024.
+    pub group_commit: usize,
+    /// Checkpoint (and truncate the WAL) after every this many completed
+    /// epochs. Default 4.
+    pub checkpoint_every_epochs: u64,
+    /// `fsync` after every WAL write and checkpoint. Off by default: the
+    /// log then survives process crashes but not host power loss —
+    /// the right trade for the throughput gate; flip it on when the
+    /// stream cannot be replayed from upstream.
+    pub sync_writes: bool,
+}
+
+impl DurabilityConfig {
+    /// Defaults over `dir`: group commit 1024, checkpoint every 4 epochs,
+    /// no fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            group_commit: 1024,
+            checkpoint_every_epochs: 4,
+            sync_writes: false,
+        }
+    }
+
+    /// Sets the group-commit size (items per WAL write).
+    pub fn with_group_commit(mut self, items: usize) -> Self {
+        self.group_commit = items;
+        self
+    }
+
+    /// Sets the checkpoint cadence (completed epochs per checkpoint).
+    pub fn with_checkpoint_every_epochs(mut self, epochs: u64) -> Self {
+        self.checkpoint_every_epochs = epochs;
+        self
+    }
+
+    /// Enables `fsync` on every WAL write and checkpoint.
+    pub fn with_sync_writes(mut self, sync: bool) -> Self {
+        self.sync_writes = sync;
+        self
+    }
+}
+
+/// What [`DurableService::open`] found and rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `false`: no prior state existed — this is a fresh service.
+    pub recovered: bool,
+    /// Completed epochs restored from the checkpoint (0 when starting
+    /// fresh or recovering from before the first checkpoint).
+    pub checkpoint_epochs: u64,
+    /// WAL segments replayed.
+    pub segments_replayed: u64,
+    /// Items re-applied from `Items` records.
+    pub items_replayed: u64,
+    /// Epochs completed *during replay* (automatic boundaries plus
+    /// replayed explicit ticks).
+    pub epochs_replayed: u64,
+    /// A half-written record terminated the final segment; replay stopped
+    /// at the last valid record (the durable prefix).
+    pub torn_tail: bool,
+    /// Fate of the epoch that was open when the state was written — for a
+    /// recovery this is always [`OpenEpochStatus::Replayed`].
+    pub open_epoch: OpenEpochStatus,
+}
+
+/// One decoded WAL record.
+enum WalRecord {
+    Items(Vec<u64>),
+    EpochEnd,
+    Reshard(usize),
+}
+
+/// A [`DpmgService`] (`u64` keys, [`ServiceMode::Independent`]) wrapped in
+/// the write-ahead log + checkpoint discipline of the module docs. All
+/// query methods delegate to the inner service; mutating operations are
+/// journaled first.
+///
+/// ```no_run
+/// use dpmg_core::mechanism::GshmMechanism;
+/// use dpmg_noise::accounting::PrivacyParams;
+/// use dpmg_service::{DurabilityConfig, DurableService, ServiceConfig};
+///
+/// let per_epoch = PrivacyParams::new(0.5, 1e-8).unwrap();
+/// let budget = PrivacyParams::new(8.0, 1e-6).unwrap();
+/// let config = ServiceConfig::new(2, 64).with_epoch_len(10_000);
+/// let durability = DurabilityConfig::new("/var/lib/dpmg");
+/// // First open: fresh. After a crash, the same call recovers
+/// // bit-identically from the checkpoint + WAL replay.
+/// let (mut service, report) = DurableService::open(
+///     config,
+///     Box::new(GshmMechanism::new(per_epoch).unwrap()),
+///     budget,
+///     durability,
+///     42,
+/// )
+/// .unwrap();
+/// for i in 0..30_000u64 {
+///     service.ingest(i % 97).unwrap();
+/// }
+/// service.flush().unwrap();
+/// assert_eq!(service.completed_epochs(), 3);
+/// assert!(!report.recovered);
+/// ```
+pub struct DurableService {
+    inner: DpmgService<u64>,
+    durability: DurabilityConfig,
+    segment: File,
+    segment_seq: u64,
+    buffer: Vec<u64>,
+    last_checkpoint_epochs: u64,
+}
+
+impl std::fmt::Debug for DurableService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableService")
+            .field("inner", &self.inner)
+            .field("dir", &self.durability.dir)
+            .field("segment_seq", &self.segment_seq)
+            .field("buffered_items", &self.buffer.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableService {
+    /// Opens (or creates) the durable service over `durability.dir`. With
+    /// no prior state the directory is initialised and a fresh service
+    /// starts at WAL segment 0. With prior state, the newest checkpoint is
+    /// decoded — any corruption or version mismatch is refused, never
+    /// guessed around — and the WAL is replayed per the module docs; the
+    /// report's [`RecoveryReport::open_epoch`] is then
+    /// [`OpenEpochStatus::Replayed`] with the reconstructed open-epoch
+    /// item count.
+    ///
+    /// `config`, `budget`, and `seed` must match the original service:
+    /// `k`, `epoch_len`, and the budget are validated against the
+    /// checkpoint (shard counts may differ — resharding makes the
+    /// checkpoint's count authoritative), and the seed only feeds noise
+    /// *before* the first checkpoint captures the generator state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Persistence`] for corrupt or mismatched durable
+    /// state, [`ServiceError::Io`] for filesystem failures, plus every
+    /// [`DpmgService::new`] error. Continual mode is refused: dyadic-tree
+    /// state is not checkpointable.
+    pub fn open(
+        config: ServiceConfig,
+        mechanism: Box<dyn ReleaseMechanism<u64>>,
+        budget: PrivacyParams,
+        durability: DurabilityConfig,
+        seed: u64,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        if !matches!(config.mode, ServiceMode::Independent) {
+            return Err(ServiceError::Persistence(
+                "durable services require ServiceMode::Independent; \
+                 continual dyadic-tree state is not checkpointable",
+            ));
+        }
+        config.validate()?;
+        if durability.group_commit == 0 {
+            return Err(ServiceError::Persistence("group_commit must be ≥ 1"));
+        }
+        if durability.checkpoint_every_epochs == 0 {
+            return Err(ServiceError::Persistence(
+                "checkpoint_every_epochs must be ≥ 1",
+            ));
+        }
+        fs::create_dir_all(&durability.dir)?;
+        let segments = scan_dir(&durability.dir, SEGMENT_EXT)?;
+        let checkpoints = scan_dir(&durability.dir, CHECKPOINT_EXT)?;
+
+        let newest_checkpoint = checkpoints.last().cloned();
+        let checkpoint = match &newest_checkpoint {
+            Some((_, path)) => Some(load_checkpoint(path, &config, budget)?),
+            None => None,
+        };
+        let recovered = checkpoint.is_some() || !segments.is_empty();
+        let checkpoint_epochs = checkpoint.as_ref().map_or(0, |c| c.completed_epochs);
+        let replay_from = checkpoint.as_ref().map_or(0, |c| c.wal_seq);
+
+        let mut inner = match checkpoint {
+            Some(state) => rebuild_service(&config, mechanism, budget, seed, state)?,
+            None => DpmgService::new(config, mechanism, budget, seed)?,
+        };
+
+        let replay: Vec<&(u64, PathBuf)> = segments
+            .iter()
+            .filter(|(seq, _)| *seq >= replay_from)
+            .collect();
+        // A hole in the sequence means a segment went missing: everything
+        // after it would replay against the wrong state.
+        for pair in replay.windows(2) {
+            if pair[1].0 != pair[0].0 + 1 {
+                return Err(ServiceError::Persistence(
+                    "wal segment sequence has a gap; refusing partial replay",
+                ));
+            }
+        }
+        let epochs_before = inner.completed_epochs();
+        let mut items_replayed = 0u64;
+        let mut torn_tail = false;
+        for (idx, (seq, path)) in replay.iter().enumerate() {
+            let is_last = idx + 1 == replay.len();
+            let bytes = fs::read(path)?;
+            let outcome = replay_segment(&mut inner, &bytes, *seq)?;
+            items_replayed += outcome.items;
+            if outcome.torn {
+                if !is_last {
+                    // Valid later segments imply the writer moved on, so
+                    // this mid-log damage is corruption, not a crash tail.
+                    return Err(ServiceError::Persistence(
+                        "wal record corrupt before the final segment",
+                    ));
+                }
+                torn_tail = true;
+            }
+        }
+        let epochs_replayed = inner.completed_epochs() - epochs_before;
+
+        let next_seq = match (segments.last(), replay_from) {
+            (Some((max_seq, _)), _) => max_seq + 1,
+            (None, seq) => seq,
+        };
+        let segment = open_segment_file(&durability, &inner, next_seq)?;
+        let service = Self {
+            inner,
+            durability,
+            segment,
+            segment_seq: next_seq,
+            buffer: Vec::new(),
+            last_checkpoint_epochs: checkpoint_epochs,
+        };
+        let open_epoch = OpenEpochStatus::Replayed {
+            items: service.inner.open_epoch_items(),
+        };
+        let report = RecoveryReport {
+            recovered,
+            checkpoint_epochs,
+            segments_replayed: replay.len() as u64,
+            items_replayed,
+            epochs_replayed,
+            torn_tail,
+            open_epoch,
+        };
+        Ok((service, report))
+    }
+
+    /// The wrapped service, for the full read-side API (`query_handle`,
+    /// `transcript`, `stats`, …).
+    pub fn service(&self) -> &DpmgService<u64> {
+        &self.inner
+    }
+
+    /// The configuration in use (shard count reflects live reshards).
+    pub fn config(&self) -> &ServiceConfig {
+        self.inner.config()
+    }
+
+    /// The budget accountant.
+    pub fn accountant(&self) -> &Accountant {
+        self.inner.accountant()
+    }
+
+    /// Number of completed (released) epochs.
+    pub fn completed_epochs(&self) -> u64 {
+        self.inner.completed_epochs()
+    }
+
+    /// Items in the current open epoch **that have been committed**;
+    /// group-commit-buffered items are excluded until the next flush.
+    pub fn open_epoch_items(&self) -> u64 {
+        self.inner.open_epoch_items()
+    }
+
+    /// Items awaiting the next group commit (not yet durable or visible).
+    pub fn buffered_items(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// A lock-free read handle, as [`DpmgService::query_handle`].
+    pub fn query_handle(&self) -> QueryHandle<u64> {
+        self.inner.query_handle()
+    }
+
+    /// The newest published snapshot.
+    pub fn latest(&self) -> Arc<ReleasedSnapshot<u64>> {
+        self.inner.latest()
+    }
+
+    /// Cumulative released estimate of `key`.
+    pub fn point_query(&self, key: &u64) -> f64 {
+        self.inner.point_query(key)
+    }
+
+    /// Top-`n` released keys.
+    pub fn top_k(&self, n: usize) -> Vec<(u64, f64)> {
+        self.inner.top_k(n)
+    }
+
+    /// The epoch transcript since this process started (replayed epochs
+    /// included).
+    pub fn transcript(&self) -> &[EpochRelease<u64>] {
+        self.inner.transcript()
+    }
+
+    /// Ingests one item under group commit: the item is buffered, and once
+    /// [`DurabilityConfig::group_commit`] items accumulate the group is
+    /// written to the WAL **first** and then applied to the service (which
+    /// may close epochs at the configured `epoch_len`). An item is
+    /// durable and query-visible only after its group commits.
+    ///
+    /// # Errors
+    ///
+    /// WAL I/O failures, plus every [`DpmgService::ingest`] error once the
+    /// group applies — notably the budget refusal at automatic epoch
+    /// boundaries. The refusal never loses data: the whole group is logged
+    /// and applied (matching replay), with the first release error
+    /// reported after.
+    pub fn ingest(&mut self, item: u64) -> Result<(), ServiceError> {
+        self.buffer.push(item);
+        if self.buffer.len() >= self.durability.group_commit {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Ingests a whole stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::ingest`].
+    pub fn ingest_from(
+        &mut self,
+        items: impl IntoIterator<Item = u64>,
+    ) -> Result<(), ServiceError> {
+        for item in items {
+            self.ingest(item)?;
+        }
+        Ok(())
+    }
+
+    /// Forces out a partial group commit: buffered items become durable,
+    /// applied, and query-visible.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::ingest`].
+    pub fn flush(&mut self) -> Result<(), ServiceError> {
+        self.commit()
+    }
+
+    /// Explicit epoch tick: flushes the buffer, journals the tick, then
+    /// releases the epoch as [`DpmgService::end_epoch`]. Completed epochs
+    /// trigger the checkpoint cadence.
+    ///
+    /// # Errors
+    ///
+    /// As [`DpmgService::end_epoch`] plus WAL I/O. A budget refusal leaves
+    /// the epoch open exactly like the inner service; the journaled tick
+    /// replays to the same refusal.
+    pub fn end_epoch(&mut self) -> Result<Arc<ReleasedSnapshot<u64>>, ServiceError> {
+        self.commit()?;
+        self.append_record(RECORD_EPOCH_END, &[])?;
+        let snapshot = self.inner.end_epoch()?;
+        self.maybe_checkpoint()?;
+        Ok(snapshot)
+    }
+
+    /// Live elastic resharding, journaled: flushes the buffer, applies
+    /// [`DpmgService::reshard`], and logs the new width once it succeeds
+    /// (a reshard that is refused — or lost to a crash in the instant
+    /// before its record lands — leaves the log a consistent pre-reshard
+    /// history; nothing externally visible depended on it yet).
+    ///
+    /// # Errors
+    ///
+    /// As [`DpmgService::reshard`] plus WAL I/O.
+    pub fn reshard(&mut self, new_shards: usize) -> Result<(), ServiceError> {
+        self.commit()?;
+        self.inner.reshard(new_shards)?;
+        let mut body = [0u8; 8];
+        body.copy_from_slice(&(new_shards as u64).to_le_bytes());
+        self.append_record(RECORD_RESHARD, &body)?;
+        Ok(())
+    }
+
+    /// Writes a checkpoint now and truncates the WAL behind it (the
+    /// automatic cadence calls this every
+    /// [`DurabilityConfig::checkpoint_every_epochs`] completed epochs).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Persistence`] when a rotated epoch is parked
+    /// awaiting a release retry (pending summaries are pre-noise state the
+    /// checkpoint format does not carry — retry [`Self::end_epoch`]
+    /// first); I/O and pipeline failures otherwise.
+    pub fn checkpoint(&mut self) -> Result<(), ServiceError> {
+        self.commit()?;
+        self.write_checkpoint()
+    }
+
+    /// Hot path: encodes the `Items` record in one pass straight into the
+    /// write buffer (no intermediate body copy) and clears — rather than
+    /// replaces — the group buffer, so its capacity is reused across
+    /// commits. Combined with the word-folded checksum this keeps the
+    /// journaling overhead on the ingest thread within the perf gate's
+    /// bound.
+    fn commit(&mut self) -> Result<(), ServiceError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let payload_len = 1 + 8 + self.buffer.len() * 8;
+        let mut buf = BytesMut::with_capacity(4 + payload_len + 8);
+        buf.put_u32_le(payload_len as u32);
+        buf.put_u8(RECORD_ITEMS);
+        buf.put_u64_le(self.buffer.len() as u64);
+        for item in &self.buffer {
+            buf.put_u64_le(*item);
+        }
+        let checksum = fnv1a_words_checksum(&buf);
+        buf.put_u64_le(checksum);
+        self.segment.write_all(&buf)?;
+        if self.durability.sync_writes {
+            self.segment.sync_data()?;
+        }
+        let first_error = apply_items(&mut self.inner, &self.buffer)?;
+        self.buffer.clear();
+        self.maybe_checkpoint()?;
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), ServiceError> {
+        let due = self
+            .inner
+            .completed_epochs()
+            .saturating_sub(self.last_checkpoint_epochs)
+            >= self.durability.checkpoint_every_epochs;
+        // The automatic cadence silently defers while a failed release is
+        // parked for retry; the explicit path reports it instead.
+        if due && !self.inner.core().has_pending() {
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint(&mut self) -> Result<(), ServiceError> {
+        debug_assert!(self.buffer.is_empty(), "commit before checkpointing");
+        if self.inner.core().has_pending() {
+            return Err(ServiceError::Persistence(
+                "a rotated epoch is pending release retry; its pre-noise summary \
+                 cannot be checkpointed — retry end_epoch first",
+            ));
+        }
+        let next_seq = self.segment_seq + 1;
+        let sketches = self.inner.pipeline_mut().checkpoint_sketches()?;
+        let carry = self.inner.pipeline_mut().carry().cloned();
+        let latest = self.inner.latest();
+        let accountant = self.inner.accountant();
+        let state = CheckpointState {
+            wal_seq: next_seq,
+            shards: self.inner.config().shards,
+            k: self.inner.config().k,
+            epoch_len: self.inner.config().epoch_len.unwrap_or(0),
+            completed_epochs: self.inner.completed_epochs(),
+            released_items: self.inner.released_items(),
+            epoch_items: self.inner.open_epoch_items(),
+            rng: self.inner.core().rng_state(),
+            budget_eps: accountant.budget().epsilon(),
+            budget_delta: accountant.budget().delta(),
+            spent_eps: accountant.spent_epsilon(),
+            spent_delta: accountant.spent_delta(),
+            charges: accountant.charges() as u64,
+            snapshot: SnapshotRecord {
+                k: latest.k,
+                epoch: latest.epoch,
+                items: latest.items,
+                entries: latest.estimates.clone(),
+            },
+            carry,
+            sketches,
+        };
+        let bytes = encode_checkpoint(&state);
+        let final_path = self
+            .durability
+            .dir
+            .join(artifact_name(CHECKPOINT_EXT, next_seq));
+        let tmp_path = final_path.with_extension("tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&bytes)?;
+            if self.durability.sync_writes {
+                tmp.sync_all()?;
+            }
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        self.open_segment(next_seq)?;
+        self.last_checkpoint_epochs = state.completed_epochs;
+        self.garbage_collect(next_seq)?;
+        Ok(())
+    }
+
+    fn open_segment(&mut self, seq: u64) -> Result<(), ServiceError> {
+        self.segment = open_segment_file(&self.durability, &self.inner, seq)?;
+        self.segment_seq = seq;
+        Ok(())
+    }
+
+    fn append_record(&mut self, kind: u8, body: &[u8]) -> Result<(), ServiceError> {
+        let payload_len = 1 + body.len();
+        let mut buf = BytesMut::with_capacity(4 + payload_len + 8);
+        buf.put_u32_le(payload_len as u32);
+        buf.put_u8(kind);
+        buf.put_slice(body);
+        let checksum = fnv1a_words_checksum(&buf);
+        buf.put_u64_le(checksum);
+        self.segment.write_all(&buf)?;
+        if self.durability.sync_writes {
+            self.segment.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Deletes segments and checkpoints strictly older than `keep_seq`.
+    /// Best-effort: a file already gone is fine.
+    fn garbage_collect(&self, keep_seq: u64) -> Result<(), ServiceError> {
+        for ext in [SEGMENT_EXT, CHECKPOINT_EXT] {
+            for (seq, path) in scan_dir(&self.durability.dir, ext)? {
+                if seq < keep_seq {
+                    match fs::remove_file(&path) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Creates WAL segment `seq` and writes its checksummed header.
+fn open_segment_file(
+    durability: &DurabilityConfig,
+    service: &DpmgService<u64>,
+    seq: u64,
+) -> Result<File, ServiceError> {
+    let path = durability.dir.join(artifact_name(SEGMENT_EXT, seq));
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&path)?;
+    let mut header = BytesMut::with_capacity(SEGMENT_HEADER_LEN);
+    header.put_slice(&SEGMENT_MAGIC);
+    header.put_u8(SEGMENT_VERSION);
+    header.put_u64_le(seq);
+    header.put_u64_le(service.config().k as u64);
+    header.put_u64_le(service.config().shards as u64);
+    header.put_u64_le(service.completed_epochs());
+    let checksum = fnv1a_words_checksum(&header);
+    header.put_u64_le(checksum);
+    file.write_all(&header)?;
+    if durability.sync_writes {
+        file.sync_data()?;
+    }
+    Ok(file)
+}
+
+/// Applies a committed group, continuing through release refusals exactly
+/// like replay does (the first such error is handed back for the live
+/// caller; fatal engine errors abort immediately).
+fn apply_items(
+    service: &mut DpmgService<u64>,
+    items: &[u64],
+) -> Result<Option<ServiceError>, ServiceError> {
+    let mut first_error = None;
+    for &item in items {
+        match service.ingest(item) {
+            Ok(()) => {}
+            Err(e @ (ServiceError::Release(_) | ServiceError::HorizonExhausted { .. })) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(first_error)
+}
+
+struct SegmentReplay {
+    items: u64,
+    torn: bool,
+}
+
+/// Replays one segment's valid prefix into `service`. Returns how far it
+/// got; `torn` flags an invalid header or record, after which the caller
+/// decides (tail of the final segment: fine; earlier: corruption).
+fn replay_segment(
+    service: &mut DpmgService<u64>,
+    bytes: &[u8],
+    expected_seq: u64,
+) -> Result<SegmentReplay, ServiceError> {
+    let mut replay = SegmentReplay {
+        items: 0,
+        torn: false,
+    };
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        replay.torn = true;
+        return Ok(replay);
+    }
+    let (header, mut rest) = bytes.split_at(SEGMENT_HEADER_LEN);
+    let (header_body, mut header_sum) = header.split_at(SEGMENT_HEADER_LEN - 8);
+    if fnv1a_words_checksum(header_body) != header_sum.get_u64_le() {
+        replay.torn = true;
+        return Ok(replay);
+    }
+    let mut header_body = header_body;
+    let mut magic = [0u8; 4];
+    header_body.copy_to_slice(&mut magic);
+    if magic != SEGMENT_MAGIC {
+        return Err(ServiceError::Persistence("bad wal segment magic"));
+    }
+    if header_body.get_u8() != SEGMENT_VERSION {
+        return Err(ServiceError::Persistence("unsupported wal segment version"));
+    }
+    if header_body.get_u64_le() != expected_seq {
+        return Err(ServiceError::Persistence(
+            "wal segment sequence disagrees with its filename",
+        ));
+    }
+    if header_body.get_u64_le() != service.config().k as u64 {
+        return Err(ServiceError::Persistence(
+            "wal segment k does not match the configuration",
+        ));
+    }
+    // Shard count and epoch at open are informational (resharding and
+    // replay recompute them); skip.
+
+    loop {
+        let record = match next_record(&mut rest) {
+            Some(Ok(record)) => record,
+            Some(Err(())) => {
+                replay.torn = true;
+                break;
+            }
+            None => break,
+        };
+        match record {
+            WalRecord::Items(items) => {
+                replay.items += items.len() as u64;
+                apply_items(service, &items)?;
+            }
+            WalRecord::EpochEnd => match service.end_epoch() {
+                Ok(_) => {}
+                Err(ServiceError::Release(_) | ServiceError::HorizonExhausted { .. }) => {}
+                Err(e) => return Err(e),
+            },
+            WalRecord::Reshard(new_shards) => match service.reshard(new_shards) {
+                Ok(()) => {}
+                Err(ServiceError::Release(_)) => {}
+                Err(e) => return Err(e),
+            },
+        }
+    }
+    Ok(replay)
+}
+
+/// Decodes the next record off `rest`, advancing past it. `None`: clean
+/// end. `Some(Err(()))`: invalid (truncated, checksum-mismatched, or
+/// malformed) — the segment's valid prefix ends before it.
+fn next_record(rest: &mut &[u8]) -> Option<Result<WalRecord, ()>> {
+    if rest.is_empty() {
+        return None;
+    }
+    if rest.len() < 4 {
+        return Some(Err(()));
+    }
+    let mut peek = *rest;
+    let len = peek.get_u32_le() as usize;
+    if len == 0 || peek.len() < len + 8 {
+        return Some(Err(()));
+    }
+    let framed_len = 4 + len;
+    if fnv1a_words_checksum(&rest[..framed_len]) != (&rest[framed_len..framed_len + 8]).get_u64_le()
+    {
+        return Some(Err(()));
+    }
+    let mut payload = &rest[4..framed_len];
+    *rest = &rest[framed_len + 8..];
+    let kind = payload.get_u8();
+    let record = match kind {
+        RECORD_ITEMS => {
+            if payload.len() < 8 {
+                return Some(Err(()));
+            }
+            let count = payload.get_u64_le();
+            // Divide, don't multiply: the declared count cannot overflow
+            // the plausibility check.
+            if count != (payload.len() / 8) as u64 || payload.len() % 8 != 0 {
+                return Some(Err(()));
+            }
+            let mut items = Vec::with_capacity(payload.len() / 8);
+            while payload.has_remaining() {
+                items.push(payload.get_u64_le());
+            }
+            WalRecord::Items(items)
+        }
+        RECORD_EPOCH_END => {
+            if !payload.is_empty() {
+                return Some(Err(()));
+            }
+            WalRecord::EpochEnd
+        }
+        RECORD_RESHARD => {
+            if payload.len() != 8 {
+                return Some(Err(()));
+            }
+            let shards = payload.get_u64_le();
+            match usize::try_from(shards).ok().filter(|s| *s >= 1) {
+                Some(shards) => WalRecord::Reshard(shards),
+                None => return Some(Err(())),
+            }
+        }
+        _ => return Some(Err(())),
+    };
+    Some(Ok(record))
+}
+
+/// Decodes and cross-validates the newest checkpoint against the caller's
+/// configuration and budget.
+fn load_checkpoint(
+    path: &Path,
+    config: &ServiceConfig,
+    budget: PrivacyParams,
+) -> Result<CheckpointState, ServiceError> {
+    let bytes = fs::read(path)?;
+    let state = decode_checkpoint(&bytes)?;
+    if state.k != config.k {
+        return Err(ServiceError::Persistence(
+            "checkpoint k does not match the configuration",
+        ));
+    }
+    if state.epoch_len != config.epoch_len.unwrap_or(0) {
+        return Err(ServiceError::Persistence(
+            "checkpoint epoch length does not match the configuration",
+        ));
+    }
+    if state.budget_eps.to_bits() != budget.epsilon().to_bits()
+        || state.budget_delta.to_bits() != budget.delta().to_bits()
+    {
+        return Err(ServiceError::Persistence(
+            "checkpoint budget does not match the configuration",
+        ));
+    }
+    if state.snapshot.epoch != state.completed_epochs
+        || state.snapshot.items != state.released_items
+    {
+        return Err(ServiceError::Persistence(
+            "checkpoint snapshot disagrees with the epoch clock",
+        ));
+    }
+    if state.completed_epochs > 0 && state.charges == 0 {
+        return Err(ServiceError::Persistence(
+            "checkpoint claims epochs but no charges were recorded",
+        ));
+    }
+    Ok(state)
+}
+
+/// Rebuilds the service a checkpoint describes: the release core resumes
+/// the ledger and the exact generator state; the pipeline's workers start
+/// from the checkpointed sketch states.
+fn rebuild_service(
+    config: &ServiceConfig,
+    mechanism: Box<dyn ReleaseMechanism<u64>>,
+    budget: PrivacyParams,
+    seed: u64,
+    state: CheckpointState,
+) -> Result<DpmgService<u64>, ServiceError> {
+    // The checkpoint's shard count is authoritative: live resharding makes
+    // it a runtime value the caller's config cannot know.
+    let mut config = *config;
+    config.shards = state.shards;
+    let mut core = EpochCore::new(&config, mechanism, budget, seed)?;
+    let charges = usize::try_from(state.charges)
+        .map_err(|_| ServiceError::Persistence("charge count overflows usize"))?;
+    let accountant = Accountant::restore(budget, state.spent_eps, state.spent_delta, charges)
+        .map_err(|_| ServiceError::Persistence("checkpoint accountant state invalid"))?;
+    core.resume(
+        state.snapshot.entries.clone(),
+        state.completed_epochs,
+        state.released_items,
+        accountant,
+    );
+    core.set_rng_state(state.rng);
+    let pipeline = ShardedPipeline::with_initial_sketches(
+        config.pipeline_config(),
+        state.sketches,
+        state.epoch_items,
+        state.carry,
+    )?;
+    let initial = ReleasedSnapshot {
+        epoch: state.completed_epochs,
+        items: state.released_items,
+        k: state.k,
+        estimates: state.snapshot.entries,
+    };
+    Ok(DpmgService::from_restored(
+        config,
+        core,
+        initial,
+        pipeline,
+        state.epoch_items,
+    ))
+}
+
+/// `{stem}-{seq:020}.{ext}` — zero-padded so lexicographic order is
+/// sequence order.
+fn artifact_name(ext: &str, seq: u64) -> String {
+    let stem = match ext {
+        SEGMENT_EXT => "wal",
+        _ => "checkpoint",
+    };
+    format!("{stem}-{seq:020}.{ext}")
+}
+
+/// All `{stem}-{seq}.{ext}` files under `dir`, sorted by sequence number.
+/// Foreign files (tmp leftovers, other extensions) are ignored.
+fn scan_dir(dir: &Path, ext: &str) -> Result<Vec<(u64, PathBuf)>, ServiceError> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(ext) {
+            continue;
+        }
+        let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let Some(seq) = name
+            .rsplit_once('-')
+            .and_then(|(_, seq)| seq.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        found.push((seq, path));
+    }
+    found.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(found)
+}

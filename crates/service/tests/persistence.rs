@@ -5,7 +5,7 @@
 
 use dpmg_core::mechanism::{MergedLaplaceMechanism, ReleaseError};
 use dpmg_noise::accounting::PrivacyParams;
-use dpmg_service::{DpmgService, ServiceConfig, ServiceError, ServiceMode};
+use dpmg_service::{DpmgService, OpenEpochStatus, ServiceConfig, ServiceError, ServiceMode};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -43,7 +43,8 @@ fn three_epoch_service() -> DpmgService<u64> {
 fn restore_preserves_queries_and_budget_exactly() {
     let svc = three_epoch_service();
     let bytes = svc.save_state().unwrap();
-    let restored = DpmgService::restore(config(), mech(), 97, &bytes).unwrap();
+    let (restored, status) = DpmgService::restore(config(), mech(), 97, &bytes).unwrap();
+    assert_eq!(status, OpenEpochStatus::OpenEpochLost);
 
     // Query answers are preserved bit-for-bit.
     assert_eq!(restored.completed_epochs(), 3);
@@ -76,7 +77,7 @@ fn restored_service_releases_until_the_same_budget_wall() {
     let svc = three_epoch_service();
     let bytes = svc.save_state().unwrap();
     drop(svc);
-    let mut restored = DpmgService::restore(config(), mech(), 97, &bytes).unwrap();
+    let (mut restored, _) = DpmgService::restore(config(), mech(), 97, &bytes).unwrap();
 
     // One more ε=0.5 epoch fits the ε=2.0 budget…
     restored.ingest_from(stream(20_000)).unwrap();
@@ -141,7 +142,7 @@ fn key_churn_beyond_k_still_round_trips() {
         "union of released keys must exceed k (got {union})"
     );
     let bytes = svc.save_state().unwrap();
-    let restored = DpmgService::restore(small_k, mech4(), 62, &bytes).unwrap();
+    let (restored, _) = DpmgService::restore(small_k, mech4(), 62, &bytes).unwrap();
     assert_eq!(restored.latest().len(), union);
     assert_eq!(restored.top_k(8), svc.top_k(8));
 }
@@ -151,7 +152,8 @@ fn empty_service_round_trips() {
     let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
     let svc: DpmgService<u64> = DpmgService::new(config(), mech(), budget, 1).unwrap();
     let bytes = svc.save_state().unwrap();
-    let restored = DpmgService::restore(config(), mech(), 2, &bytes).unwrap();
+    let (restored, status) = DpmgService::restore(config(), mech(), 2, &bytes).unwrap();
+    assert_eq!(status, OpenEpochStatus::OpenEpochLost);
     assert_eq!(restored.completed_epochs(), 0);
     assert!(restored.latest().is_empty());
     assert_eq!(restored.accountant().charges(), 0);

@@ -151,6 +151,95 @@ impl<K: Item> MisraGries<K> {
         })
     }
 
+    /// Rebuilds a sketch from a full state capture — the `(slot, effective
+    /// count)` pairs of [`Self::slots`] plus the [`Self::stream_len`] and
+    /// [`Self::decrement_count`] bookkeeping — such that the rebuilt sketch
+    /// is *behaviourally identical* to the captured one: every future
+    /// update sequence produces the same slots, counts, and summaries.
+    ///
+    /// This holds because the update rules (Branches 1–3) depend only on
+    /// the effective counters and the slot keys, never on the internal
+    /// `offset`/heap split: the restored sketch stores the effective counts
+    /// directly (offset 0) with a freshly built heap. `n` and `decrements`
+    /// are bookkeeping restored verbatim so `stream_len`, `error_bound`,
+    /// and the Lemma 15 counter-sum identity keep holding.
+    ///
+    /// This is the crash-recovery path of `dpmg-service`'s checkpoints —
+    /// unlike [`Self::summary`], which drops dummy slots, `slots` preserves
+    /// the dummy identities that drive the Lemma 8 eviction order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::Corrupt`] unless the state is one a real
+    /// sketch can occupy: exactly `k ≥ 1` slots in strictly ascending slot
+    /// order, dummy indices `< k` with counter 0, and the counter sum
+    /// matching `n − decrements·(k+1)`.
+    pub fn from_state(
+        k: usize,
+        slots: Vec<(Slot<K>, u64)>,
+        n: u64,
+        decrements: u64,
+    ) -> Result<Self, SketchError> {
+        if k == 0 {
+            return Err(SketchError::InvalidK(0));
+        }
+        if slots.len() != k {
+            return Err(SketchError::Corrupt(
+                "sketch state must hold exactly k slots",
+            ));
+        }
+        for pair in slots.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(SketchError::Corrupt(
+                    "sketch state slots not strictly ascending",
+                ));
+            }
+        }
+        let mut sum: u64 = 0;
+        for (slot, count) in &slots {
+            if let Slot::Dummy(i) = slot {
+                if *i as usize >= k {
+                    return Err(SketchError::Corrupt("dummy slot index out of range"));
+                }
+                if *count != 0 {
+                    return Err(SketchError::Corrupt("dummy slot with nonzero counter"));
+                }
+            }
+            sum = sum
+                .checked_add(*count)
+                .ok_or(SketchError::Corrupt("sketch state counter sum overflows"))?;
+        }
+        // Lemma 15 identity: Σ c = n − α·(k+1). Any reachable state
+        // satisfies it, so a state that does not is corrupt, not merely odd.
+        let spent = decrements
+            .checked_mul(k as u64 + 1)
+            .and_then(|d| d.checked_add(sum))
+            .ok_or(SketchError::Corrupt(
+                "sketch state counter identity overflows",
+            ))?;
+        if spent != n {
+            return Err(SketchError::Corrupt(
+                "sketch state violates the counter-sum identity",
+            ));
+        }
+        let mut counts = FlatCounters::with_live_capacity(k);
+        let mut heap = BinaryHeap::with_capacity(k);
+        for (slot, count) in slots {
+            counts.insert(slot.clone(), count);
+            heap.push(Reverse((count, slot)));
+        }
+        Ok(Self {
+            k,
+            offset: 0,
+            counts,
+            heap,
+            n,
+            decrements,
+            // Every entry was pushed with its true stored value.
+            min_fresh: true,
+        })
+    }
+
     /// The sketch size `k`.
     #[inline]
     pub fn k(&self) -> usize {
@@ -686,7 +775,95 @@ mod tests {
         }
     }
 
+    #[test]
+    fn from_state_round_trips_fresh_and_worked_sketches() {
+        let mg = MisraGries::<u64>::new(5).unwrap();
+        let back =
+            MisraGries::from_state(5, mg.slots(), mg.stream_len(), mg.decrement_count()).unwrap();
+        assert_eq!(back.slots(), mg.slots());
+
+        let mut mg = MisraGries::new(3).unwrap();
+        mg.extend([1u64, 2, 3, 4, 1, 1, 5, 2]);
+        let back =
+            MisraGries::from_state(3, mg.slots(), mg.stream_len(), mg.decrement_count()).unwrap();
+        assert_eq!(back.slots(), mg.slots());
+        assert_eq!(back.stream_len(), mg.stream_len());
+        assert_eq!(back.decrement_count(), mg.decrement_count());
+        assert_eq!(back.summary(), mg.summary());
+    }
+
+    #[test]
+    fn from_state_rejects_invalid_states() {
+        let mg = MisraGries::<u64>::new(3).unwrap();
+        let slots = mg.slots();
+        // Wrong slot count.
+        assert!(MisraGries::from_state(3, slots[..2].to_vec(), 0, 0).is_err());
+        // Unsorted slots.
+        let mut rev = slots.clone();
+        rev.reverse();
+        assert!(MisraGries::from_state(3, rev, 0, 0).is_err());
+        // Duplicate slots.
+        let dup = vec![slots[0].clone(), slots[0].clone(), slots[1].clone()];
+        assert!(MisraGries::from_state(3, dup, 0, 0).is_err());
+        // Dummy index out of range.
+        let bad = vec![
+            (Slot::Item(1u64), 1),
+            (Slot::Dummy(0), 0),
+            (Slot::Dummy(9), 0),
+        ];
+        assert!(MisraGries::from_state(3, bad, 1, 0).is_err());
+        // Dummy with a nonzero counter.
+        let bad = vec![
+            (Slot::Item(1u64), 1),
+            (Slot::Dummy(0), 2),
+            (Slot::Dummy(1), 0),
+        ];
+        assert!(MisraGries::from_state(3, bad, 3, 0).is_err());
+        // Counter-sum identity violated (n says 5, counters say 1).
+        let bad = vec![
+            (Slot::Item(1u64), 1),
+            (Slot::Dummy(0), 0),
+            (Slot::Dummy(1), 0),
+        ];
+        assert!(MisraGries::from_state(3, bad, 5, 0).is_err());
+        // k = 0.
+        assert!(matches!(
+            MisraGries::<u64>::from_state(0, vec![], 0, 0),
+            Err(SketchError::InvalidK(0))
+        ));
+    }
+
     proptest! {
+        /// Checkpoint/restore fidelity: capturing a sketch mid-stream with
+        /// `slots()` and rebuilding via `from_state` yields a sketch whose
+        /// behaviour on the rest of the stream is indistinguishable from the
+        /// uninterrupted original — the property `dpmg-service` crash
+        /// recovery is built on.
+        #[test]
+        fn prop_from_state_continuation_is_bit_identical(
+            stream in proptest::collection::vec(0u64..12, 0..400),
+            k in 1usize..8,
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let cut = (stream.len() as f64 * cut_frac) as usize;
+            let mut original = MisraGries::new(k).unwrap();
+            original.extend(stream[..cut].iter().copied());
+            let mut restored = MisraGries::from_state(
+                k,
+                original.slots(),
+                original.stream_len(),
+                original.decrement_count(),
+            ).unwrap();
+            for &x in &stream[cut..] {
+                original.update(x);
+                restored.update(x);
+            }
+            prop_assert_eq!(original.slots(), restored.slots());
+            prop_assert_eq!(original.summary(), restored.summary());
+            prop_assert_eq!(original.stream_len(), restored.stream_len());
+            prop_assert_eq!(original.decrement_count(), restored.decrement_count());
+        }
+
         /// Differential test: the heap/offset implementation agrees with the
         /// literal Algorithm 1 transcription on every prefix of random
         /// streams over a small universe (small so collisions are common and

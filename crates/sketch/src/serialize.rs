@@ -38,6 +38,7 @@
 //! checksum : u64     (FNV-1a over every preceding byte)
 //! ```
 
+use crate::misra_gries::{MisraGries, Slot};
 use crate::traits::{SketchError, Summary};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::BTreeMap;
@@ -49,6 +50,14 @@ const HEADER_LEN: usize = 4 + 1 + 8 + 8;
 const SNAPSHOT_MAGIC: [u8; 4] = *b"DPMS";
 const SNAPSHOT_VERSION: u8 = 1;
 const SNAPSHOT_HEADER_LEN: usize = 4 + 1 + 8 + 8 + 8 + 8;
+
+const STATE_MAGIC: [u8; 4] = *b"DPKS";
+const STATE_VERSION: u8 = 1;
+const STATE_HEADER_LEN: usize = 4 + 1 + 8 + 8 + 8;
+/// Per-slot encoding: tag byte + key + counter.
+const STATE_SLOT_LEN: usize = 1 + 8 + 8;
+const STATE_TAG_ITEM: u8 = 0;
+const STATE_TAG_DUMMY: u8 = 1;
 
 /// FNV-1a over a byte slice — the integrity checksum of the snapshot
 /// record and of `dpmg-service`'s persisted state. Each step
@@ -228,6 +237,115 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotRecord, SketchError> {
         items,
         entries,
     })
+}
+
+/// Encodes the **full** Misra-Gries sketch state — every slot including the
+/// dummy counters, plus the `n`/`decrements` bookkeeping — into a
+/// checksummed record. Unlike the `DPMG` summary (which drops dummies and
+/// is safe to merge downstream), this record exists so a crashed service
+/// can rebuild a sketch that is *behaviourally identical* to the one it
+/// lost: the dummy-slot identities drive the Lemma 8 eviction order, so a
+/// summary alone cannot reproduce future evictions bit for bit.
+///
+/// This is **pre-noise** data: it must stay inside the operator's trust
+/// boundary (the same boundary that holds the raw stream), exactly like
+/// `dpmg-service`'s write-ahead log.
+///
+/// Layout (all integers little-endian):
+///
+/// ```text
+/// magic      : [u8; 4] = b"DPKS"
+/// version    : u8      = 1
+/// k          : u64
+/// n          : u64     (stream length)
+/// decrements : u64     (Branch-2 executions, the α of Lemma 15)
+/// slots      : k × (tag: u8 [0 = item, 1 = dummy], key: u64, count: u64),
+///              strictly ascending in slot order (items, then dummies)
+/// checksum   : u64     (FNV-1a over every preceding byte)
+/// ```
+pub fn encode_sketch_state(sketch: &MisraGries<u64>) -> Bytes {
+    let slots = sketch.slots();
+    let mut buf = BytesMut::with_capacity(STATE_HEADER_LEN + slots.len() * STATE_SLOT_LEN + 8);
+    buf.put_slice(&STATE_MAGIC);
+    buf.put_u8(STATE_VERSION);
+    buf.put_u64_le(sketch.k() as u64);
+    buf.put_u64_le(sketch.stream_len());
+    buf.put_u64_le(sketch.decrement_count());
+    for (slot, count) in &slots {
+        match slot {
+            Slot::Item(key) => {
+                buf.put_u8(STATE_TAG_ITEM);
+                buf.put_u64_le(*key);
+            }
+            Slot::Dummy(i) => {
+                buf.put_u8(STATE_TAG_DUMMY);
+                buf.put_u64_le(u64::from(*i));
+            }
+        }
+        buf.put_u64_le(*count);
+    }
+    let checksum = fnv1a_checksum(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Decodes a full sketch state, validating the checksum, the structure, and
+/// every reachability invariant [`MisraGries::from_state`] enforces
+/// (strictly ascending slots, dummy indices `< k` with zero counters, the
+/// Lemma 15 counter-sum identity) — a record that decodes is a state a real
+/// sketch can occupy, never a guessed repair.
+///
+/// # Errors
+///
+/// Returns [`SketchError::Corrupt`] on any corrupted byte (the record is
+/// checksummed), unknown versions, structural damage, or an unreachable
+/// state.
+pub fn decode_sketch_state(bytes: &[u8]) -> Result<MisraGries<u64>, SketchError> {
+    if bytes.len() < STATE_HEADER_LEN + 8 {
+        return Err(SketchError::Corrupt("truncated sketch state header"));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut checksum_bytes = trailer;
+    if fnv1a_checksum(payload) != checksum_bytes.get_u64_le() {
+        return Err(SketchError::Corrupt("sketch state checksum mismatch"));
+    }
+    let mut payload = payload;
+    let mut magic = [0u8; 4];
+    payload.copy_to_slice(&mut magic);
+    if magic != STATE_MAGIC {
+        return Err(SketchError::Corrupt("bad sketch state magic"));
+    }
+    if payload.get_u8() != STATE_VERSION {
+        return Err(SketchError::Corrupt("unsupported sketch state version"));
+    }
+    let k = payload.get_u64_le();
+    let n = payload.get_u64_le();
+    let decrements = payload.get_u64_le();
+    let k =
+        usize::try_from(k).map_err(|_| SketchError::Corrupt("sketch state k overflows usize"))?;
+    // Divide instead of multiplying: see `decode` — a huge declared k must
+    // not wrap past this guard.
+    if payload.remaining() % STATE_SLOT_LEN != 0 || payload.remaining() / STATE_SLOT_LEN != k {
+        return Err(SketchError::Corrupt(
+            "sketch state slot section length mismatch",
+        ));
+    }
+    let mut slots = Vec::with_capacity(k);
+    for _ in 0..k {
+        let tag = payload.get_u8();
+        let key = payload.get_u64_le();
+        let count = payload.get_u64_le();
+        let slot = match tag {
+            STATE_TAG_ITEM => Slot::Item(key),
+            STATE_TAG_DUMMY => Slot::Dummy(
+                u32::try_from(key)
+                    .map_err(|_| SketchError::Corrupt("dummy slot index overflows u32"))?,
+            ),
+            _ => return Err(SketchError::Corrupt("unknown sketch state slot tag")),
+        };
+        slots.push((slot, count));
+    }
+    MisraGries::from_state(k, slots, n, decrements)
 }
 
 #[cfg(test)]
@@ -510,6 +628,154 @@ mod tests {
             bytes in proptest::collection::vec(0u8..=255, 0..256),
         ) {
             let _ = decode_snapshot(&bytes);
+        }
+    }
+
+    fn sample_sketch() -> MisraGries<u64> {
+        let mut mg = MisraGries::new(4).unwrap();
+        mg.extend([3u64, 3, 7, 100, 100, 5, 9, 3]);
+        mg
+    }
+
+    #[test]
+    fn sketch_state_round_trip() {
+        for sketch in [sample_sketch(), MisraGries::new(3).unwrap()] {
+            let back = decode_sketch_state(&encode_sketch_state(&sketch)).unwrap();
+            assert_eq!(back.slots(), sketch.slots());
+            assert_eq!(back.stream_len(), sketch.stream_len());
+            assert_eq!(back.decrement_count(), sketch.decrement_count());
+            assert_eq!(back.k(), sketch.k());
+        }
+    }
+
+    #[test]
+    fn sketch_state_rejects_structural_damage() {
+        let bytes = encode_sketch_state(&sample_sketch());
+        for cut in [0, 4, STATE_HEADER_LEN, bytes.len() - 1] {
+            assert!(decode_sketch_state(&bytes[..cut]).is_err(), "cut = {cut}");
+        }
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(
+            decode_sketch_state(&long).is_err(),
+            "trailing byte accepted"
+        );
+        let mut bad_version = bytes.to_vec();
+        bad_version[4] = 99;
+        // Re-seal so only the version differs: unknown versions are
+        // rejected, never guessed at.
+        let len = bad_version.len();
+        let checksum = fnv1a_checksum(&bad_version[..len - 8]);
+        bad_version[len - 8..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            decode_sketch_state(&bad_version).unwrap_err(),
+            SketchError::Corrupt("unsupported sketch state version")
+        );
+    }
+
+    #[test]
+    fn sketch_state_rejects_unreachable_states() {
+        // A record can be checksum-valid yet describe a state no real
+        // sketch reaches; `from_state`'s invariants must still reject it.
+        // Here: a dummy slot with a nonzero counter.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"DPKS");
+        buf.put_u8(1);
+        buf.put_u64_le(2); // k
+        buf.put_u64_le(5); // n
+        buf.put_u64_le(0); // decrements
+        buf.put_u8(STATE_TAG_ITEM);
+        buf.put_u64_le(9);
+        buf.put_u64_le(2);
+        buf.put_u8(STATE_TAG_DUMMY);
+        buf.put_u64_le(0);
+        buf.put_u64_le(3); // dummies can never be incremented
+        let checksum = fnv1a_checksum(&buf);
+        buf.put_u64_le(checksum);
+        assert_eq!(
+            decode_sketch_state(&buf).unwrap_err(),
+            SketchError::Corrupt("dummy slot with nonzero counter")
+        );
+
+        // Huge declared k must hit the division guard, not wrap.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"DPKS");
+        buf.put_u8(1);
+        buf.put_u64_le(1u64 << 60); // k
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        let checksum = fnv1a_checksum(&buf);
+        buf.put_u64_le(checksum);
+        assert_eq!(
+            decode_sketch_state(&buf).unwrap_err(),
+            SketchError::Corrupt("sketch state slot section length mismatch")
+        );
+    }
+
+    proptest! {
+        /// Round trip through the wire format preserves behavioural
+        /// identity: the decoded sketch continues any future stream exactly
+        /// like the original.
+        #[test]
+        fn prop_sketch_state_round_trip_continues_identically(
+            stream in proptest::collection::vec(0u64..12, 0..300),
+            tail in proptest::collection::vec(0u64..12, 0..100),
+            k in 1usize..8,
+        ) {
+            let mut original = MisraGries::new(k).unwrap();
+            original.extend(stream.iter().copied());
+            let mut restored =
+                decode_sketch_state(&encode_sketch_state(&original)).unwrap();
+            for &x in &tail {
+                original.update(x);
+                restored.update(x);
+            }
+            prop_assert_eq!(original.slots(), restored.slots());
+            prop_assert_eq!(original.stream_len(), restored.stream_len());
+            prop_assert_eq!(original.decrement_count(), restored.decrement_count());
+        }
+
+        /// Thanks to the checksum, flipping ANY single bit anywhere is
+        /// rejected — a corrupted checkpoint can never restore a wrong
+        /// sketch.
+        #[test]
+        fn prop_sketch_state_rejects_every_byte_flip(
+            stream in proptest::collection::vec(0u64..12, 0..300),
+            k in 1usize..8,
+            pos_frac in 0.0f64..1.0,
+            bit in 0u8..8,
+        ) {
+            let mut mg = MisraGries::new(k).unwrap();
+            mg.extend(stream.iter().copied());
+            let mut bytes = encode_sketch_state(&mg).to_vec();
+            let pos = (bytes.len() as f64 * pos_frac) as usize;
+            bytes[pos] ^= 1 << bit;
+            prop_assert!(
+                decode_sketch_state(&bytes).is_err(),
+                "flip at byte {} bit {} decoded", pos, bit
+            );
+        }
+
+        /// Every strict prefix is rejected.
+        #[test]
+        fn prop_sketch_state_rejects_every_truncation(
+            stream in proptest::collection::vec(0u64..12, 0..300),
+            k in 1usize..8,
+            frac in 0.0f64..1.0,
+        ) {
+            let mut mg = MisraGries::new(k).unwrap();
+            mg.extend(stream.iter().copied());
+            let bytes = encode_sketch_state(&mg);
+            let cut = (bytes.len() as f64 * frac) as usize;
+            prop_assert!(decode_sketch_state(&bytes[..cut]).is_err());
+        }
+
+        /// Decoding is total and panic-free on arbitrary bytes.
+        #[test]
+        fn prop_sketch_state_arbitrary_bytes_never_panic(
+            bytes in proptest::collection::vec(0u8..=255, 0..256),
+        ) {
+            let _ = decode_sketch_state(&bytes);
         }
     }
 }

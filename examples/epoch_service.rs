@@ -71,7 +71,10 @@ fn main() {
     // Persist the released state; a restarted service resumes queries and
     // remaining budget exactly (noise is never reused).
     let saved = service.save_state().unwrap();
-    let restored = DpmgService::restore(
+    // The `_status` marker is `OpenEpochStatus::OpenEpochLost`: this path
+    // persists only released state, so in-flight items do not survive a
+    // restart (the `DurableService` WAL path replays them instead).
+    let (restored, _status) = DpmgService::restore(
         ServiceConfig::new(4, 256).with_epoch_len(per_epoch),
         Box::new(GshmMechanism::new(per_epoch_budget).unwrap()),
         2025,

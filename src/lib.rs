@@ -83,8 +83,9 @@ pub mod prelude {
         PipelineConfig, PrivatizedPipeline, SequentialBaseline, ShardedPipeline, StreamingMechanism,
     };
     pub use dpmg_service::{
-        DpmgService, QueryHandle, ReleasedSnapshot, SequentialServiceReference, ServiceConfig,
-        ServiceError, ServiceMode,
+        DpmgService, DurabilityConfig, DurableService, OpenEpochStatus, QueryHandle,
+        RecoveryReport, ReleasedSnapshot, SequentialServiceReference, ServiceConfig, ServiceError,
+        ServiceMode,
     };
     pub use dpmg_sketch::flat_counters::FlatCounters;
     pub use dpmg_sketch::misra_gries::MisraGries;

@@ -231,6 +231,92 @@ fn service_matches_sequential_reference_bit_for_bit_at_every_shard_count() {
 }
 
 #[test]
+fn live_reshard_1_2_8_matches_sequential_reference_bit_for_bit() {
+    // Elastic resharding 1 → 2 → 8 (plus a mid-epoch shrink to 4 that
+    // exercises the carry merge) must not perturb a single bit of any
+    // release, query answer, or budget charge relative to the sequential
+    // oracle running the identical schedule: the reshard re-splits the
+    // key-hash routing and merges retired generations (Lemma 17/29), and
+    // the merged sensitivity is shape-independent (Corollary 18), so the
+    // release path sees the same structure either way.
+    use dp_misra_gries::core::mechanism::{GshmMechanism, MergedLaplaceMechanism};
+
+    let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+    let budget = PrivacyParams::new(50.0, 1e-4).unwrap();
+    let stream: Vec<u64> = (0..30_000u64)
+        .map(|i| if i % 2 == 0 { 1 + (i / 2) % 4 } else { i % 701 })
+        .collect();
+    let hist_bits = |h: &PrivateHistogram<u64>| -> Vec<(u64, u64)> {
+        h.iter().map(|(&k, v)| (k, v.to_bits())).collect()
+    };
+
+    for mech_name in ["merged-laplace", "gshm"] {
+        let mechanism = || -> Box<dyn ReleaseMechanism<u64>> {
+            match mech_name {
+                "merged-laplace" => Box::new(MergedLaplaceMechanism::new(params).unwrap()),
+                _ => Box::new(GshmMechanism::new(params).unwrap()),
+            }
+        };
+        let config = ServiceConfig::new(1, 32).with_batch_size(173);
+        let mut svc = DpmgService::new(config, mechanism(), budget, 0xE1A5).unwrap();
+        let mut oracle =
+            SequentialServiceReference::new(config, mechanism(), budget, 0xE1A5).unwrap();
+
+        // (epoch stream, width to reshard to *before* the epoch, optional
+        // mid-epoch width switch at the half-way item.)
+        let schedule: [(usize, Option<usize>); 3] = [(1, None), (2, None), (8, Some(4))];
+        let mut cursor = 0usize;
+        for (i, (width, mid_width)) in schedule.into_iter().enumerate() {
+            svc.reshard(width).unwrap();
+            oracle.reshard(width).unwrap();
+            let epoch = &stream[cursor..cursor + 10_000];
+            cursor += 10_000;
+            let (head, tail) = match mid_width {
+                Some(_) => epoch.split_at(5_000),
+                None => (epoch, &[][..]),
+            };
+            svc.ingest_from(head.iter().copied()).unwrap();
+            oracle.ingest_from(head.iter().copied()).unwrap();
+            if let Some(mid) = mid_width {
+                // Items in flight: this reshard merges the live generation
+                // into the carry on both sides.
+                svc.reshard(mid).unwrap();
+                oracle.reshard(mid).unwrap();
+                svc.ingest_from(tail.iter().copied()).unwrap();
+                oracle.ingest_from(tail.iter().copied()).unwrap();
+            }
+            let snap_svc = svc.end_epoch().unwrap();
+            let snap_ref = oracle.end_epoch().unwrap();
+            let (a, b) = (&svc.transcript()[i], &oracle.transcript()[i]);
+            assert_eq!(
+                a.pre_noise, b.pre_noise,
+                "{mech_name} epoch {i}: pre-noise summary diverged across reshard"
+            );
+            assert_eq!(
+                hist_bits(&a.histogram),
+                hist_bits(&b.histogram),
+                "{mech_name} epoch {i}: released histogram diverged across reshard"
+            );
+            assert_eq!((a.epoch, a.items), (b.epoch, b.items));
+            assert_eq!(a.items, 10_000, "reshard lost items");
+            for (key, value) in &snap_svc.estimates {
+                assert_eq!(
+                    value.to_bits(),
+                    snap_ref.estimates[key].to_bits(),
+                    "{mech_name} epoch {i}: query for {key} diverged"
+                );
+            }
+            assert_eq!(snap_svc.estimates.len(), snap_ref.estimates.len());
+        }
+        assert_eq!(svc.accountant().charges(), oracle.accountant().charges());
+        assert_eq!(
+            svc.accountant().remaining_epsilon().to_bits(),
+            oracle.accountant().remaining_epsilon().to_bits()
+        );
+    }
+}
+
+#[test]
 fn independent_releases_differ() {
     // Releasing twice with different seeds must (overwhelmingly) differ —
     // guards against accidentally caching noise.

@@ -103,6 +103,64 @@ fn epoch_noise_matches_advertised_laplace_distribution() {
     );
 }
 
+/// Live resharding must not change the release distribution: the merged
+/// sensitivity is shape-independent (Corollary 18), so an epoch whose
+/// summary passed through a mid-epoch reshard carry (1 → 4 while items
+/// were in flight) must carry noise from exactly the same `Laplace(k/ε)`
+/// law as an undisturbed epoch — same scale, no double-noising, no
+/// re-calibration to the transient widths.
+#[test]
+fn epoch_noise_distribution_is_unchanged_by_live_resharding() {
+    let stream = epoch_stream();
+    let budget = PrivacyParams::new(100.0, 1e-4).unwrap();
+    let mut samples = Vec::with_capacity(256);
+    for seed in 0..128u64 {
+        let config = ServiceConfig::new(1, K).with_batch_size(97);
+        let mut svc = DpmgService::new(
+            config,
+            Box::new(MergedLaplaceMechanism::new(params()).unwrap()),
+            budget,
+            seed,
+        )
+        .unwrap();
+        for epoch in 0..2 {
+            let (head, tail) = stream.split_at(stream.len() / 2);
+            svc.ingest_from(head.iter().copied()).unwrap();
+            // Grow mid-epoch (carry merge), shrink back next epoch.
+            svc.reshard(if epoch == 0 { 4 } else { 1 }).unwrap();
+            svc.ingest_from(tail.iter().copied()).unwrap();
+            svc.end_epoch().unwrap();
+        }
+        for epoch in svc.transcript() {
+            let pre = epoch.pre_noise.count(&1) as f64;
+            assert_eq!(
+                pre, 2_000.0,
+                "reshard carry must preserve the heavy counter exactly"
+            );
+            let released = epoch.histogram.estimate(&1);
+            assert!(released > 0.0, "heavy key suppressed at seed {seed}");
+            samples.push(released - pre);
+        }
+    }
+    assert_eq!(samples.len(), 256);
+    let lap = Laplace::new(K as f64 / EPS).unwrap();
+    let d = ks_statistic(&samples, |x| lap.cdf(x));
+    let crit = ks_critical(samples.len(), 1e-3);
+    assert!(
+        d < crit,
+        "KS statistic {d:.4} exceeds the α = 1e-3 critical value {crit:.4}: \
+         resharding perturbed the released-noise law"
+    );
+    // Power: a sensitivity regression (unit scale instead of k/ε) would
+    // be decisively rejected.
+    let wrong = Laplace::new(1.0 / EPS).unwrap();
+    let d_wrong = ks_statistic(&samples, |x| wrong.cdf(x));
+    assert!(
+        d_wrong > 3.0 * crit,
+        "KS {d_wrong:.4} vs mis-scaled CDF suspiciously small — test has no power"
+    );
+}
+
 /// χ² check: GSHM epoch noise is `N(0, σ²)` at the Theorem 23 calibration.
 #[test]
 fn epoch_noise_matches_advertised_gaussian_distribution() {

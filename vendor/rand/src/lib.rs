@@ -226,6 +226,27 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// Shim extension (not part of the upstream `rand` API): the raw
+        /// xoshiro256++ state words, for checkpointing a generator so a
+        /// restarted process can continue the *identical* noise stream.
+        /// `dpmg-service`'s durable checkpoints persist exactly these four
+        /// words.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Shim extension: rebuilds a generator from [`Self::state`] words.
+        /// The all-zero state is the one fixed point of xoshiro256++ (it
+        /// generates zeros forever) and is unreachable from any seeding, so
+        /// it is rejected by debug assertion; persistent-state decoders must
+        /// reject it before calling this.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            debug_assert!(s != [0; 4], "all-zero xoshiro state is degenerate");
+            Self { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(state: u64) -> Self {
             let mut sm = state;
@@ -274,6 +295,18 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(8);
         assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn state_round_trip_continues_identically() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            rng.random::<u64>();
+        }
+        let mut resumed = StdRng::from_state(rng.state());
+        for _ in 0..100 {
+            assert_eq!(rng.random::<u64>(), resumed.random::<u64>());
+        }
     }
 
     #[test]
