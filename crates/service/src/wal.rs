@@ -28,7 +28,10 @@
 //!    service around it, and re-applies WAL records from the checkpoint's
 //!    `wal_seq` on. A torn tail — a half-written record at the end of the
 //!    final segment — stops replay at the last valid record, exactly the
-//!    durable prefix; corruption anywhere *before* the tail is refused
+//!    durable prefix, and recovery then **truncates the segment to that
+//!    prefix** (a header that never became durable removes the file), so
+//!    the segment replays cleanly on every later recovery even once it is
+//!    no longer final. Corruption anywhere *before* the tail is refused
 //!    outright.
 //!
 //! Replay mirrors live error behaviour: budget refusals
@@ -182,7 +185,9 @@ pub struct RecoveryReport {
     /// replayed explicit ticks).
     pub epochs_replayed: u64,
     /// A half-written record terminated the final segment; replay stopped
-    /// at the last valid record (the durable prefix).
+    /// at the last valid record (the durable prefix) and the segment was
+    /// truncated to it, so a second crash before the next checkpoint still
+    /// recovers.
     pub torn_tail: bool,
     /// Fate of the epoch that was open when the state was written — for a
     /// recovery this is always [`OpenEpochStatus::Replayed`].
@@ -234,6 +239,12 @@ pub struct DurableService {
     segment_seq: u64,
     buffer: Vec<u64>,
     last_checkpoint_epochs: u64,
+    /// Set when in-memory state got ahead of the log (a reshard applied
+    /// but its record failed to write): every further mutation is refused,
+    /// because anything appended after the divergence would replay against
+    /// the wrong state. Reopening recovers from the consistent durable
+    /// (pre-reshard) history.
+    poisoned: bool,
 }
 
 impl std::fmt::Debug for DurableService {
@@ -292,6 +303,14 @@ impl DurableService {
             ));
         }
         fs::create_dir_all(&durability.dir)?;
+        // Sweep checkpoint tmp files orphaned by a crash between create
+        // and rename: never valid recovery inputs, never GC'd by name.
+        for entry in fs::read_dir(&durability.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                let _ = fs::remove_file(&path);
+            }
+        }
         let segments = scan_dir(&durability.dir, SEGMENT_EXT)?;
         let checkpoints = scan_dir(&durability.dir, CHECKPOINT_EXT)?;
 
@@ -314,7 +333,17 @@ impl DurableService {
             .filter(|(seq, _)| *seq >= replay_from)
             .collect();
         // A hole in the sequence means a segment went missing: everything
-        // after it would replay against the wrong state.
+        // after it would replay against the wrong state. That includes a
+        // missing *first* segment — replay must pick up exactly where the
+        // checkpoint (or, with none, sequence 0) left off.
+        if let Some(first) = replay.first() {
+            if first.0 != replay_from {
+                return Err(ServiceError::Persistence(
+                    "wal does not start at the checkpoint's sequence; \
+                     refusing partial replay",
+                ));
+            }
+        }
         for pair in replay.windows(2) {
             if pair[1].0 != pair[0].0 + 1 {
                 return Err(ServiceError::Persistence(
@@ -325,6 +354,7 @@ impl DurableService {
         let epochs_before = inner.completed_epochs();
         let mut items_replayed = 0u64;
         let mut torn_tail = false;
+        let mut reuse_seq = None;
         for (idx, (seq, path)) in replay.iter().enumerate() {
             let is_last = idx + 1 == replay.len();
             let bytes = fs::read(path)?;
@@ -339,13 +369,32 @@ impl DurableService {
                     ));
                 }
                 torn_tail = true;
+                // Repair: cut the tail down to its valid prefix so this
+                // segment replays cleanly on every later recovery, even
+                // once it is no longer the final one.
+                if outcome.valid_len >= SEGMENT_HEADER_LEN {
+                    let file = OpenOptions::new().write(true).open(path)?;
+                    file.set_len(outcome.valid_len as u64)?;
+                    if durability.sync_writes {
+                        file.sync_all()?;
+                    }
+                } else {
+                    // Not even the header became durable: nothing valid in
+                    // the file at all. Remove it and reissue its sequence.
+                    fs::remove_file(path)?;
+                    if durability.sync_writes {
+                        fsync_dir(&durability.dir)?;
+                    }
+                    reuse_seq = Some(*seq);
+                }
             }
         }
         let epochs_replayed = inner.completed_epochs() - epochs_before;
 
-        let next_seq = match (segments.last(), replay_from) {
-            (Some((max_seq, _)), _) => max_seq + 1,
-            (None, seq) => seq,
+        let next_seq = match (reuse_seq, segments.last(), replay_from) {
+            (Some(seq), _, _) => seq,
+            (None, Some((max_seq, _)), _) => max_seq + 1,
+            (None, None, seq) => seq,
         };
         let segment = open_segment_file(&durability, &inner, next_seq)?;
         let service = Self {
@@ -355,6 +404,7 @@ impl DurableService {
             segment_seq: next_seq,
             buffer: Vec::new(),
             last_checkpoint_epochs: checkpoint_epochs,
+            poisoned: false,
         };
         let open_epoch = OpenEpochStatus::Replayed {
             items: service.inner.open_epoch_items(),
@@ -500,14 +550,23 @@ impl DurableService {
     ///
     /// # Errors
     ///
-    /// As [`DpmgService::reshard`] plus WAL I/O.
+    /// As [`DpmgService::reshard`] plus WAL I/O. If the record itself
+    /// fails to write *after* the reshard applied, the service is
+    /// **poisoned** — the in-memory state is ahead of the log, so every
+    /// further mutation is refused; reopen to recover from the durable
+    /// pre-reshard state.
     pub fn reshard(&mut self, new_shards: usize) -> Result<(), ServiceError> {
         self.commit()?;
         self.inner.reshard(new_shards)?;
         let mut body = [0u8; 8];
         body.copy_from_slice(&(new_shards as u64).to_le_bytes());
-        self.append_record(RECORD_RESHARD, &body)?;
-        Ok(())
+        match self.append_record(RECORD_RESHARD, &body) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
     }
 
     /// Writes a checkpoint now and truncates the WAL behind it (the
@@ -532,6 +591,7 @@ impl DurableService {
     /// journaling overhead on the ingest thread within the perf gate's
     /// bound.
     fn commit(&mut self) -> Result<(), ServiceError> {
+        self.check_not_poisoned()?;
         if self.buffer.is_empty() {
             return Ok(());
         }
@@ -622,6 +682,13 @@ impl DurableService {
             }
         }
         fs::rename(&tmp_path, &final_path)?;
+        if self.durability.sync_writes {
+            // Make the rename itself power-loss durable before anything
+            // that depends on it: the segment rotation, and above all the
+            // GC deletions — a lost rename after persisted deletions would
+            // leave neither checkpoint nor WAL.
+            fsync_dir(&self.durability.dir)?;
+        }
         self.open_segment(next_seq)?;
         self.last_checkpoint_epochs = state.completed_epochs;
         self.garbage_collect(next_seq)?;
@@ -634,7 +701,19 @@ impl DurableService {
         Ok(())
     }
 
+    fn check_not_poisoned(&self) -> Result<(), ServiceError> {
+        if self.poisoned {
+            return Err(ServiceError::Persistence(
+                "service is poisoned: a reshard applied in memory but its wal \
+                 record failed to write — reopen to recover from the durable \
+                 state",
+            ));
+        }
+        Ok(())
+    }
+
     fn append_record(&mut self, kind: u8, body: &[u8]) -> Result<(), ServiceError> {
+        self.check_not_poisoned()?;
         let payload_len = 1 + body.len();
         let mut buf = BytesMut::with_capacity(4 + payload_len + 8);
         buf.put_u32_le(payload_len as u32);
@@ -649,10 +728,11 @@ impl DurableService {
         Ok(())
     }
 
-    /// Deletes segments and checkpoints strictly older than `keep_seq`.
-    /// Best-effort: a file already gone is fine.
+    /// Deletes segments, checkpoints, and orphaned checkpoint tmp files
+    /// strictly older than `keep_seq`. Best-effort: a file already gone is
+    /// fine.
     fn garbage_collect(&self, keep_seq: u64) -> Result<(), ServiceError> {
-        for ext in [SEGMENT_EXT, CHECKPOINT_EXT] {
+        for ext in [SEGMENT_EXT, CHECKPOINT_EXT, "tmp"] {
             for (seq, path) in scan_dir(&self.durability.dir, ext)? {
                 if seq < keep_seq {
                     match fs::remove_file(&path) {
@@ -690,8 +770,17 @@ fn open_segment_file(
     file.write_all(&header)?;
     if durability.sync_writes {
         file.sync_data()?;
+        // The file's directory entry must survive power loss too.
+        fsync_dir(&durability.dir)?;
     }
     Ok(file)
+}
+
+/// Durably records directory-entry changes (creates, renames, deletes) —
+/// the power-loss half of `sync_writes` that `sync_data` on the files
+/// themselves cannot provide.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
 }
 
 /// Applies a committed group, continuing through release refusals exactly
@@ -719,11 +808,14 @@ fn apply_items(
 struct SegmentReplay {
     items: u64,
     torn: bool,
+    /// Bytes of valid prefix (header plus every checksum-clean record) —
+    /// the truncation point when the tail is torn.
+    valid_len: usize,
 }
 
 /// Replays one segment's valid prefix into `service`. Returns how far it
 /// got; `torn` flags an invalid header or record, after which the caller
-/// decides (tail of the final segment: fine; earlier: corruption).
+/// decides (tail of the final segment: repairable; earlier: corruption).
 fn replay_segment(
     service: &mut DpmgService<u64>,
     bytes: &[u8],
@@ -732,6 +824,7 @@ fn replay_segment(
     let mut replay = SegmentReplay {
         items: 0,
         torn: false,
+        valid_len: 0,
     };
     if bytes.len() < SEGMENT_HEADER_LEN {
         replay.torn = true;
@@ -791,6 +884,7 @@ fn replay_segment(
             },
         }
     }
+    replay.valid_len = bytes.len() - rest.len();
     Ok(replay)
 }
 

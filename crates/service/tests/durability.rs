@@ -422,6 +422,129 @@ fn recovery_rejects_mismatched_config_and_budget() {
     ));
 }
 
+#[test]
+fn torn_tail_is_repaired_so_a_second_crash_still_recovers() {
+    // The double-crash scenario: a torn tail is tolerated on the final
+    // segment, recovery opens a fresh segment after it, and a second
+    // crash before the next checkpoint makes the torn segment non-final.
+    // Recovery must have truncated it to its valid prefix, or every later
+    // open would refuse with "corrupt before the final segment".
+    let dir = TempDir::new("double-crash");
+    let newest_segment = newest_segment_name();
+    materialize(dir.path(), |name, bytes| {
+        if name == newest_segment {
+            // A half-written record: the first crash's torn tail.
+            bytes.extend_from_slice(&[0xAB; 7]);
+        }
+    });
+    let durability = DurabilityConfig::new(dir.path());
+    let prefix = {
+        let (mut recovered, report) = DurableService::open(
+            canonical_config(),
+            mech(),
+            budget(),
+            durability.clone(),
+            SEED,
+        )
+        .unwrap();
+        assert!(report.torn_tail);
+        assert_valid_prefix(&recovered);
+        let prefix = recovered.service().released_items() + recovered.open_epoch_items();
+        // Keep streaming past the tear, then crash again before any
+        // checkpoint (default cadence is far away at this epoch length).
+        recovered.ingest_from(stream(prefix..prefix + 200)).unwrap();
+        recovered.flush().unwrap();
+        prefix
+        // Second crash: plain drop.
+    };
+    let (recovered, report) =
+        DurableService::open(canonical_config(), mech(), budget(), durability, SEED).unwrap();
+    assert!(!report.torn_tail, "the tear was repaired on first recovery");
+    assert_eq!(
+        recovered.service().released_items() + recovered.open_epoch_items(),
+        prefix + 200
+    );
+    let mut oracle =
+        SequentialServiceReference::new(canonical_config(), mech(), budget(), SEED).unwrap();
+    oracle.ingest_from(stream(0..prefix + 200)).unwrap();
+    assert_bit_identical(
+        recovered.service(),
+        &oracle.latest(),
+        oracle.accountant(),
+        "second crash after torn-tail repair",
+    );
+}
+
+#[test]
+fn recovery_refuses_a_missing_first_segment_after_the_checkpoint() {
+    let config = ServiceConfig::new(2, K).with_epoch_len(600);
+    let dir = TempDir::new("missing-first");
+    let durability = DurabilityConfig::new(dir.path())
+        .with_group_commit(40)
+        .with_checkpoint_every_epochs(2);
+    {
+        let (mut svc, _) =
+            DurableService::open(config, mech(), budget(), durability.clone(), SEED).unwrap();
+        // Checkpoint after epoch 2 (1_200 items); 100 items land in the
+        // post-checkpoint segment.
+        svc.ingest_from(stream(0..1_300)).unwrap();
+        svc.flush().unwrap();
+    }
+    {
+        // A clean reopen rotates to a second post-checkpoint segment.
+        let (mut svc, _) =
+            DurableService::open(config, mech(), budget(), durability.clone(), SEED).unwrap();
+        svc.ingest_from(stream(1_300..1_500)).unwrap();
+        svc.flush().unwrap();
+    }
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir.path())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("dpwl"))
+        .collect();
+    segments.sort();
+    assert!(segments.len() >= 2, "{segments:?}");
+    // Deleting the first post-checkpoint segment leaves later segments
+    // contiguous among themselves; without the checkpoint-anchored start
+    // check its 100 items would be silently skipped.
+    std::fs::remove_file(&segments[segments.len() - 2]).unwrap();
+    assert!(matches!(
+        DurableService::open(config, mech(), budget(), durability, SEED),
+        Err(ServiceError::Persistence(_))
+    ));
+}
+
+#[test]
+fn orphaned_checkpoint_tmp_files_are_swept_on_open() {
+    let dir = TempDir::new("tmp-sweep");
+    materialize(dir.path(), |_, _| {});
+    // A crash between creating checkpoint-{seq}.tmp and the rename leaves
+    // this orphan behind; open must delete it and recover unaffected.
+    let orphan = dir.path().join("checkpoint-00000000000000000099.tmp");
+    std::fs::write(&orphan, b"half-written checkpoint").unwrap();
+    let (recovered, _) = DurableService::open(
+        canonical_config(),
+        mech(),
+        budget(),
+        DurabilityConfig::new(dir.path()),
+        SEED,
+    )
+    .unwrap();
+    assert!(!orphan.exists(), "orphaned tmp file must be swept");
+    assert_valid_prefix(&recovered);
+}
+
+/// Name of the newest WAL segment in the canonical directory.
+fn newest_segment_name() -> String {
+    canonical_state()
+        .0
+        .iter()
+        .filter(|(name, _)| name.ends_with(".dpwl"))
+        .map(|(name, _)| name.clone())
+        .max()
+        .unwrap()
+}
+
 /// Canonical durable run for the corruption proptests, built once: the
 /// directory's files plus the stream length that produced them.
 fn canonical_state() -> &'static (Vec<(String, Vec<u8>)>, u64) {
@@ -489,17 +612,12 @@ proptest! {
 
     /// Truncating the newest WAL segment at ANY offset — the torn-tail
     /// crash — either recovers a valid durable prefix or is rejected;
-    /// never a panic, never a wrong summary.
+    /// never a panic, never a wrong summary. And because recovery repairs
+    /// the tear, an immediate second crash recovers the same prefix.
     #[test]
     fn prop_truncated_wal_tail_recovers_a_valid_prefix(frac in 0.0f64..1.0) {
         let dir = TempDir::new("prop-trunc");
-        let newest_segment = canonical_state()
-            .0
-            .iter()
-            .filter(|(name, _)| name.ends_with(".dpwl"))
-            .map(|(name, _)| name.clone())
-            .max()
-            .unwrap();
+        let newest_segment = newest_segment_name();
         materialize(dir.path(), |name, bytes| {
             if name == newest_segment {
                 let cut = (bytes.len() as f64 * frac) as usize;
@@ -507,8 +625,22 @@ proptest! {
             }
         });
         let durability = DurabilityConfig::new(dir.path());
-        match DurableService::open(canonical_config(), mech(), budget(), durability, SEED) {
-            Ok((recovered, _)) => assert_valid_prefix(&recovered),
+        match DurableService::open(canonical_config(), mech(), budget(), durability.clone(), SEED) {
+            Ok((recovered, _)) => {
+                assert_valid_prefix(&recovered);
+                let prefix =
+                    recovered.service().released_items() + recovered.open_epoch_items();
+                drop(recovered);
+                let (again, report) =
+                    DurableService::open(canonical_config(), mech(), budget(), durability, SEED)
+                        .unwrap();
+                prop_assert!(!report.torn_tail, "first recovery repaired the tear");
+                prop_assert_eq!(
+                    again.service().released_items() + again.open_epoch_items(),
+                    prefix
+                );
+                assert_valid_prefix(&again);
+            }
             Err(e) => prop_assert!(
                 matches!(e, ServiceError::Persistence(_) | ServiceError::Io(_)),
                 "unexpected error class: {e}"
