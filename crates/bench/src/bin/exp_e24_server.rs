@@ -1,0 +1,406 @@
+//! **E24 — HTTP serving throughput:** the network-facing query API
+//! (`dpmg-server`) under loopback load.
+//!
+//! Three claims:
+//!
+//! 1. **Protocol conformance** — every endpoint and every error class
+//!    maps to exactly the documented status code, and the per-tenant
+//!    budget wall refuses the over-budget tenant without starving its
+//!    neighbour (deterministic; golden-snapshotted).
+//! 2. **Query serving rate** — keep-alive GET `/topk` round-trips sustain
+//!    ≥ 10k requests/s on loopback, scaling with the handler pool
+//!    (machine-dependent; exported to `BENCH_server.json` and gated by
+//!    `perf_gate`).
+//! 3. **Ingest rate over HTTP** — batched POST `/ingest` moves ≥ 1M
+//!    items/s through the socket + JSON + service path (machine-dependent;
+//!    exported and gated).
+
+use dp_misra_gries::core::mechanism::GshmMechanism;
+use dp_misra_gries::prelude::*;
+use dpmg_bench::{banner, f2, out_dir, quick, verdict};
+use dpmg_eval::experiment::Table;
+use dpmg_workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+const K: usize = 256;
+const EPS: f64 = 0.9;
+const DELTA: f64 = 1e-8;
+
+fn per_epoch() -> PrivacyParams {
+    PrivacyParams::new(EPS, DELTA).unwrap()
+}
+
+/// A server over a fresh in-memory service; `tenant_eps` sizes the
+/// per-tenant allowance.
+fn start_server(threads: usize, tenant_eps: f64) -> Server {
+    let service = DpmgService::<u64>::new(
+        ServiceConfig::new(2, K),
+        Box::new(GshmMechanism::new(per_epoch()).unwrap()),
+        PrivacyParams::new(1_000.0, 1e-3).unwrap(),
+        0xE24,
+    )
+    .unwrap();
+    let state = AppState::new(
+        ServiceBackend::InMemory(service),
+        per_epoch(),
+        PrivacyParams::new(tenant_eps, 1e-6).unwrap(),
+    );
+    let config = ServerConfig::default()
+        .with_threads(threads)
+        .with_max_body_bytes(8 << 20);
+    Server::start(config, state).unwrap()
+}
+
+/// A keep-alive loopback client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        // A server-side bug should fail the run, not wedge it.
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+            .unwrap();
+        Self {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, raw: &[u8]) -> (u16, String) {
+        self.writer.write_all(raw).unwrap();
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or("0")
+            .parse()
+            .unwrap_or(0);
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .trim_end()
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+            {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8_lossy(&body).into_owned())
+    }
+
+    fn get(&mut self, path: &str) -> (u16, String) {
+        self.request(format!("GET {path} HTTP/1.1\r\nHost: b\r\n\r\n").as_bytes())
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> (u16, String) {
+        self.request(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+    }
+}
+
+fn ingest_payload(items: &[u64]) -> String {
+    let mut body = String::with_capacity(items.len() * 8 + 16);
+    body.push_str("{\"items\":[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&item.to_string());
+    }
+    body.push_str("]}");
+    body
+}
+
+// ---------------------------------------------------- part a: conformance
+
+/// Deterministic status-code conformance sweep (golden-snapshotted).
+fn conformance() {
+    let server = start_server(2, 2.0 * EPS + 1e-9);
+    let addr = server.addr();
+    let mut client = Client::connect(addr);
+
+    // Seed one released epoch so query endpoints have data behind them.
+    let mut rng = StdRng::seed_from_u64(7);
+    let items = Zipf::new(100_000, 1.5).stream(20_000, &mut rng);
+    client.post("/ingest?tenant=acme", &ingest_payload(&items));
+    client.post("/epoch/end?tenant=acme", "");
+
+    let mut table = Table::new(
+        "E24a endpoint status conformance",
+        &["request", "expect", "got"],
+    );
+    let cases: Vec<(&str, u16, u16)> = vec![
+        ("GET /healthz", 200, client.get("/healthz").0),
+        ("GET /epoch", 200, client.get("/epoch").0),
+        ("GET /topk?n=5", 200, client.get("/topk?n=5").0),
+        ("GET /point/1", 200, client.get("/point/1").0),
+        ("GET /budget", 200, client.get("/budget").0),
+        ("GET /metrics", 200, client.get("/metrics").0),
+        ("POST /ingest (valid)", 200, {
+            client.post("/ingest", "{\"items\":[1,2,3]}").0
+        }),
+        ("POST /ingest (bad json)", 400, {
+            client.post("/ingest", "{\"items\":").0
+        }),
+        ("GET /topk?n=bad", 400, client.get("/topk?n=bad").0),
+        ("GET /point/bad", 400, client.get("/point/bad").0),
+        ("GET /nope", 404, client.get("/nope").0),
+        ("POST /topk (wrong method)", 405, client.post("/topk", "").0),
+        ("POST /ingest (oversized)", 413, {
+            Client::connect(addr)
+                .request(b"POST /ingest HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+                .0
+        }),
+    ];
+    let mut ok = true;
+    for (label, expect, got) in &cases {
+        table.row(&[(*label).into(), expect.to_string(), got.to_string()]);
+        ok &= expect == got;
+    }
+    table.emit(&out_dir()).unwrap();
+    verdict(
+        "conformance: every request maps to its documented status",
+        ok,
+    );
+
+    // The tenant wall: acme affords exactly 2 releases (one spent above),
+    // globex is untouched by acme hitting its wall.
+    let (second, _) = client.post("/epoch/end?tenant=acme", "");
+    let (third, _) = client.post("/epoch/end?tenant=acme", "");
+    let (neighbour, _) = client.post("/epoch/end?tenant=globex", "");
+    let mut wall = Table::new(
+        "E24b per-tenant budget wall",
+        &["release", "tenant", "status"],
+    );
+    wall.row(&["#2".into(), "acme".into(), second.to_string()]);
+    wall.row(&["#3".into(), "acme".into(), third.to_string()]);
+    wall.row(&["#3".into(), "globex".into(), neighbour.to_string()]);
+    wall.emit(&out_dir()).unwrap();
+    verdict(
+        "isolation: exhausted tenant gets 429; neighbour still releases",
+        second == 200 && third == 429 && neighbour == 200,
+    );
+    server.shutdown();
+}
+
+// -------------------------------------------------- part b/c: throughput
+
+struct QueryRow {
+    threads: usize,
+    requests: u64,
+    requests_per_s: f64,
+}
+
+/// Keep-alive GET /topk round-trips from `threads` client threads against
+/// a server with `threads` handlers, items/s == requests/s here.
+fn query_throughput(threads: usize, requests_per_client: u64) -> QueryRow {
+    let server = start_server(threads, 1_000.0);
+    let addr = server.addr();
+    {
+        // One released epoch behind the reads.
+        let mut rng = StdRng::seed_from_u64(7);
+        let items = Zipf::new(100_000, 1.5).stream(50_000, &mut rng);
+        let mut seeder = Client::connect(addr);
+        seeder.post("/ingest", &ingest_payload(&items));
+        seeder.post("/epoch/end", "");
+    }
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for _ in 0..requests_per_client {
+                    let (status, _) = client.get("/topk?n=10");
+                    assert_eq!(status, 200);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let requests = requests_per_client * threads as u64;
+    let row = QueryRow {
+        threads,
+        requests,
+        requests_per_s: requests as f64 / elapsed,
+    };
+    server.shutdown();
+    row
+}
+
+struct IngestRow {
+    threads: usize,
+    items: u64,
+    items_per_s: f64,
+}
+
+/// Batched POST /ingest throughput: each client thread streams
+/// `batches_per_client` pre-encoded 10k-item bodies over keep-alive.
+fn ingest_throughput(threads: usize, batches_per_client: u64) -> IngestRow {
+    const BATCH: u64 = 10_000;
+    let server = start_server(threads, 1_000.0);
+    let addr = server.addr();
+    let mut rng = StdRng::seed_from_u64(11);
+    let items = Zipf::new(1_000_000, 1.1).stream(BATCH as usize, &mut rng);
+    let payload = std::sync::Arc::new(ingest_payload(&items));
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let payload = std::sync::Arc::clone(&payload);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for _ in 0..batches_per_client {
+                    let (status, body) = client.post("/ingest", &payload);
+                    assert_eq!(status, 200, "{body}");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let items_total = BATCH * batches_per_client * threads as u64;
+    let row = IngestRow {
+        threads,
+        items: items_total,
+        items_per_s: items_total as f64 / elapsed,
+    };
+    server.shutdown();
+    row
+}
+
+// ----------------------------------------------------------------- json
+
+fn write_bench_json(queries: &[QueryRow], ingests: &[IngestRow]) {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create experiment dir");
+    let mut json = String::from("{\n");
+    json.push_str("  \"experiment\": \"e24_server\",\n");
+    json.push_str(&format!("  \"quick\": {},\n", quick()));
+    json.push_str(&format!(
+        "  \"epsilon\": {EPS},\n  \"delta\": {DELTA},\n  \"mechanism\": \"gshm\",\n  \"k\": {K},\n"
+    ));
+    json.push_str("  \"runs\": [\n");
+    let mut lines = Vec::new();
+    for row in queries {
+        // requests/s doubles as items/s for the gate: one request, one
+        // served query.
+        lines.push(format!(
+            "    {{\"mode\": \"query_topk\", \"threads\": {}, \
+             \"throughput_items_per_s\": {:.0}}}",
+            row.threads, row.requests_per_s
+        ));
+    }
+    for row in ingests {
+        lines.push(format!(
+            "    {{\"mode\": \"ingest_http\", \"threads\": {}, \
+             \"throughput_items_per_s\": {:.0}}}",
+            row.threads, row.items_per_s
+        ));
+    }
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    let path = dir.join("BENCH_server.json");
+    std::fs::write(&path, json).expect("write BENCH_server.json");
+    println!("(wrote {})\n", path.display());
+}
+
+// ----------------------------------------------------------------- main
+
+fn main() {
+    banner(
+        "E24",
+        "HTTP API: exact status mapping + tenant isolation; ≥10k loopback requests/s; ≥1M items/s ingested over HTTP",
+    );
+
+    // Part 1: deterministic conformance + tenant wall (golden-snapshotted).
+    conformance();
+    println!();
+
+    // Parts 2–3: loopback throughput (machine-dependent; "(timing" marker
+    // keeps the tables out of the golden snapshot; perf_gate binds the
+    // exported JSON). Under the CI perf gate, quick mode keeps
+    // baseline-comparable request counts.
+    let perf = dpmg_bench::perf_mode();
+    let requests_per_client = if quick() && !perf { 2_000 } else { 25_000 };
+    let batches_per_client = if quick() && !perf { 10 } else { 60 };
+    let thread_counts = [1usize, 2, 4, 8];
+
+    let mut t2 = Table::new(
+        "E24c GET /topk serving rate (timing; machine-dependent)",
+        &["threads", "requests", "requests/s"],
+    );
+    let mut queries = Vec::new();
+    for &threads in &thread_counts {
+        let row = query_throughput(threads, requests_per_client);
+        t2.row(&[
+            row.threads.to_string(),
+            row.requests.to_string(),
+            format!("{:.0}", row.requests_per_s),
+        ]);
+        queries.push(row);
+    }
+    t2.emit(&out_dir()).unwrap();
+    let best_query = queries
+        .iter()
+        .map(|r| r.requests_per_s)
+        .fold(0.0f64, f64::max);
+    // Machine-dependent: stripped from the golden snapshot (the binding
+    // check is perf_gate's, on the exported JSON).
+    verdict(
+        &format!("throughput: sustained ≥ 10k requests/s on loopback (best {best_query:.0}/s)"),
+        best_query >= 10_000.0,
+    );
+
+    let mut t3 = Table::new(
+        "E24d POST /ingest item rate (timing; machine-dependent)",
+        &["threads", "items", "Mitems/s"],
+    );
+    let mut ingests = Vec::new();
+    for &threads in &thread_counts {
+        let row = ingest_throughput(threads, batches_per_client);
+        t3.row(&[
+            row.threads.to_string(),
+            row.items.to_string(),
+            f2(row.items_per_s / 1e6),
+        ]);
+        ingests.push(row);
+    }
+    t3.emit(&out_dir()).unwrap();
+    let best_ingest = ingests.iter().map(|r| r.items_per_s).fold(0.0f64, f64::max);
+    verdict(
+        &format!(
+            "throughput: ≥ 1M items/s ingested over HTTP (best {:.2}M/s)",
+            best_ingest / 1e6
+        ),
+        best_ingest >= 1_000_000.0,
+    );
+
+    write_bench_json(&queries, &ingests);
+}

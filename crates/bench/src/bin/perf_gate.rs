@@ -1,7 +1,8 @@
 //! The CI perf-regression gate: compares freshly measured
-//! `BENCH_ingest.json` / `BENCH_service.json` / `BENCH_durability.json`
-//! (written by quick-mode `exp_e20_ingest` / `exp_e19_service` /
-//! `exp_e23_durability` into the experiment dir) against the baselines
+//! `BENCH_ingest.json` / `BENCH_service.json` / `BENCH_durability.json` /
+//! `BENCH_server.json` (written by quick-mode `exp_e20_ingest` /
+//! `exp_e19_service` / `exp_e23_durability` / `exp_e24_server` into the
+//! experiment dir) against the baselines
 //! committed at the repo root, and fails the build only on a heavy
 //! regression. The durability file additionally carries an **in-process**
 //! WAL overhead ratio (wal-on vs wal-off ingest measured back-to-back on
@@ -210,6 +211,7 @@ fn main() {
         "BENCH_ingest.json",
         "BENCH_service.json",
         "BENCH_durability.json",
+        "BENCH_server.json",
     ] {
         match gate_file(name, &baseline_dir, &measured_dir) {
             Ok(geomean) => {

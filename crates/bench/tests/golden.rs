@@ -133,6 +133,12 @@ fn golden_exp_e23_durability() {
 }
 
 #[test]
+fn golden_exp_e24_server() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e24_server"), "exp_e24_server");
+    assert_matches_golden("exp_e24_server", &deterministic_sections(&stdout));
+}
+
+#[test]
 fn e17_filter_strips_only_timing() {
     let sample = "\
 ################################################################

@@ -88,14 +88,20 @@ impl PrivacyParams {
         assert!(m >= 1, "group size must be at least 1");
         let m_f = f64::from(m);
         let epsilon = m_f * self.epsilon;
-        let delta = m_f * epsilon.exp() * self.delta;
-        Self {
-            epsilon,
+        // Pure DP stays pure under grouping: m·e^{mε}·0 = 0 exactly. The
+        // short-circuit matters because once mε overflows `exp()` to ∞,
+        // ∞ · 0 is NaN, and `NaN.min(x)` returns `x` — silently degrading a
+        // pure guarantee to a vacuous δ ≈ 1.
+        let delta = if self.delta == 0.0 {
+            0.0
+        } else {
+            let scaled = m_f * epsilon.exp() * self.delta;
             // Degenerate but well-defined: δ saturates at values ≥ 1, at
             // which point the guarantee is vacuous. We clamp below 1 so the
             // struct invariant holds; callers should check `is_vacuous`.
-            delta: delta.min(1.0 - f64::EPSILON),
-        }
+            scaled.min(1.0 - f64::EPSILON)
+        };
+        Self { epsilon, delta }
     }
 
     /// Lemma 20 (inverse of group privacy): the element-level parameters to
@@ -400,6 +406,45 @@ mod tests {
     fn for_group_target_rejects_pure_dp() {
         let p = PrivacyParams::pure(1.0).unwrap();
         assert!(p.for_group_target(4).is_err());
+    }
+
+    #[test]
+    fn group_privacy_pure_dp_stays_pure_under_exp_overflow() {
+        // mε = 1000 overflows exp() to ∞; before the δ=0 short-circuit,
+        // ∞ · 0 = NaN and NaN.min(1-ε) silently returned δ ≈ 1, turning a
+        // pure guarantee into a vacuous one.
+        let p = PrivacyParams::pure(1000.0).unwrap();
+        let g = p.group_privacy(1);
+        assert!(
+            g.is_pure(),
+            "pure DP must survive grouping, got δ = {}",
+            g.delta()
+        );
+        assert_eq!(g.delta(), 0.0);
+        assert!(!g.is_vacuous());
+
+        // Huge group size on a modest ε: mε = 4.29e8, exp() overflows.
+        let p = PrivacyParams::pure(0.1).unwrap();
+        let g = p.group_privacy(u32::MAX);
+        assert!(g.is_pure());
+        assert_eq!(g.delta(), 0.0);
+
+        // Both huge at once.
+        let p = PrivacyParams::pure(1e6).unwrap();
+        let g = p.group_privacy(u32::MAX);
+        assert!(g.is_pure());
+        assert_eq!(g.delta(), 0.0);
+    }
+
+    #[test]
+    fn group_privacy_approx_dp_saturates_under_exp_overflow() {
+        // With δ > 0 the overflow path is ∞ · δ = ∞, which min() clamps to
+        // just below 1 — vacuous, flagged, but never NaN.
+        let p = PrivacyParams::new(1000.0, 1e-12).unwrap();
+        let g = p.group_privacy(5);
+        assert!(!g.delta().is_nan());
+        assert!(g.is_vacuous());
+        assert!(g.delta() < 1.0);
     }
 
     #[test]

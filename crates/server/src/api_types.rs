@@ -1,0 +1,509 @@
+//! Typed request/response bodies and the hand-rolled JSON layer.
+//!
+//! Encoding is exact and minimal (the few shapes the API returns);
+//! decoding is a small recursive-descent parser that is *tolerant* in the
+//! HTTP sense — unknown fields are ignored, field order is free, and
+//! whitespace is insignificant — but strict about JSON grammar itself, so
+//! a malformed body is always a clean 400 rather than a partial parse.
+
+use std::collections::BTreeMap;
+
+/// Maximum nesting depth the decoder accepts (the API's types need 3).
+const MAX_DEPTH: usize = 16;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (decoded as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, field order preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field by name.
+    pub fn get(&self, name: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer that fits `u64` exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Why a body failed to decode; the payload is the 400 message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct JsonError(pub &'static str);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (trailing garbage is rejected).
+///
+/// # Errors
+///
+/// [`JsonError`] naming the first grammar violation.
+pub fn parse_json(input: &[u8]) -> Result<JsonValue, JsonError> {
+    let text = std::str::from_utf8(input).map_err(|_| JsonError("body is not utf-8"))?;
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(JsonError("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(value)
+        } else {
+            Err(JsonError("bad literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat("null", JsonValue::Null),
+            Some(b't') => self.eat("true", JsonValue::Bool(true)),
+            Some(b'f') => self.eat("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError("expected a value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(JsonError("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(JsonError("expected a field name"));
+            }
+            let name = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(JsonError("expected ':' after field name"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((name, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(JsonError("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or(JsonError("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or(JsonError("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or(JsonError("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by the API's
+                            // ASCII-keyed payloads; reject rather than
+                            // mis-decode.
+                            out.push(char::from_u32(hex).ok_or(JsonError("surrogate \\u escape"))?);
+                        }
+                        _ => return Err(JsonError("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: already validated by the str cast.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or(JsonError("bad utf-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let n: f64 = text.parse().map_err(|_| JsonError("bad number"))?;
+        if !n.is_finite() {
+            return Err(JsonError("non-finite number"));
+        }
+        Ok(JsonValue::Number(n))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` so it round-trips as a JSON number (never NaN/∞ —
+/// the API's estimates and budgets are always finite).
+pub fn json_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "API must not emit non-finite numbers");
+    let mut s = format!("{x}");
+    // `{}` prints integral floats bare ("3"); keep them valid JSON but
+    // unambiguous as floats for typed clients.
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        s.push_str(".0");
+    }
+    s
+}
+
+/// `POST /ingest` body: `{"items": [1, 2, 3]}`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct IngestRequest {
+    /// The keys to ingest, in order.
+    pub items: Vec<u64>,
+}
+
+impl IngestRequest {
+    /// Decodes the body, tolerating unknown fields.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the body is not an object, `items` is absent or
+    /// not an array, or an element is not a `u64`-exact number.
+    pub fn decode(body: &[u8]) -> Result<Self, JsonError> {
+        let value = parse_json(body)?;
+        let items = match value.get("items") {
+            Some(JsonValue::Array(items)) => items,
+            Some(_) => return Err(JsonError("'items' must be an array")),
+            None => return Err(JsonError("missing 'items' field")),
+        };
+        let items = items
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or(JsonError("items must be unsigned integers"))
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        Ok(Self { items })
+    }
+}
+
+/// `{"error": "...", "status": 400}` — every non-2xx body.
+pub fn error_body(status: u16, message: &str) -> String {
+    format!("{{\"status\":{status},\"error\":{}}}", json_string(message))
+}
+
+/// `GET /topk` response body.
+pub fn topk_body(epoch: u64, entries: &[(u64, f64)]) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|(key, est)| format!("{{\"key\":{key},\"estimate\":{}}}", json_f64(*est)))
+        .collect();
+    format!("{{\"epoch\":{epoch},\"top\":[{}]}}", rows.join(","))
+}
+
+/// `GET /point/{key}` response body.
+pub fn point_body(epoch: u64, key: u64, estimate: f64) -> String {
+    format!(
+        "{{\"epoch\":{epoch},\"key\":{key},\"estimate\":{}}}",
+        json_f64(estimate)
+    )
+}
+
+/// `GET /epoch` response body.
+pub fn epoch_body(epoch: u64, released_keys: usize) -> String {
+    format!("{{\"epoch\":{epoch},\"released_keys\":{released_keys}}}")
+}
+
+/// `GET /budget` response body.
+pub fn budget_body(
+    scope: &str,
+    remaining_epsilon: f64,
+    remaining_delta: f64,
+    charges: usize,
+) -> String {
+    format!(
+        "{{\"scope\":{},\"remaining_epsilon\":{},\"remaining_delta\":{},\"charges\":{charges}}}",
+        json_string(scope),
+        json_f64(remaining_epsilon),
+        json_f64(remaining_delta),
+    )
+}
+
+/// `POST /ingest` response body.
+pub fn ingest_body(accepted: usize, epoch: u64) -> String {
+    format!("{{\"accepted\":{accepted},\"epoch\":{epoch}}}")
+}
+
+/// `POST /epoch/end` response body: the released snapshot's summary.
+pub fn epoch_end_body(epoch: u64, items: u64, released_keys: usize) -> String {
+    format!("{{\"epoch\":{epoch},\"items\":{items},\"released_keys\":{released_keys}}}")
+}
+
+/// `GET /healthz` response body.
+pub fn health_body(epochs: u64, tenants: usize) -> String {
+    format!("{{\"status\":\"ok\",\"epochs\":{epochs},\"tenants\":{tenants}}}")
+}
+
+/// Decodes a released top-k / histogram response into a map — the client
+/// half used by integration tests and the bench harness.
+///
+/// # Errors
+///
+/// [`JsonError`] if the body does not have the `topk_body` shape.
+pub fn decode_topk(body: &[u8]) -> Result<BTreeMap<u64, f64>, JsonError> {
+    let value = parse_json(body)?;
+    let rows = match value.get("top") {
+        Some(JsonValue::Array(rows)) => rows,
+        _ => return Err(JsonError("missing 'top' array")),
+    };
+    let mut out = BTreeMap::new();
+    for row in rows {
+        let key = row
+            .get("key")
+            .and_then(JsonValue::as_u64)
+            .ok_or(JsonError("row without 'key'"))?;
+        let est = match row.get("estimate") {
+            Some(JsonValue::Number(n)) => *n,
+            _ => return Err(JsonError("row without 'estimate'")),
+        };
+        out.insert(key, est);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = br#" {"a": [1, 2.5, -3], "b": {"c": "x\n\"y\"", "d": null}, "e": true} "#;
+        let v = parse_json(doc).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&JsonValue::Array(vec![
+                JsonValue::Number(1.0),
+                JsonValue::Number(2.5),
+                JsonValue::Number(-3.0)
+            ]))
+        );
+        assert_eq!(
+            v.get("b").unwrap().get("c"),
+            Some(&JsonValue::String("x\n\"y\"".to_string()))
+        );
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&JsonValue::Null));
+        assert_eq!(v.get("e"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn tolerates_unknown_fields_but_not_bad_grammar() {
+        assert_eq!(
+            IngestRequest::decode(br#"{"future_flag": true, "items": [1, 2, 3]}"#).unwrap(),
+            IngestRequest {
+                items: vec![1, 2, 3]
+            }
+        );
+        for bad in [
+            &br#"{"items": [1, 2"#[..],
+            br#"{"items": "nope"}"#,
+            br#"{"items": [1.5]}"#,
+            br#"{"items": [-1]}"#,
+            br#"{}"#,
+            br#"[1,2,3]"#,
+            br#"{"items": [1]} trailing"#,
+            br#"{items: [1]}"#,
+            b"\xff\xfe",
+        ] {
+            assert!(IngestRequest::decode(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let mut doc = Vec::new();
+        doc.extend_from_slice(&[b'['; 64]);
+        doc.extend_from_slice(&[b']'; 64]);
+        assert_eq!(parse_json(&doc), Err(JsonError("nesting too deep")));
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f→";
+        let encoded = json_string(nasty);
+        let decoded = parse_json(encoded.as_bytes()).unwrap();
+        assert_eq!(decoded, JsonValue::String(nasty.to_string()));
+    }
+
+    #[test]
+    fn topk_body_round_trips_through_decoder() {
+        let body = topk_body(3, &[(7, 1234.5), (42, 99.0)]);
+        let decoded = decode_topk(body.as_bytes()).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert!((decoded[&7] - 1234.5).abs() < 1e-12);
+        assert!((decoded[&42] - 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bodies_are_valid_json() {
+        for body in [
+            error_body(429, "budget \"exceeded\""),
+            point_body(1, 7, 3.25),
+            epoch_body(2, 10),
+            budget_body("global", 1.5, 1e-6, 3),
+            ingest_body(100, 2),
+            epoch_end_body(3, 1000, 12),
+            health_body(3, 2),
+        ] {
+            parse_json(body.as_bytes()).unwrap_or_else(|e| panic!("{e}: {body}"));
+        }
+    }
+
+    #[test]
+    fn u64_exactness_guard() {
+        assert_eq!(JsonValue::Number(3.0).as_u64(), Some(3));
+        assert_eq!(JsonValue::Number(3.5).as_u64(), None);
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(2f64.powi(60)).as_u64(), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Request routing and the exhaustive error mapping.
+//!
+//! | condition                                   | status |
+//! |---------------------------------------------|--------|
+//! | malformed request line / headers / body     | 400    |
+//! | unknown route (or `/point/` non-integer key)| 400/404|
+//! | known route, wrong method                   | 405    |
+//! | body over the configured cap                | 413    |
+//! | tenant or global `BudgetExceeded`           | 429    |
+//! | engine failure, WAL I/O                     | 500    |
+//! | poisoned service (lock or WAL divergence)   | 503    |
+
+use crate::api_types::{
+    budget_body, epoch_body, epoch_end_body, error_body, health_body, ingest_body, point_body,
+    topk_body, IngestRequest,
+};
+use crate::http::{Request, Response};
+use crate::state::AppState;
+use dpmg_core::mechanism::ReleaseError;
+use dpmg_service::{QueryHandle, ServiceError};
+
+/// Default `n` for `GET /topk` without a parameter.
+const DEFAULT_TOPK: usize = 10;
+/// Cap on `n` to keep response bodies bounded.
+const MAX_TOPK: usize = 10_000;
+
+/// The tenant header consulted when `?tenant=` is absent.
+pub const TENANT_HEADER: &str = "x-dpmg-tenant";
+
+fn err_response(status: u16, message: &str) -> Response {
+    Response::json(status, error_body(status, message))
+}
+
+const POISONED: &str = "service is poisoned; reopen to recover from durable state";
+
+/// Maps a service failure to its HTTP status and message.
+fn map_service_error(e: &ServiceError) -> Response {
+    match e {
+        ServiceError::Release(ReleaseError::Budget(b)) => err_response(429, &b.to_string()),
+        ServiceError::HorizonExhausted { .. } => err_response(429, &e.to_string()),
+        ServiceError::Persistence(msg) if msg.contains("poisoned") => {
+            err_response(503, &e.to_string())
+        }
+        _ => err_response(500, &e.to_string()),
+    }
+}
+
+/// The tenant token, from `?tenant=` or the [`TENANT_HEADER`] header.
+fn tenant_of(req: &Request) -> Option<&str> {
+    req.query_param("tenant")
+        .or_else(|| req.header(TENANT_HEADER))
+        .filter(|t| !t.is_empty())
+}
+
+/// Dispatches one request. Never panics on hostile input; every failure
+/// path returns a typed error body.
+pub fn handle(state: &AppState, handle: &mut QueryHandle<u64>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => health(state, handle),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", "/epoch") => epoch(handle),
+        ("GET", "/topk") => topk(handle, req),
+        ("GET", path) if path.starts_with("/point/") => point(handle, path),
+        ("GET", "/budget") => budget(state, req),
+        ("POST", "/ingest") => ingest(state, req),
+        ("POST", "/epoch/end") => epoch_end(state, req),
+        // Known paths under the wrong method are 405, unknown are 404.
+        (
+            _,
+            "/healthz" | "/metrics" | "/epoch" | "/topk" | "/budget" | "/ingest" | "/epoch/end",
+        ) => err_response(405, "method not allowed for this route"),
+        (_, path) if path.starts_with("/point/") => err_response(405, "use GET for /point/{key}"),
+        _ => err_response(404, "unknown route"),
+    }
+}
+
+fn health(state: &AppState, handle: &mut QueryHandle<u64>) -> Response {
+    // Deliberately lock-free: health must answer even while a long
+    // mutation holds the service lock.
+    Response::json(200, health_body(handle.epoch(), state.tenants.len()))
+}
+
+fn metrics(state: &AppState) -> Response {
+    let Ok(backend) = state.backend() else {
+        return err_response(503, POISONED);
+    };
+    let (remaining_eps, _, _) = backend.remaining_budget();
+    let epochs = backend.completed_epochs();
+    drop(backend);
+    Response::text(
+        200,
+        state
+            .metrics
+            .render(epochs, remaining_eps, state.tenants.len()),
+    )
+}
+
+fn epoch(handle: &mut QueryHandle<u64>) -> Response {
+    let snapshot = handle.snapshot();
+    Response::json(200, epoch_body(snapshot.epoch, snapshot.len()))
+}
+
+fn topk(handle: &mut QueryHandle<u64>, req: &Request) -> Response {
+    let n = match req.query_param("n") {
+        None => DEFAULT_TOPK,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n <= MAX_TOPK => n,
+            Ok(_) => return err_response(400, "n exceeds the 10000 cap"),
+            Err(_) => return err_response(400, "n must be an unsigned integer"),
+        },
+    };
+    let snapshot = handle.snapshot();
+    Response::json(200, topk_body(snapshot.epoch, &snapshot.top_k(n)))
+}
+
+fn point(handle: &mut QueryHandle<u64>, path: &str) -> Response {
+    let raw = &path["/point/".len()..];
+    let Ok(key) = raw.parse::<u64>() else {
+        return err_response(400, "key must be an unsigned integer");
+    };
+    let snapshot = handle.snapshot();
+    // A key absent from the release reports its (noisy) estimate of 0 —
+    // a 404 here would leak presence through the status code.
+    Response::json(
+        200,
+        point_body(snapshot.epoch, key, snapshot.point_query(&key)),
+    )
+}
+
+fn budget(state: &AppState, req: &Request) -> Response {
+    match tenant_of(req) {
+        Some(tenant) => {
+            let (eps, delta, charges) = state.tenants.remaining(tenant);
+            Response::json(200, budget_body(tenant, eps, delta, charges))
+        }
+        None => {
+            let Ok(backend) = state.backend() else {
+                return err_response(503, POISONED);
+            };
+            let (eps, delta, charges) = backend.remaining_budget();
+            Response::json(200, budget_body("global", eps, delta, charges))
+        }
+    }
+}
+
+fn ingest(state: &AppState, req: &Request) -> Response {
+    let batch = match IngestRequest::decode(&req.body) {
+        Ok(batch) => batch,
+        Err(e) => return err_response(400, &e.to_string()),
+    };
+    let Ok(mut backend) = state.backend() else {
+        return err_response(503, POISONED);
+    };
+    match backend.ingest_batch(&batch.items) {
+        Ok(()) => {
+            let epoch = backend.completed_epochs();
+            drop(backend);
+            state.metrics.add_items(batch.items.len());
+            Response::json(200, ingest_body(batch.items.len(), epoch))
+        }
+        // An automatic epoch boundary inside the batch may refuse its
+        // release (global budget); items up to the refusal are ingested
+        // and the caller sees the mapped status.
+        Err(e) => map_service_error(&e),
+    }
+}
+
+fn epoch_end(state: &AppState, req: &Request) -> Response {
+    let tenant = tenant_of(req);
+    let Ok(mut backend) = state.backend() else {
+        return err_response(503, POISONED);
+    };
+    // Pre-check the tenant's own budget BEFORE the service releases
+    // anything: an exhausted tenant gets its 429 without spending a unit
+    // of the global budget, so it cannot starve other tenants.
+    if let Some(tenant) = tenant {
+        if !state.tenants.can_afford(tenant, state.epoch_price()) {
+            return err_response(
+                429,
+                &format!("tenant '{tenant}' has exhausted its privacy budget"),
+            );
+        }
+    }
+    match backend.end_epoch() {
+        Ok(snapshot) => {
+            if let Some(tenant) = tenant {
+                // Cannot fail: every charge path runs under the backend
+                // lock we still hold, and affordability was checked there.
+                let _ = state.tenants.charge(tenant, state.epoch_price());
+            }
+            drop(backend);
+            state.metrics.add_epoch();
+            Response::json(
+                200,
+                epoch_end_body(snapshot.epoch, snapshot.items, snapshot.estimates.len()),
+            )
+        }
+        Err(e) => map_service_error(&e),
+    }
+}

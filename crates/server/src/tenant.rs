@@ -1,0 +1,126 @@
+//! Per-tenant privacy-budget isolation.
+//!
+//! Every tenant token (from `?tenant=` or the `x-dpmg-tenant` header) maps
+//! to its own [`Accountant`] with the server's per-tenant budget. A
+//! budget-triggering operation pre-checks the tenant's accountant (429 on
+//! refusal, *before* the service releases anything) and charges it only
+//! once the release succeeded — so one tenant running dry can never starve
+//! another, and the service's own global accountant remains the outer
+//! privacy guard across all tenants.
+
+use dpmg_noise::accounting::{Accountant, BudgetExceeded, PrivacyParams};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Tenant-token → accountant registry.
+///
+/// Tenants are registered lazily on first use: the fixed per-tenant
+/// budget means there is nothing to configure per tenant, and lazy
+/// registration keeps the handler path free of management endpoints.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    budget: PrivacyParams,
+    tenants: Mutex<BTreeMap<String, Accountant>>,
+}
+
+impl TenantRegistry {
+    /// A registry granting each tenant `budget`.
+    pub fn new(budget: PrivacyParams) -> Self {
+        Self {
+            budget,
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The budget every tenant starts with.
+    pub fn per_tenant_budget(&self) -> PrivacyParams {
+        self.budget
+    }
+
+    /// Number of tenants seen so far.
+    pub fn len(&self) -> usize {
+        self.tenants.lock().expect("tenant registry poisoned").len()
+    }
+
+    /// Whether no tenant has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `tenant` could afford a charge of `price` right now.
+    pub fn can_afford(&self, tenant: &str, price: PrivacyParams) -> bool {
+        let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
+        tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| Accountant::new(self.budget))
+            .can_afford(price)
+    }
+
+    /// Charges `price` to `tenant` (registering it on first sight).
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] when the tenant's remaining budget cannot cover
+    /// `price`; the accountant is left unchanged.
+    pub fn charge(&self, tenant: &str, price: PrivacyParams) -> Result<(), BudgetExceeded> {
+        let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
+        tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| Accountant::new(self.budget))
+            .charge(price)
+    }
+
+    /// Remaining `(ε, δ, charges)` of `tenant` (registering it on first
+    /// sight, so a fresh tenant reports the full budget).
+    pub fn remaining(&self, tenant: &str) -> (f64, f64, usize) {
+        let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
+        let acct = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| Accountant::new(self.budget));
+        (
+            acct.remaining_epsilon(),
+            acct.remaining_delta(),
+            acct.charges(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(eps: f64, delta: f64) -> PrivacyParams {
+        PrivacyParams::new(eps, delta).unwrap()
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let registry = TenantRegistry::new(params(1.0, 1e-6));
+        let price = params(0.6, 1e-7);
+        registry.charge("a", price).unwrap();
+        // Tenant a cannot afford a second charge; tenant b still can.
+        assert!(!registry.can_afford("a", price));
+        assert!(registry.charge("a", price).is_err());
+        assert!(registry.can_afford("b", price));
+        registry.charge("b", price).unwrap();
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn remaining_reports_full_budget_for_fresh_tenant() {
+        let registry = TenantRegistry::new(params(2.0, 1e-6));
+        let (eps, delta, charges) = registry.remaining("new");
+        assert_eq!(eps, 2.0);
+        assert_eq!(delta, 1e-6);
+        assert_eq!(charges, 0);
+    }
+
+    #[test]
+    fn refused_charge_leaves_budget_unchanged() {
+        let registry = TenantRegistry::new(params(1.0, 1e-6));
+        registry.charge("t", params(0.9, 1e-7)).unwrap();
+        let before = registry.remaining("t");
+        assert!(registry.charge("t", params(0.5, 1e-7)).is_err());
+        assert_eq!(registry.remaining("t"), before);
+    }
+}

@@ -239,12 +239,19 @@ pub struct DurableService {
     segment_seq: u64,
     buffer: Vec<u64>,
     last_checkpoint_epochs: u64,
-    /// Set when in-memory state got ahead of the log (a reshard applied
-    /// but its record failed to write): every further mutation is refused,
-    /// because anything appended after the divergence would replay against
-    /// the wrong state. Reopening recovers from the consistent durable
-    /// (pre-reshard) history.
+    /// Set when in-memory state diverged from the log: either a reshard
+    /// applied but its record failed to write (memory ahead of the log),
+    /// or a durably appended item group failed to apply (memory behind
+    /// the log). Every further mutation is refused, because anything
+    /// appended after the divergence would replay against the wrong
+    /// state. Reopening recovers from the consistent durable history.
     poisoned: bool,
+    /// Test-only failure injection: makes the next committed group fail
+    /// its in-memory apply with a hard pipeline error *after* the record
+    /// is durably on disk — the exact window the double-logging
+    /// regression test needs to hit.
+    #[cfg(test)]
+    fail_next_apply: bool,
 }
 
 impl std::fmt::Debug for DurableService {
@@ -405,6 +412,8 @@ impl DurableService {
             buffer: Vec::new(),
             last_checkpoint_epochs: checkpoint_epochs,
             poisoned: false,
+            #[cfg(test)]
+            fail_next_apply: false,
         };
         let open_epoch = OpenEpochStatus::Replayed {
             items: service.inner.open_epoch_items(),
@@ -493,6 +502,7 @@ impl DurableService {
     /// and applied (matching replay), with the first release error
     /// reported after.
     pub fn ingest(&mut self, item: u64) -> Result<(), ServiceError> {
+        self.check_not_poisoned()?;
         self.buffer.push(item);
         if self.buffer.len() >= self.durability.group_commit {
             self.commit()?;
@@ -609,13 +619,44 @@ impl DurableService {
         if self.durability.sync_writes {
             self.segment.sync_data()?;
         }
-        let first_error = apply_items(&mut self.inner, &self.buffer)?;
+        // The group is durably in the log from here on: replay WILL apply
+        // it on the next open. The buffer must therefore be retired no
+        // matter how the in-memory apply goes — keeping it across a hard
+        // apply error would let a retried flush append the *same group
+        // again*, and replay would then apply it twice while the live
+        // service applied it once.
+        let first_error = match self.apply_committed_group() {
+            Ok(soft) => soft,
+            Err(hard) => {
+                // Memory is now behind the log (the group is durable but
+                // only partially applied). Poison: further mutations would
+                // extend the log from diverged state; reopening replays
+                // the durable history — this group included, exactly once.
+                self.buffer.clear();
+                self.poisoned = true;
+                return Err(hard);
+            }
+        };
         self.buffer.clear();
         self.maybe_checkpoint()?;
         match first_error {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// Applies the just-logged group to the in-memory service. Split out
+    /// of [`Self::commit`] so tests can inject a hard apply failure in the
+    /// window after the record is durable but before it is applied.
+    fn apply_committed_group(&mut self) -> Result<Option<ServiceError>, ServiceError> {
+        #[cfg(test)]
+        if self.fail_next_apply {
+            self.fail_next_apply = false;
+            return Err(ServiceError::Persistence(
+                "injected hard apply failure (test hook)",
+            ));
+        }
+        apply_items(&mut self.inner, &self.buffer)
     }
 
     fn maybe_checkpoint(&mut self) -> Result<(), ServiceError> {
@@ -704,9 +745,9 @@ impl DurableService {
     fn check_not_poisoned(&self) -> Result<(), ServiceError> {
         if self.poisoned {
             return Err(ServiceError::Persistence(
-                "service is poisoned: a reshard applied in memory but its wal \
-                 record failed to write — reopen to recover from the durable \
-                 state",
+                "service is poisoned: in-memory state diverged from the wal \
+                 (a reshard record failed to write, or a logged group failed \
+                 to apply) — reopen to recover from the durable state",
             ));
         }
         Ok(())
@@ -744,6 +785,27 @@ impl DurableService {
             }
         }
         Ok(())
+    }
+}
+
+/// Best-effort flush on drop: without it, up to `group_commit − 1`
+/// buffered items would vanish silently on every *clean* shutdown — a
+/// durability hole no crash was needed to hit. Errors are swallowed (a
+/// destructor has no caller to report to, and must never panic); callers
+/// that need the error should call [`DurableService::flush`] explicitly
+/// before dropping. A poisoned service skips the flush: its buffer is
+/// already retired and the log must not be extended from diverged state.
+impl Drop for DurableService {
+    fn drop(&mut self) {
+        if self.poisoned || self.buffer.is_empty() {
+            return;
+        }
+        // commit() only returns errors, but a destructor that unwinds
+        // during an unwind aborts the process — keep the guarantee
+        // airtight even if an inner invariant trips.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = self.commit();
+        }));
     }
 }
 
@@ -1069,4 +1131,107 @@ fn scan_dir(dir: &Path, ext: &str) -> Result<Vec<(u64, PathBuf)>, ServiceError> 
     }
     found.sort_unstable_by_key(|(seq, _)| *seq);
     Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmg_core::mechanism::GshmMechanism;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Self-cleaning unique test directory (no tempfile dependency).
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static N: AtomicU64 = AtomicU64::new(0);
+            let n = N.fetch_add(1, Ordering::SeqCst);
+            let path =
+                std::env::temp_dir().join(format!("dpmg-wal-{}-{tag}-{n}", std::process::id()));
+            let _ = fs::remove_dir_all(&path);
+            fs::create_dir_all(&path).unwrap();
+            Self(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn open(
+        durability: DurabilityConfig,
+    ) -> Result<(DurableService, RecoveryReport), ServiceError> {
+        DurableService::open(
+            ServiceConfig::new(2, 16),
+            Box::new(GshmMechanism::new(PrivacyParams::new(0.8, 1e-8).unwrap()).unwrap()),
+            PrivacyParams::new(100.0, 1e-4).unwrap(),
+            durability,
+            42,
+        )
+    }
+
+    /// Regression for the double-logging bug: `commit()` durably appends
+    /// the `Items` record and *then* applies it in memory. On the pre-fix
+    /// code a hard apply error left `self.buffer` intact, so a retried
+    /// `flush()` appended the same group a second time — replay then
+    /// applied it twice while the live service had applied it once.
+    #[test]
+    fn hard_apply_failure_after_durable_append_never_double_logs() {
+        let dir = TempDir::new("double-log");
+        let durability = DurabilityConfig::new(&dir.0).with_group_commit(1_000);
+        {
+            let (mut svc, _) = open(durability.clone()).unwrap();
+            for i in 0..100u64 {
+                svc.ingest(i).unwrap();
+            }
+            svc.fail_next_apply = true;
+            let err = svc.flush().unwrap_err();
+            assert!(matches!(err, ServiceError::Persistence(_)), "{err}");
+            // The group is durable; the buffer must be retired so no retry
+            // can ever re-append it (pre-fix: 100 items still buffered).
+            assert_eq!(svc.buffered_items(), 0, "buffer must be retired");
+            // Memory diverged from the log — the service is poisoned and
+            // refuses the retry outright (pre-fix: the retry re-appended).
+            let err = svc.ingest(1).unwrap_err();
+            assert!(
+                err.to_string().contains("poisoned"),
+                "mutation after divergence must be refused, got: {err}"
+            );
+            let err = svc.flush().unwrap_err();
+            assert!(err.to_string().contains("poisoned"), "{err}");
+            std::mem::forget(svc); // killed while poisoned
+        }
+        // Reopen: replay applies the logged group exactly once.
+        let (recovered, report) = open(durability).unwrap();
+        assert!(report.recovered);
+        assert_eq!(
+            report.items_replayed, 100,
+            "the group must replay exactly once (a double append replays 200)"
+        );
+        assert_eq!(recovered.open_epoch_items(), 100);
+    }
+
+    /// A poisoned service must not flush from `Drop` either — the log
+    /// would be extended from diverged state.
+    #[test]
+    fn poisoned_service_skips_the_drop_flush() {
+        let dir = TempDir::new("poisoned-drop");
+        let durability = DurabilityConfig::new(&dir.0).with_group_commit(1_000);
+        {
+            let (mut svc, _) = open(durability.clone()).unwrap();
+            for i in 0..50u64 {
+                svc.ingest(i).unwrap();
+            }
+            svc.fail_next_apply = true;
+            svc.flush().unwrap_err();
+            // Buffer some more items directly; drop must NOT commit them.
+            svc.buffer.push(7);
+            // Plain drop: the best-effort flush must notice the poison.
+        }
+        let (recovered, report) = open(durability).unwrap();
+        assert_eq!(report.items_replayed, 50);
+        assert_eq!(recovered.open_epoch_items(), 50);
+    }
 }

@@ -3,8 +3,10 @@
 //! The contract under test: a service killed at **any** instant and
 //! reopened over the same directory behaves bit-identically — releases,
 //! query answers, budget arithmetic — to an uninterrupted run over the
-//! durable prefix of its input. "Killed" here is a plain drop with no
-//! shutdown path: the WAL never relies on graceful exit.
+//! durable prefix of its input. "Killed" here is a drop after an explicit
+//! flush (the buffer already durable, so the best-effort `Drop` flush is
+//! a no-op) or a `mem::forget` (no destructor at all): the WAL never
+//! relies on graceful exit.
 //!
 //! Corruption coverage (torn tails, byte flips, truncation at arbitrary
 //! offsets) asserts the stronger property than "rejected": whenever
@@ -318,6 +320,9 @@ fn budget_wall_still_stands_after_crash_and_recovery() {
 
 #[test]
 fn unflushed_group_commit_buffer_dies_with_the_process() {
+    // A *killed* process never runs destructors — model that with
+    // `mem::forget`, not a plain drop (a clean drop now flushes; see
+    // `clean_drop_flushes_the_group_commit_buffer`).
     let config = ServiceConfig::new(2, K);
     let dir = TempDir::new("unflushed");
     let durability = DurabilityConfig::new(dir.path()).with_group_commit(1_000);
@@ -327,11 +332,47 @@ fn unflushed_group_commit_buffer_dies_with_the_process() {
         svc.ingest_from(stream(0..100)).unwrap();
         assert_eq!(svc.buffered_items(), 100);
         assert_eq!(svc.open_epoch_items(), 0, "uncommitted ⇒ not yet visible");
+        std::mem::forget(svc); // the kill: no Drop, no flush
     }
     let (recovered, report) =
         DurableService::open(config, mech(), budget(), durability, SEED).unwrap();
     assert_eq!(report.open_epoch, OpenEpochStatus::Replayed { items: 0 });
     assert_eq!(recovered.open_epoch_items(), 0);
+}
+
+#[test]
+fn clean_drop_flushes_the_group_commit_buffer() {
+    // Regression: before `Drop for DurableService` existed, a clean drop
+    // silently lost up to `group_commit - 1` buffered items — this test
+    // fails on that code with 100 items missing after reopen.
+    let config = ServiceConfig::new(2, K);
+    let dir = TempDir::new("drop-flush");
+    let durability = DurabilityConfig::new(dir.path()).with_group_commit(1_000);
+    {
+        let (mut svc, _) =
+            DurableService::open(config, mech(), budget(), durability.clone(), SEED).unwrap();
+        svc.ingest_from(stream(0..100)).unwrap();
+        assert_eq!(svc.buffered_items(), 100);
+        // Clean shutdown: plain drop, no explicit flush.
+    }
+    let (mut recovered, report) =
+        DurableService::open(config, mech(), budget(), durability, SEED).unwrap();
+    assert!(report.recovered);
+    assert_eq!(report.items_replayed, 100, "drop must flush the buffer");
+    assert_eq!(report.open_epoch, OpenEpochStatus::Replayed { items: 100 });
+    assert_eq!(recovered.open_epoch_items(), 100);
+
+    // And releasing gives bit-identically the uninterrupted run's answer.
+    let mut reference = SequentialServiceReference::new(config, mech(), budget(), SEED).unwrap();
+    reference.ingest_from(stream(0..100)).unwrap();
+    let want = reference.end_epoch().unwrap();
+    let got = recovered.end_epoch().unwrap();
+    assert_eq!(got.epoch, want.epoch);
+    assert_eq!(got.items, want.items);
+    assert_eq!(got.estimates.len(), want.estimates.len());
+    for (key, value) in &want.estimates {
+        assert_eq!(got.estimates[key].to_bits(), value.to_bits());
+    }
 }
 
 #[test]

@@ -34,6 +34,10 @@
 //!   lock-free snapshot read path answering `point_query`/`top_k`
 //!   concurrently with ingestion, and checksummed crash/restart
 //!   persistence.
+//! * [`server`] — the network-facing multi-tenant query API: a vendored,
+//!   dependency-free HTTP/1.1 server with a fixed worker pool, typed JSON
+//!   endpoints over a shared service, per-tenant budget accountants, and
+//!   plain-text metrics.
 //! * [`eval`] — error metrics, goodness-of-fit statistics, experiment
 //!   sweeps, and an empirical privacy auditor.
 //!
@@ -66,6 +70,7 @@ pub use dpmg_core as core;
 pub use dpmg_eval as eval;
 pub use dpmg_noise as noise;
 pub use dpmg_pipeline as pipeline;
+pub use dpmg_server as server;
 pub use dpmg_service as service;
 pub use dpmg_sketch as sketch;
 pub use dpmg_workload as workload;
@@ -82,6 +87,7 @@ pub mod prelude {
     pub use dpmg_pipeline::{
         PipelineConfig, PrivatizedPipeline, SequentialBaseline, ShardedPipeline, StreamingMechanism,
     };
+    pub use dpmg_server::{AppState, Server, ServerConfig, ServiceBackend, TenantRegistry};
     pub use dpmg_service::{
         DpmgService, DurabilityConfig, DurableService, OpenEpochStatus, QueryHandle,
         RecoveryReport, ReleasedSnapshot, SequentialServiceReference, ServiceConfig, ServiceError,
