@@ -21,7 +21,7 @@
 
 use dpmg_bench::{banner, f2, out_dir, quick, quick_mode, verdict};
 use dpmg_eval::experiment::Table;
-use dpmg_pipeline::{PipelineConfig, ShardedPipeline, StreamingMechanism};
+use dpmg_pipeline::{ring, shard_of_key, PipelineConfig, ShardedPipeline, StreamingMechanism};
 use dpmg_sketch::misra_gries::{naive::NaiveMisraGries, MisraGries};
 use dpmg_workload::zipf::Zipf;
 use rand::rngs::StdRng;
@@ -46,16 +46,44 @@ struct SweepRow {
 struct ShardRow {
     shards: usize,
     tput: f64,
+    /// Sharded ÷ single-thread reference throughput on the same stream —
+    /// the "handoff overhead" column. A same-machine ratio: runner speed
+    /// cancels, so the perf gate holds its minimum to a hard floor.
+    efficiency: f64,
+    /// Route+dispatch into draining sink workers, no sketch: the handoff
+    /// machinery alone.
+    router_tput: f64,
 }
 
-fn write_bench_json(n: usize, n_sharded: usize, sweep: &[SweepRow], sharded: &[ShardRow]) {
+fn write_bench_json(
+    n: usize,
+    n_sharded: usize,
+    sweep: &[SweepRow],
+    sharded: &[ShardRow],
+    single_ref_tput: f64,
+) {
     let dir = out_dir();
     std::fs::create_dir_all(&dir).expect("create experiment dir");
+    let efficiency_min = sharded
+        .iter()
+        .map(|r| r.efficiency)
+        .fold(f64::MAX, f64::min);
+    let headroom_min = sharded
+        .iter()
+        .map(|r| r.router_tput / r.tput)
+        .fold(f64::MAX, f64::min);
     let mut json = String::from("{\n");
     json.push_str("  \"experiment\": \"e20_ingest\",\n");
     json.push_str(&format!("  \"quick\": {},\n", quick()));
     json.push_str(&format!("  \"items_per_run\": {n},\n"));
     json.push_str(&format!("  \"items_per_run_sharded\": {n_sharded},\n"));
+    // Same-machine ratios the perf gate holds to hard floors (runner speed
+    // cancels out of both, like the WAL overhead scalar in the durability
+    // file).
+    json.push_str(&format!(
+        "  \"scaling_efficiency_min\": {efficiency_min:.3},\n"
+    ));
+    json.push_str(&format!("  \"router_headroom_min\": {headroom_min:.3},\n"));
     json.push_str("  \"single_thread\": [\n");
     for (i, r) in sweep.iter().enumerate() {
         for (mode, tput) in [("item", r.item_tput), ("batch", r.batch_tput)] {
@@ -73,12 +101,29 @@ fn write_bench_json(n: usize, n_sharded: usize, sweep: &[SweepRow], sharded: &[S
             ));
         }
     }
+    json.push_str("  ],\n  \"single_thread_ref\": [\n");
+    json.push_str(&format!(
+        "    {{\"k\": {SHARDED_K}, \"mode\": \"single_ref\", \
+         \"throughput_items_per_s\": {single_ref_tput:.0}}}\n"
+    ));
     json.push_str("  ],\n  \"sharded\": [\n");
     for (i, r) in sharded.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"shards\": {}, \"k\": {SHARDED_K}, \"throughput_items_per_s\": {:.0}}}{}\n",
+            "    {{\"shards\": {}, \"k\": {SHARDED_K}, \"throughput_items_per_s\": {:.0}, \
+             \"efficiency\": {:.3}}}{}\n",
             r.shards,
             r.tput,
+            r.efficiency,
+            if i + 1 < sharded.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"router_only\": [\n");
+    for (i, r) in sharded.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"mode\": \"router_only\", \
+             \"throughput_items_per_s\": {:.0}}}{}\n",
+            r.shards,
+            r.router_tput,
             if i + 1 < sharded.len() { "," } else { "" }
         ));
     }
@@ -86,6 +131,62 @@ fn write_bench_json(n: usize, n_sharded: usize, sweep: &[SweepRow], sharded: &[S
     let path = dir.join("BENCH_ingest.json");
     std::fs::write(&path, json).expect("write BENCH_ingest.json");
     println!("(wrote {})\n", path.display());
+}
+
+/// Router-only microbench: route + dispatch the stream over the engine's
+/// exact handoff topology (bounded forward ring + return ring per shard,
+/// block recycling), but into sink workers that just count, clear and hand
+/// the block back — no sketch work. The measured rate is the handoff
+/// machinery alone: an upper bound on what any worker-side speedup can
+/// unlock, and a canary for handoff pathologies (a spinning wait burning
+/// the router's cycles would collapse this below the full pipeline's rate).
+fn router_only_tput(stream: &[u64], shards: usize) -> f64 {
+    const CAPACITY: usize = 8; // the pipeline's default channel capacity
+    let mut handles = Vec::with_capacity(shards);
+    let mut links = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, mut rx) = ring::bounded::<Vec<u64>>(CAPACITY);
+        // Same sizing as the engine: capacity + 2 return slots means the
+        // sink's give-back can never block.
+        let (mut ret_tx, ret_rx) = ring::bounded::<Vec<u64>>(CAPACITY + 2);
+        handles.push(std::thread::spawn(move || {
+            let mut consumed = 0u64;
+            while let Ok(mut block) = rx.recv() {
+                consumed += block.len() as u64;
+                block.clear();
+                let _ = ret_tx.send(block);
+            }
+            consumed
+        }));
+        links.push((tx, ret_rx));
+    }
+    let start = Instant::now();
+    let mut buffers: Vec<Vec<u64>> = (0..shards).map(|_| Vec::with_capacity(BATCH)).collect();
+    for &x in stream {
+        let shard = shard_of_key(&x, shards);
+        buffers[shard].push(x);
+        if buffers[shard].len() == BATCH {
+            let (tx, ret_rx) = &mut links[shard];
+            let fresh = ret_rx
+                .try_recv()
+                .unwrap_or_else(|_| Vec::with_capacity(BATCH));
+            tx.send(std::mem::replace(&mut buffers[shard], fresh))
+                .expect("sink worker alive");
+        }
+    }
+    for (shard, buf) in buffers.into_iter().enumerate() {
+        if !buf.is_empty() {
+            links[shard].0.send(buf).expect("sink worker alive");
+        }
+    }
+    drop(links);
+    let consumed: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("sink worker panicked"))
+        .sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(consumed, stream.len() as u64, "sink lost items");
+    stream.len() as f64 / elapsed
 }
 
 fn main() {
@@ -165,10 +266,18 @@ fn main() {
     let n_sharded = n;
     let mut t2 = Table::new(
         format!("E20b sharded pipeline ingest, k={SHARDED_K}, d=1e6, s=1.1, n={n_sharded} (timing; machine-dependent)"),
-        &["shards", "Mitems/s"],
+        &["shards", "Mitems/s", "eff ×single", "router-only M/s", "headroom"],
     );
     let mut rng = StdRng::seed_from_u64(0xE20);
     let stream = Zipf::new(1_000_000, 1.1).stream(n_sharded, &mut rng);
+    // The single-thread reference the efficiency column divides by: the
+    // same stream through one sketch at the sharded sweep's k, batch path.
+    let start = Instant::now();
+    let mut single = MisraGries::new(SHARDED_K).unwrap();
+    for chunk in stream.chunks(BATCH) {
+        single.extend_batch(chunk);
+    }
+    let single_ref_tput = n_sharded as f64 / start.elapsed().as_secs_f64();
     let mut sharded: Vec<ShardRow> = Vec::new();
     for shards in SHARD_COUNTS {
         let config = PipelineConfig::new(shards, SHARDED_K).with_batch_size(BATCH);
@@ -179,12 +288,30 @@ fn main() {
         }
         pipe.pre_noise_summary().expect("finish");
         let tput = n_sharded as f64 / start.elapsed().as_secs_f64();
-        t2.row(&[shards.to_string(), f2(tput / 1e6)]);
-        sharded.push(ShardRow { shards, tput });
+        let router_tput = router_only_tput(&stream, shards);
+        let efficiency = tput / single_ref_tput;
+        t2.row(&[
+            shards.to_string(),
+            f2(tput / 1e6),
+            f2(efficiency),
+            f2(router_tput / 1e6),
+            f2(router_tput / tput),
+        ]);
+        sharded.push(ShardRow {
+            shards,
+            tput,
+            efficiency,
+            router_tput,
+        });
     }
     t2.emit(&out_dir()).unwrap();
-    println!("(detected hardware parallelism: {threads} threads)\n");
-    write_bench_json(n, n_sharded, &sweep, &sharded);
+    // (Leading text is load-bearing: the golden filter drops this
+    // machine-dependent line by its "(detected hardware parallelism" prefix.)
+    println!(
+        "(detected hardware parallelism: {threads} threads; single-thread reference {:.2} Mitems/s)\n",
+        single_ref_tput / 1e6
+    );
+    write_bench_json(n, n_sharded, &sweep, &sharded, single_ref_tput);
 
     // Part 3: semantics versus the literal Algorithm 1 transcription
     // (deterministic). A fixed stream covering all three branches,

@@ -8,7 +8,11 @@
 //! WAL overhead ratio (wal-on vs wal-off ingest measured back-to-back on
 //! the same machine), gated against an absolute < 10% bound — runner speed
 //! cancels out of that ratio, so it gets a hard limit rather than the
-//! generous cross-machine tolerance.
+//! generous cross-machine tolerance. The ingest file carries two more
+//! same-machine ratios gated the same way: the minimum sharded ÷
+//! single-thread scaling efficiency and the minimum router-only ÷
+//! full-pipeline headroom (the handoff machinery, measured with draining
+//! sink workers, must stay at least as fast as the pipeline it feeds).
 //!
 //! Design constraints, in order:
 //!
@@ -34,12 +38,13 @@ use std::path::{Path, PathBuf};
 
 /// Fields that carry measurements (or run-length choices that differ
 /// between quick and full mode) rather than identifying a sweep point.
-const MEASUREMENT_FIELDS: [&str; 5] = [
+const MEASUREMENT_FIELDS: [&str; 6] = [
     "throughput_items_per_s",
     "queries_served",
     "query_p50_us",
     "query_p99_us",
     "epochs",
+    "efficiency",
 ];
 
 /// Extracts every innermost `{...}` object containing a
@@ -108,11 +113,36 @@ fn wal_overhead_limit() -> f64 {
         .unwrap_or(10.0)
 }
 
-/// Extracts the top-level `"wal_overhead_pct"` scalar from the freshly
-/// measured `BENCH_durability.json` (same no-JSON-dependency convention as
-/// the run parser).
-fn parse_wal_overhead(json: &str) -> Option<f64> {
-    let idx = json.find("\"wal_overhead_pct\"")?;
+/// The minimum sharded ÷ single-thread throughput ratio the ingest file
+/// must report (`DPMG_SCALING_EFFICIENCY_FLOOR` overrides). Same-machine
+/// ratio, so the floor catches a genuine handoff collapse (a contended
+/// lock, a spin loop starving the workers) rather than runner slowness;
+/// 0.5 is far below the healthy value on any core count.
+fn scaling_efficiency_floor() -> f64 {
+    std::env::var("DPMG_SCALING_EFFICIENCY_FLOOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.5)
+}
+
+/// The minimum router-only ÷ full-pipeline throughput ratio
+/// (`DPMG_ROUTER_HEADROOM_FLOOR` overrides). The router-only microbench
+/// does a strict subset of the full pipeline's router-side work, so the
+/// ratio is structurally ≥ 1; the default floor of 0.8 only leaves room
+/// for measurement noise, and a spinning or lock-convoying handoff that
+/// burns router cycles drops through it.
+fn router_headroom_floor() -> f64 {
+    std::env::var("DPMG_ROUTER_HEADROOM_FLOOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.8)
+}
+
+/// Extracts a top-level scalar field (e.g. `"wal_overhead_pct"`,
+/// `"scaling_efficiency_min"`) from a measured bench JSON (same
+/// no-JSON-dependency convention as the run parser).
+fn parse_scalar(json: &str, name: &str) -> Option<f64> {
+    let idx = json.find(&format!("\"{name}\""))?;
     let rest = &json[idx..];
     let value = rest.split_once(':')?.1;
     value
@@ -124,14 +154,13 @@ fn parse_wal_overhead(json: &str) -> Option<f64> {
         .ok()
 }
 
-/// Gates the in-process WAL overhead ratio from the measured durability
-/// file; returns `Ok(pct)` or an error string.
-fn gate_wal_overhead(measured_dir: &Path) -> Result<f64, String> {
-    let path = measured_dir.join("BENCH_durability.json");
+/// Reads one top-level scalar from a freshly measured bench file; returns
+/// `Ok(value)` or an error string.
+fn read_scalar(measured_dir: &Path, file: &str, name: &str) -> Result<f64, String> {
+    let path = measured_dir.join(file);
     let json = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    parse_wal_overhead(&json)
-        .ok_or_else(|| format!("no wal_overhead_pct field in {}", path.display()))
+    parse_scalar(&json, name).ok_or_else(|| format!("no {name} field in {}", path.display()))
 }
 
 /// Compares one measured file against its committed baseline; returns
@@ -228,7 +257,7 @@ fn main() {
             }
         }
     }
-    match gate_wal_overhead(&measured_dir) {
+    match read_scalar(&measured_dir, "BENCH_durability.json", "wal_overhead_pct") {
         Ok(pct) => {
             let limit = wal_overhead_limit();
             let ok = pct < limit;
@@ -241,6 +270,38 @@ fn main() {
         }
         Err(e) => {
             println!("[PERF-FAIL] WAL ingest overhead: {e}\n");
+            failed = true;
+        }
+    }
+    match read_scalar(&measured_dir, "BENCH_ingest.json", "scaling_efficiency_min") {
+        Ok(eff) => {
+            let floor = scaling_efficiency_floor();
+            let ok = eff >= floor;
+            println!(
+                "[{}] scaling efficiency (min sharded ÷ single-thread): {eff:.2} \
+                 (floor {floor:.2}; same-machine ratio, runner speed cancels)\n",
+                if ok { "PERF-OK  " } else { "PERF-FAIL" }
+            );
+            failed |= !ok;
+        }
+        Err(e) => {
+            println!("[PERF-FAIL] scaling efficiency: {e}\n");
+            failed = true;
+        }
+    }
+    match read_scalar(&measured_dir, "BENCH_ingest.json", "router_headroom_min") {
+        Ok(headroom) => {
+            let floor = router_headroom_floor();
+            let ok = headroom >= floor;
+            println!(
+                "[{}] router-only headroom (min router-only ÷ full pipeline): {headroom:.2} \
+                 (floor {floor:.2}; same-machine ratio, runner speed cancels)\n",
+                if ok { "PERF-OK  " } else { "PERF-FAIL" }
+            );
+            failed |= !ok;
+        }
+        Err(e) => {
+            println!("[PERF-FAIL] router-only headroom: {e}\n");
             failed = true;
         }
     }
@@ -325,20 +386,43 @@ mod tests {
     }
 
     #[test]
-    fn wal_overhead_scalar_parses() {
+    fn top_level_scalars_parse() {
         let json = r#"{
   "experiment": "e23_durability",
   "wal_overhead_pct": 4.37,
   "runs": [{"mode": "wal_on", "throughput_items_per_s": 100}]
 }"#;
-        assert_eq!(parse_wal_overhead(json), Some(4.37));
-        assert_eq!(parse_wal_overhead(r#"{"experiment": "x"}"#), None);
+        assert_eq!(parse_scalar(json, "wal_overhead_pct"), Some(4.37));
+        assert_eq!(
+            parse_scalar(r#"{"experiment": "x"}"#, "wal_overhead_pct"),
+            None
+        );
         // Negative overhead (wal-on measured faster than wal-off, pure
         // noise) still parses and trivially passes the limit.
         assert_eq!(
-            parse_wal_overhead(r#"{"wal_overhead_pct": -1.20}"#),
+            parse_scalar(r#"{"wal_overhead_pct": -1.20}"#, "wal_overhead_pct"),
             Some(-1.2)
         );
+        let ingest = r#"{
+  "experiment": "e20_ingest",
+  "scaling_efficiency_min": 1.204,
+  "router_headroom_min": 2.510,
+  "sharded": [{"shards": 1, "throughput_items_per_s": 100, "efficiency": 1.204}]
+}"#;
+        assert_eq!(parse_scalar(ingest, "scaling_efficiency_min"), Some(1.204));
+        assert_eq!(parse_scalar(ingest, "router_headroom_min"), Some(2.51));
+    }
+
+    #[test]
+    fn efficiency_is_a_measurement_not_an_identity() {
+        // The per-row efficiency ratio varies run to run; it must not
+        // split the identity key, or baseline rows would never match.
+        let json = r#"{"sharded": [
+            {"shards": 4, "k": 256, "throughput_items_per_s": 100, "efficiency": 1.18}
+        ]}"#;
+        let runs = parse_runs(json);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].0, "k=256 shards=4");
     }
 
     #[test]

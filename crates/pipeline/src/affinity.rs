@@ -1,0 +1,33 @@
+//! Optional core pinning for shard workers.
+//!
+//! Pinning a worker thread to one core keeps its sketch's counter table
+//! hot in that core's private L1/L2 instead of migrating with the
+//! scheduler. Linux exposes this only through the `sched_setaffinity`
+//! syscall (or a libc wrapper); the workspace forbids `unsafe` and
+//! vendors no libc, so there is no safe std-only way to issue it — this
+//! module is the documented **no-op backend**: [`pin_current_thread`]
+//! reports whether pinning actually happened, and the engine treats the
+//! flag as advisory. The call sites, the configuration surface
+//! ([`crate::PipelineConfig::with_pinned_workers`]) and the tests are all
+//! in place, so swapping in a real backend (a vetted affinity crate, or a
+//! tightly-scoped vendored syscall shim) is a one-function change.
+
+/// Requests that the calling thread be pinned to `core` (modulo the
+/// host's core count). Returns `true` iff the thread is now pinned; this
+/// build has no affinity backend (see the module docs) and always
+/// returns `false` without touching scheduler state.
+pub fn pin_current_thread(core: usize) -> bool {
+    let _ = core;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn noop_backend_reports_unpinned() {
+        // Advisory semantics: the call must be harmless at any core index
+        // and honestly report that no pinning happened.
+        assert!(!super::pin_current_thread(0));
+        assert!(!super::pin_current_thread(usize::MAX));
+    }
+}

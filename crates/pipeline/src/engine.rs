@@ -1,7 +1,9 @@
 //! The sharded ingestion engine.
 
-use crate::config::{PipelineConfig, PipelineError, Routing};
-use crossbeam::channel::{self, Sender};
+use crate::affinity;
+use crate::config::{Handoff, PipelineConfig, PipelineError, Routing};
+use crate::ring;
+use crossbeam::channel;
 use dpmg_core::mechanism::ReleaseMechanism;
 use dpmg_core::pmg::PrivateHistogram;
 use dpmg_noise::accounting::PrivacyParams;
@@ -65,6 +67,53 @@ pub fn shard_of_key<K: Hash + ?Sized>(key: &K, shards: usize) -> usize {
     (h.finish() % shards as u64) as usize
 }
 
+/// Router-side endpoints of one shard's handoff: a forward path carrying
+/// filled batch blocks to the worker and a return path yielding the spent
+/// (cleared, capacity kept) blocks back for reuse, so both handoff
+/// implementations recycle instead of allocating per batch. Dropping a
+/// link disconnects the forward path, which ends the worker's drain loop.
+enum ShardLink<K> {
+    /// Bounded SPSC block rings ([`Handoff::Ring`], the default).
+    Ring {
+        tx: ring::RingSender<Vec<K>>,
+        spare: ring::RingReceiver<Vec<K>>,
+    },
+    /// The legacy mpsc-backed channels ([`Handoff::Mpsc`]): bounded
+    /// forward channel, unbounded return channel as the block free-list.
+    Mpsc {
+        tx: channel::Sender<Vec<K>>,
+        spare: channel::Receiver<Vec<K>>,
+    },
+}
+
+impl<K> ShardLink<K> {
+    /// Sends a filled block to the worker, blocking on backpressure;
+    /// returns `Err` iff the worker is gone (panicked).
+    fn send(&mut self, block: Vec<K>) -> Result<(), ()> {
+        match self {
+            ShardLink::Ring { tx, .. } => tx.send(block).map_err(|_| ()),
+            ShardLink::Mpsc { tx, .. } => tx.send(block).map_err(|_| ()),
+        }
+    }
+
+    /// A block ready for filling: a recycled one off the return path when
+    /// available (the steady state — no allocation), else a fresh
+    /// allocation (cold start, or a worker that died with blocks in hand).
+    fn recycled(&mut self, min_capacity: usize) -> Vec<K> {
+        let spare = match self {
+            ShardLink::Ring { spare, .. } => spare.try_recv().ok(),
+            ShardLink::Mpsc { spare, .. } => spare.try_recv().ok(),
+        };
+        match spare {
+            Some(block) => {
+                debug_assert!(block.is_empty(), "workers return cleared blocks");
+                block
+            }
+            None => Vec::with_capacity(min_capacity),
+        }
+    }
+}
+
 /// Ingestion counters, available any time; per-shard stream lengths are
 /// populated by [`ShardedPipeline::finish`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,7 +138,7 @@ pub struct PipelineStats {
 pub struct ShardedPipeline<K: Item + Send + 'static> {
     config: PipelineConfig,
     buffers: Vec<Vec<K>>,
-    senders: Vec<Sender<Vec<K>>>,
+    links: Vec<ShardLink<K>>,
     workers: Vec<JoinHandle<MisraGries<K>>>,
     rr_cursor: usize,
     items: u64,
@@ -107,8 +156,8 @@ pub struct ShardedPipeline<K: Item + Send + 'static> {
     poisoned: Option<usize>,
 }
 
-/// Channel senders + worker handles of one generation of shard workers.
-type ShardWorkers<K> = (Vec<Sender<Vec<K>>>, Vec<JoinHandle<MisraGries<K>>>);
+/// Handoff links + worker handles of one generation of shard workers.
+type ShardWorkers<K> = (Vec<ShardLink<K>>, Vec<JoinHandle<MisraGries<K>>>);
 
 impl<K: Item + Send + 'static> ShardedPipeline<K> {
     fn spawn_workers(config: &PipelineConfig) -> Result<ShardWorkers<K>, PipelineError> {
@@ -126,23 +175,63 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
         sketches: Vec<MisraGries<K>>,
     ) -> ShardWorkers<K> {
         debug_assert_eq!(sketches.len(), config.shards);
-        let mut senders = Vec::with_capacity(config.shards);
+        let mut links = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
+        let pin = config.pin_workers;
         for (shard, mut sketch) in sketches.into_iter().enumerate() {
-            let (tx, rx) = channel::bounded::<Vec<K>>(config.channel_capacity);
-            let handle = std::thread::Builder::new()
-                .name(format!("dpmg-shard-{shard}"))
-                .spawn(move || {
-                    for batch in rx {
-                        sketch.extend_batch(&batch);
-                    }
-                    sketch
-                })
-                .expect("spawn shard worker thread");
-            senders.push(tx);
+            let builder = std::thread::Builder::new().name(format!("dpmg-shard-{shard}"));
+            let handle = match config.handoff {
+                Handoff::Ring => {
+                    let (tx, mut rx) = ring::bounded::<Vec<K>>(config.channel_capacity);
+                    // Return-ring sizing: per shard at most `capacity + 3`
+                    // blocks ever circulate (the router mints one only
+                    // when the return ring is empty at dispatch, and at
+                    // that moment the buffer, forward ring and worker
+                    // hold ≤ capacity + 2 of them), so with the worker
+                    // holding one and the router's buffer another, return
+                    // occupancy never exceeds `capacity + 2`: the
+                    // worker's give-back below can never block.
+                    let (mut ret_tx, spare) = ring::bounded::<Vec<K>>(config.channel_capacity + 2);
+                    let handle = builder
+                        .spawn(move || {
+                            if pin {
+                                affinity::pin_current_thread(shard);
+                            }
+                            while let Ok(mut block) = rx.recv() {
+                                sketch.extend_batch(&block);
+                                block.clear();
+                                // Router gone (teardown): recycling moot.
+                                let _ = ret_tx.send(block);
+                            }
+                            sketch
+                        })
+                        .expect("spawn shard worker thread");
+                    links.push(ShardLink::Ring { tx, spare });
+                    handle
+                }
+                Handoff::Mpsc => {
+                    let (tx, rx) = channel::bounded::<Vec<K>>(config.channel_capacity);
+                    let (ret_tx, spare) = channel::unbounded::<Vec<K>>();
+                    let handle = builder
+                        .spawn(move || {
+                            if pin {
+                                affinity::pin_current_thread(shard);
+                            }
+                            for mut block in rx {
+                                sketch.extend_batch(&block);
+                                block.clear();
+                                let _ = ret_tx.send(block);
+                            }
+                            sketch
+                        })
+                        .expect("spawn shard worker thread");
+                    links.push(ShardLink::Mpsc { tx, spare });
+                    handle
+                }
+            };
             workers.push(handle);
         }
-        (senders, workers)
+        (links, workers)
     }
 
     /// Spawns the shard workers.
@@ -153,10 +242,10 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
     /// invalid sketch size.
     pub fn new(config: PipelineConfig) -> Result<Self, PipelineError> {
         config.validate()?;
-        let (senders, workers) = Self::spawn_workers(&config)?;
+        let (links, workers) = Self::spawn_workers(&config)?;
         Ok(Self {
             buffers: vec![Vec::with_capacity(config.batch_size); config.shards],
-            senders,
+            links,
             workers,
             rr_cursor: 0,
             items: 0,
@@ -199,10 +288,10 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
                 ),
             ));
         }
-        let (senders, workers) = Self::spawn_workers_with(&config, sketches);
+        let (links, workers) = Self::spawn_workers_with(&config, sketches);
         Ok(Self {
             buffers: vec![Vec::with_capacity(config.batch_size); config.shards],
-            senders,
+            links,
             workers,
             rr_cursor: 0,
             items,
@@ -234,22 +323,27 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
             Routing::HashKey => shard_of_key(item, self.config.shards),
             Routing::RoundRobin => {
                 let shard = self.rr_cursor;
-                self.rr_cursor = (self.rr_cursor + 1) % self.config.shards;
+                // Wrap on compare — a predictable branch instead of an
+                // integer division on the per-item path.
+                self.rr_cursor += 1;
+                if self.rr_cursor == self.config.shards {
+                    self.rr_cursor = 0;
+                }
                 shard
             }
         }
     }
 
     fn dispatch(&mut self, shard: usize) -> Result<(), PipelineError> {
-        let batch = std::mem::replace(
-            &mut self.buffers[shard],
-            Vec::with_capacity(self.config.batch_size),
-        );
-        if batch.is_empty() {
+        if self.buffers[shard].is_empty() {
             return Ok(());
         }
+        // Swap in a recycled block off the shard's return path (steady
+        // state: no allocation) before handing the filled one over.
+        let fresh = self.links[shard].recycled(self.config.batch_size);
+        let batch = std::mem::replace(&mut self.buffers[shard], fresh);
         self.batches += 1;
-        self.senders[shard].send(batch).map_err(|_| {
+        self.links[shard].send(batch).map_err(|()| {
             // The receiver is gone, so the worker panicked; the batch is
             // lost and the pipeline must not pretend otherwise later.
             self.poisoned = Some(shard);
@@ -267,6 +361,13 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
         if self.summaries.is_some() {
             return Err(PipelineError::AlreadyFinished);
         }
+        self.ingest_unchecked(item)
+    }
+
+    /// [`Self::ingest`] without the finished check, for loops that have
+    /// already performed it.
+    #[inline]
+    fn ingest_unchecked(&mut self, item: K) -> Result<(), PipelineError> {
         let shard = self.route(&item);
         self.buffers[shard].push(item);
         self.items += 1;
@@ -276,14 +377,19 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
         Ok(())
     }
 
-    /// Ingests a whole stream.
+    /// Ingests a whole stream. The finished check is hoisted out of the
+    /// loop — one check per call, not per item; worker-panic errors still
+    /// surface per dispatched batch, exactly as on the per-item path.
     ///
     /// # Errors
     ///
     /// As [`Self::ingest`].
     pub fn ingest_from(&mut self, items: impl IntoIterator<Item = K>) -> Result<(), PipelineError> {
+        if self.summaries.is_some() {
+            return Err(PipelineError::AlreadyFinished);
+        }
         for item in items {
-            self.ingest(item)?;
+            self.ingest_unchecked(item)?;
         }
         Ok(())
     }
@@ -390,8 +496,8 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
     pub fn rotate_epoch(&mut self) -> Result<(Summary<K>, PipelineStats), PipelineError> {
         let merged = self.merged()?;
         let stats = self.stats();
-        let (senders, workers) = Self::spawn_workers(&self.config)?;
-        self.senders = senders;
+        let (links, workers) = Self::spawn_workers(&self.config)?;
+        self.links = links;
         self.workers = workers;
         self.buffers = vec![Vec::with_capacity(self.config.batch_size); self.config.shards];
         self.rr_cursor = 0;
@@ -451,8 +557,8 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
             });
         }
         self.config.shards = new_shards;
-        let (senders, workers) = Self::spawn_workers(&self.config)?;
-        self.senders = senders;
+        let (links, workers) = Self::spawn_workers(&self.config)?;
+        self.links = links;
         self.workers = workers;
         self.buffers = vec![Vec::with_capacity(self.config.batch_size); self.config.shards];
         self.rr_cursor = 0;
@@ -483,8 +589,8 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
             return Err(PipelineError::AlreadyFinished);
         }
         let sketches = self.retire_workers()?;
-        let (senders, workers) = Self::spawn_workers_with(&self.config, sketches.clone());
-        self.senders = senders;
+        let (links, workers) = Self::spawn_workers_with(&self.config, sketches.clone());
+        self.links = links;
         self.workers = workers;
         Ok(sketches)
     }
@@ -496,7 +602,7 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
         for shard in 0..self.config.shards {
             self.dispatch(shard)?;
         }
-        self.senders.clear(); // disconnects the channels, ending the workers
+        self.links.clear(); // disconnects the forward paths, ending the workers
         let mut sketches = Vec::with_capacity(self.config.shards);
         let mut first_panic = None;
         for (shard, handle) in self.workers.drain(..).enumerate() {
@@ -522,7 +628,7 @@ impl<K: Item + Send + 'static> Drop for ShardedPipeline<K> {
     /// has already been reported through the channel send error, if anyone
     /// was listening.
     fn drop(&mut self) {
-        self.senders.clear();
+        self.links.clear();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }

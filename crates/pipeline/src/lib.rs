@@ -4,16 +4,20 @@
 //! # Architecture
 //!
 //! ```text
-//!                    ┌── crossbeam channel ──▶ shard worker 0: MisraGries(k) ─┐
-//! producer ─ router ─┼── crossbeam channel ──▶ shard worker 1: MisraGries(k) ─┼─▶ merge tree ─▶ one DP release
-//!  (batches)         └── crossbeam channel ──▶ shard worker S−1 …            ─┘   (sketch::merge)   (core::merged)
+//!                    ┌── SPSC block ring ⇄ ──▶ shard worker 0: MisraGries(k) ─┐
+//! producer ─ router ─┼── SPSC block ring ⇄ ──▶ shard worker 1: MisraGries(k) ─┼─▶ merge tree ─▶ one DP release
+//!  (batches)         └── SPSC block ring ⇄ ──▶ shard worker S−1 …            ─┘   (sketch::merge)   (core::merged)
 //! ```
 //!
 //! [`ShardedPipeline`] routes each item to one of `S` shard workers by a
 //! fixed hash of its key ([`Routing::HashKey`]), buffering items into
 //! batches so the workers run the amortized
 //! [`MisraGries::extend_batch`](dpmg_sketch::misra_gries::MisraGries::extend_batch)
-//! hot path. When ingestion finishes, the per-shard summaries are combined
+//! hot path. Batch blocks travel over a bounded SPSC block [`ring`] per
+//! shard, paired with a return ring (the `⇄`) that recycles spent blocks,
+//! so steady-state ingestion allocates nothing; [`Handoff::Mpsc`] selects
+//! the legacy `std::sync::mpsc`-backed channels (with their own free-list
+//! recycling) as the differential-testing reference. When ingestion finishes, the per-shard summaries are combined
 //! with the binary merge tree of
 //! [`sketch::merge`](dpmg_sketch::merge::merge_tree) and released **once**
 //! through the trusted-aggregator mechanisms of
@@ -71,11 +75,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod affinity;
 pub mod config;
 pub mod engine;
 pub mod mechanism;
+pub mod ring;
 
-pub use config::{PipelineConfig, PipelineError, ReleaseKind, Routing};
+pub use config::{Handoff, PipelineConfig, PipelineError, ReleaseKind, Routing};
 pub use engine::{shard_of_key, PipelineStats, ShardedPipeline};
 pub use mechanism::{
     sequential_sharded_reference, PrivatizedPipeline, SequentialBaseline, StreamingMechanism,

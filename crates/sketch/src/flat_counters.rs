@@ -267,6 +267,60 @@ impl<T: Hash + Eq> FlatCounters<T> {
         self.find(key, fx_hash(key)).is_some()
     }
 
+    /// Like [`Self::get`], but also returns the slot index holding `key`,
+    /// so a validate-then-evict sequence (the sketch's Branch 3: check
+    /// that the eviction candidate's counter still equals the minimum,
+    /// then remove it) can hand the index to [`Self::remove_at`] and skip
+    /// the second hash-and-probe.
+    ///
+    /// The index stays valid until the next [`Self::insert`]/
+    /// [`Self::remove`]-family call (either may shift entries).
+    #[inline]
+    pub fn get_indexed(&self, key: &T) -> Option<(usize, u64)> {
+        let hash = fx_hash(key);
+        self.find(key, hash).map(|i| {
+            (
+                i,
+                self.slots[i]
+                    .as_ref()
+                    .expect("find returns occupied slots")
+                    .stored,
+            )
+        })
+    }
+
+    /// [`Self::get_indexed`] probing by hash and a key predicate instead
+    /// of a borrowed key, for callers that hold the key in exploded form
+    /// (the sketch's level bucket stores bare `K`s, not `Slot<K>`s) and
+    /// would otherwise have to construct — possibly clone into — a `T`
+    /// just to compare against it. `hash` must be the full [`fx_hash`] of
+    /// the key being looked up and `matches` its equality predicate.
+    #[inline]
+    pub fn get_indexed_by(
+        &self,
+        hash: u64,
+        mut matches: impl FnMut(&T) -> bool,
+    ) -> Option<(usize, u64)> {
+        let mut i = self.home(hash);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some(e) if e.hash == hash && matches(&e.key) => return Some((i, e.stored)),
+                Some(_) => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Warms the cache line of `hash`'s home slot with a plain read, so a
+    /// probe issued a few iterations later finds it resident. Safe-Rust
+    /// software prefetch: the read is kept alive with
+    /// [`std::hint::black_box`], costs one load, and mutates nothing.
+    #[inline]
+    pub fn prefetch(&self, hash: u64) {
+        let i = self.home(hash);
+        std::hint::black_box(self.slots[i].is_some());
+    }
+
     /// Inserts or replaces `key → value`; returns the previous value if
     /// the key was already present. Doubles the table when the live count
     /// would exceed the ½ load bound.
@@ -308,7 +362,22 @@ impl<T: Hash + Eq> FlatCounters<T> {
     pub fn remove(&mut self, key: &T) -> Option<u64> {
         let hash = fx_hash(key);
         let i = self.find(key, hash)?;
-        let removed = self.slots[i].take().expect("find returns occupied slots");
+        let (_, stored) = self.remove_at(i);
+        Some(stored)
+    }
+
+    /// Removes the entry at slot `index` (as returned by
+    /// [`Self::get_indexed`]), returning its key and counter — the second
+    /// half of the validate-then-evict sequence, skipping the re-probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not address an occupied slot; indices are
+    /// only meaningful when no insert/remove happened since they were
+    /// obtained.
+    pub fn remove_at(&mut self, index: usize) -> (T, u64) {
+        let i = index;
+        let removed = self.slots[i].take().expect("remove_at on an occupied slot");
         self.live -= 1;
         // Backward-shift: walk the contiguous run after the hole; an entry
         // may fill the hole iff the hole lies within its probe path, i.e.
@@ -324,7 +393,7 @@ impl<T: Hash + Eq> FlatCounters<T> {
             }
             j = (j + 1) & self.mask;
         }
-        Some(removed.stored)
+        (removed.key, removed.stored)
     }
 
     /// Iterates over `(key, counter)` pairs in unspecified (layout) order.

@@ -28,10 +28,26 @@
 //! `offset` and store each counter as `stored = effective + offset`, making
 //! Branch 2 a single `offset += 1` — an O(1) scalar add in place of the
 //! full-table sweep. Zero-count keys are exactly those with
-//! `stored == offset`. The smallest zero-count key is found with a lazy
-//! min-heap over `(stored, key)` pairs: entries go stale when a counter is
-//! incremented and are repaired on access, which costs amortized `O(log k)`
-//! per stream element.
+//! `stored == offset`.
+//!
+//! The smallest zero-count key is found with a **level bucket**: a
+//! key-sorted `Vec` of the keys whose stored value equals the current
+//! minimum level. When the bucket runs dry, one linear pass over the flat
+//! table finds the new minimum stored value and collects every key at it
+//! (`O(k)`, cache-friendly — the table is one contiguous array); the
+//! collected keys are sorted descending so Branch 3 pops eviction victims
+//! off the tail in exactly the `(counter, key)`-lexicographic order
+//! Algorithm 1 requires, at `O(1)` per eviction. A bucketed key goes
+//! *stale* when its counter is incremented (Branch 1); stale candidates
+//! are detected by one table probe at pop time and simply discarded — the
+//! next scan rediscovers them at their new level. Scan levels strictly
+//! increase and each level the minimum visits is paid for by a Branch-2
+//! offset step (bounded by `α ≤ n/(k+1)`), so the scans amortize to
+//! `O(1)` per stream element; the bucket sorts are the only remaining
+//! `O(log k)` factor. Compared to the lazy min-heap this replaces, the
+//! hot Branch 3 sheds the `O(log k)` top-replacement sift *and* the heap
+//! push for the replacement key — on low-skew streams, where ~90% of
+//! elements run Branch 3, that sift dominated the per-item cost.
 //!
 //! The counters themselves live in a [`FlatCounters`] table (one
 //! contiguous open-addressing slot array, linear probing, fx hashing, ½
@@ -44,10 +60,9 @@
 //! differential testing; the two implementations are proptest-equivalent
 //! on every prefix of random streams.
 
-use crate::flat_counters::{fx_hash, FlatCounters};
+use crate::flat_counters::{fx_hash, FlatCounters, FxHasher};
 use crate::traits::{FrequencyOracle, Item, SketchError, Summary, TopKSketch};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
 
 /// A slot key: either a real universe element or one of the `k` initial
 /// dummy counters.
@@ -55,12 +70,44 @@ use std::collections::BinaryHeap;
 /// The ordering places every real item *before* every dummy, matching the
 /// paper's convention that dummies are the universe-external keys
 /// `d+1 < d+2 < … < d+k`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Slot<K> {
     /// A real element of the universe.
     Item(K),
     /// The `i`-th dummy counter (`0 ≤ i < k`), ordered after all real items.
     Dummy(u32),
+}
+
+/// Manual [`Hash`] with a fixed variant-tag layout (`0u8` + key for items,
+/// `1u8` + index for dummies), so [`item_hash`] can produce the exact hash
+/// of `Slot::Item(k)` from a `&K` alone — the software-pipelined batch
+/// loop hashes a window of upcoming keys before deciding whether any of
+/// them needs a `Slot` constructed at all.
+impl<K: Hash> Hash for Slot<K> {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Slot::Item(k) => {
+                state.write_u8(0);
+                k.hash(state);
+            }
+            Slot::Dummy(i) => {
+                state.write_u8(1);
+                i.hash(state);
+            }
+        }
+    }
+}
+
+/// The [`fx_hash`] of `Slot::Item(key)`, computed without constructing
+/// (or cloning into) the `Slot`. Guaranteed identical to
+/// `fx_hash(&Slot::Item(key))` by the manual [`Hash`] impl above.
+#[inline]
+pub fn item_hash<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write_u8(0);
+    key.hash(&mut hasher);
+    hasher.finish()
 }
 
 impl<K> Slot<K> {
@@ -99,22 +146,50 @@ pub struct MisraGries<K: Item> {
     /// pre-sized for exactly `k` live entries (it never grows). Invariant:
     /// `stored ≥ offset`, `counts.len() == k` at all times.
     counts: FlatCounters<Slot<K>>,
-    /// Lazy min-heap over `(stored, key)`; exactly one entry per live slot,
-    /// possibly stale (stored value smaller than the map's). The freshest
-    /// minimum identifies the smallest zero-count key.
-    heap: BinaryHeap<Reverse<(u64, Slot<K>)>>,
+    /// The level bucket: keys recorded at stored value
+    /// [`Self::bucket_level`], sorted *descending*, so popping from the
+    /// tail yields candidates in ascending key order — the `(stored,
+    /// key)`-lexicographic eviction order Algorithm 1 requires for equal
+    /// stored values. Entries may be stale (counter incremented since the
+    /// collecting scan; staleness only ever raises the true value), which
+    /// one probe at pop time detects; stale candidates are discarded.
+    /// Refilled by a linear scan of the table each time it runs dry.
+    ///
+    /// Stored in exploded form — real keys here, dummy indices in
+    /// [`Self::bucket_dummies`] — rather than as `Slot<K>`s: every real
+    /// item orders before every dummy, so the combined pop order (items
+    /// ascending, then dummies ascending) is unchanged, while the sort
+    /// that dominates refill cost runs on bare `K`s (for `u64` keys,
+    /// half-width elements and a branchless comparison — measurably ~2×
+    /// the sort throughput of the 16-byte enum).
+    bucket_items: Vec<K>,
+    /// Dummy-index half of the level bucket, also descending; consulted
+    /// only when [`Self::bucket_items`] is empty. Dummies are never
+    /// incremented, so these candidates can never be stale.
+    bucket_dummies: Vec<u32>,
+    /// The stored value every [`Self::bucket`] entry was recorded at.
+    /// Meaningless while the bucket is empty. Invariant: `offset ≤
+    /// bucket_level` whenever the bucket is non-empty, with equality
+    /// exactly when Branch 3 may fire.
+    bucket_level: u64,
     /// Number of stream elements processed.
     n: u64,
     /// Number of Branch-2 (decrement-all) executions, the `α` of Lemma 15.
     decrements: u64,
-    /// Whether the heap's top entry is known fresh (its recorded stored
-    /// value equals the table's). While true, [`Self::fresh_min`] is a
-    /// single heap peek with *no* table lookups — Branch 2 never touches
-    /// stored values or the heap, so the validated top survives any number
-    /// of offset bumps; only a Branch-1 increment of the top key itself
-    /// (checked in [`Self::note_increment`]) or a Branch-3 replacement can
-    /// invalidate it.
+    /// Whether the current minimum candidate — the bucket's tail entry —
+    /// is known fresh (its recorded stored value equals the table's).
+    /// While true, [`Self::fresh_min`] is a single slice peek with *no*
+    /// table lookups — Branch 2 never touches stored values, so the
+    /// validated candidate survives any number of offset bumps; only a
+    /// Branch-1 increment of the candidate itself (checked in
+    /// [`Self::note_increment`]) or a Branch-3 eviction can invalidate
+    /// it. `min_fresh` implies the bucket is non-empty.
     min_fresh: bool,
+    /// Table slot index of the validated candidate (valid only while
+    /// [`Self::min_fresh`]; no insert/remove happens while it is set), so
+    /// Branch 3 evicts with [`FlatCounters::remove_at`] instead of a
+    /// second hash-and-probe.
+    min_at: usize,
 }
 
 impl<K: Item> MisraGries<K> {
@@ -133,21 +208,26 @@ impl<K: Item> MisraGries<K> {
         // entries (≤ ½ load factor, see `FlatCounters::with_live_capacity`)
         // and the heap for its one-entry-per-slot invariant.
         let mut counts = FlatCounters::with_live_capacity(k);
-        let mut heap = BinaryHeap::with_capacity(k);
-        for i in 0..k {
-            let slot = Slot::Dummy(i as u32);
-            counts.insert(slot.clone(), 0);
-            heap.push(Reverse((0, slot)));
+        // All k dummies share stored value 0, so they start directly in the
+        // level bucket (descending index order: Dummy(k−1) … Dummy(0)).
+        let mut bucket_dummies = Vec::with_capacity(k);
+        for i in (0..k as u32).rev() {
+            counts.insert(Slot::Dummy(i), 0);
+            bucket_dummies.push(i);
         }
         Ok(Self {
             k,
             offset: 0,
             counts,
-            heap,
+            bucket_items: Vec::with_capacity(k),
+            bucket_dummies,
+            bucket_level: 0,
             n: 0,
             decrements: 0,
-            // Every initial entry is pushed with its true stored value.
-            min_fresh: true,
+            // The candidate's table index is not known yet; the first
+            // fresh_min call validates Dummy(0) with one probe.
+            min_fresh: false,
+            min_at: 0,
         })
     }
 
@@ -223,20 +303,22 @@ impl<K: Item> MisraGries<K> {
             ));
         }
         let mut counts = FlatCounters::with_live_capacity(k);
-        let mut heap = BinaryHeap::with_capacity(k);
         for (slot, count) in slots {
-            counts.insert(slot.clone(), count);
-            heap.push(Reverse((count, slot)));
+            counts.insert(slot, count);
         }
         Ok(Self {
             k,
             offset: 0,
             counts,
-            heap,
+            bucket_items: Vec::with_capacity(k),
+            bucket_dummies: Vec::new(),
+            bucket_level: 0,
             n,
             decrements,
-            // Every entry was pushed with its true stored value.
-            min_fresh: true,
+            // Restored counts are arbitrary, so the bucket starts empty and
+            // the first fresh_min scan collects the minimum level.
+            min_fresh: false,
+            min_at: 0,
         })
     }
 
@@ -280,18 +362,23 @@ impl<K: Item> MisraGries<K> {
         self.slow_absent(key, hash, 1);
     }
 
-    /// Records that `key`'s counter was incremented: if it is the heap's
-    /// validated top entry, that entry is no longer fresh. Incrementing any
-    /// *other* key cannot disturb the top's minimality — every heap entry's
-    /// recorded value is a lower bound on its true counter, so a fresh top
-    /// (recorded ≤ every other recorded ≤ every other true value) remains
-    /// the exact `(counter, key)`-lexicographic minimum.
+    /// Records that `key`'s counter was incremented: if it is the
+    /// validated minimum candidate (the bucket's tail), that candidate is
+    /// no longer fresh. Incrementing any *other* key cannot disturb the
+    /// candidate's minimality — every recorded value (bucket or heap) is a
+    /// lower bound on its true counter, so a fresh candidate (recorded ≤
+    /// every other recorded ≤ every other true value) remains the exact
+    /// `(counter, key)`-lexicographic minimum.
     #[inline]
     fn note_increment(&mut self, key: &Slot<K>) {
         if self.min_fresh {
-            let Reverse((_, top)) = self.heap.peek().expect("heap holds k entries");
-            if top == key {
-                self.min_fresh = false;
+            // Only real items are ever incremented, and whenever any item
+            // is bucketed the candidate is the item tail, so a dummy
+            // candidate can never be the incremented key.
+            if let (Slot::Item(x), Some(tail)) = (key, self.bucket_items.last()) {
+                if x == tail {
+                    self.min_fresh = false;
+                }
             }
         }
     }
@@ -317,19 +404,30 @@ impl<K: Item> MisraGries<K> {
         self.decrements += decrements;
         let remaining = m - decrements;
         if remaining > 0 {
-            // Branch 3: evict the smallest zero-count key (the fresh heap
-            // minimum, whose stored value equals the offset) and take its
-            // slot; then `remaining − 1` Branch-1 increments. Swapping the
-            // new entry in through `peek_mut` costs one sift instead of a
-            // pop + push pair; the swapped-out victim was the validated
-            // entry, so the new top's freshness is unknown until the next
-            // repair.
+            // Branch 3: evict the smallest zero-count key — the validated
+            // bucket tail, whose stored value equals the offset — and take
+            // its slot; then `remaining − 1` Branch-1 increments. The
+            // victim's table index was captured during validation, so the
+            // removal skips its probe; the replacement needs no tracking
+            // entry at all — its counter sits above the minimum level, and
+            // a future scan picks it up if the minimum ever reaches it.
+            debug_assert!(self.min_fresh, "fresh_min ran just above");
             let stored = self.offset + remaining;
-            let mut top = self.heap.peek_mut().expect("heap holds k entries");
-            let Reverse((_, victim)) = std::mem::replace(&mut *top, Reverse((stored, key.clone())));
-            drop(top);
-            let removed = self.counts.remove(&victim);
-            debug_assert_eq!(removed, Some(self.offset));
+            let (removed_key, removed) = self.counts.remove_at(self.min_at);
+            debug_assert_eq!(removed, self.offset);
+            // Retire the candidate that remove_at just evicted from
+            // whichever bucket half held it.
+            match &removed_key {
+                Slot::Item(x) => {
+                    let popped = self.bucket_items.pop();
+                    debug_assert_eq!(popped.as_ref(), Some(x));
+                }
+                Slot::Dummy(i) => {
+                    debug_assert!(self.bucket_items.is_empty());
+                    let popped = self.bucket_dummies.pop();
+                    debug_assert_eq!(popped, Some(*i));
+                }
+            }
             self.counts.insert_hashed(key, hash, stored);
             self.min_fresh = false;
         }
@@ -352,29 +450,67 @@ impl<K: Item> MisraGries<K> {
     /// `fresh_min` queries. This is the ingestion hot path of the sharded
     /// pipeline (`dpmg-pipeline`), where key-routed substreams of skewed
     /// workloads have much higher run density than the global stream.
+    ///
+    /// The loop is software-pipelined: run `N+1` is carved out and its
+    /// head key hashed ([`item_hash`], no `Slot` construction) — issuing a
+    /// [`FlatCounters::prefetch`] of its home cache line — *before* run
+    /// `N`'s probe executes, so each probe's line is already in flight
+    /// while the previous run is applied. A deeper hash-ahead window
+    /// (W = 8 runs staged through stack arrays) measured strictly slower
+    /// here: counter tables at practical `k` are L1/L2-resident, so extra
+    /// prefetch distance hides nothing while the staging traffic costs
+    /// real instructions. Hashes depend only on the keys — never on table
+    /// state — so precomputing one across a run boundary cannot change
+    /// any probe's outcome, and runs are still applied strictly in stream
+    /// order: the result is bit-identical to the per-element loop.
     pub fn extend_batch(&mut self, batch: &[K]) {
-        let mut i = 0;
-        while i < batch.len() {
-            let first = &batch[i];
-            let mut j = i + 1;
-            while j < batch.len() && batch[j] == *first {
-                j += 1;
-            }
-            self.update_run(first, (j - i) as u64);
-            i = j;
+        if batch.is_empty() {
+            return;
         }
+        // Prime the pipeline: carve run 0 and start its line fetch.
+        let mut start = 0;
+        let mut end = Self::run_end(batch, 0);
+        let mut hash = item_hash(&batch[0]);
+        self.counts.prefetch(hash);
+        while end < batch.len() {
+            // Carve + hash run N+1 (issuing its prefetch) before probing
+            // run N, so the next probe's cache line is already in flight
+            // while this probe executes.
+            let next_start = end;
+            let next_end = Self::run_end(batch, next_start);
+            let next_hash = item_hash(&batch[next_start]);
+            self.counts.prefetch(next_hash);
+            self.update_run_hashed(&batch[start], (end - start) as u64, hash);
+            start = next_start;
+            end = next_end;
+            hash = next_hash;
+        }
+        self.update_run_hashed(&batch[start], (end - start) as u64, hash);
     }
 
-    /// Processes `m ≥ 1` consecutive occurrences of `x` in one step:
-    /// `m` Branch-1 increments collapse to one `+= m` when `x` is stored,
-    /// and [`Self::slow_absent`] collapses the decrement bookkeeping when it
+    /// Returns the exclusive end of the run of equal elements starting at
+    /// `i` (`batch[i] == batch[i+1] == …`).
+    #[inline]
+    fn run_end(batch: &[K], i: usize) -> usize {
+        let first = &batch[i];
+        let mut j = i + 1;
+        while j < batch.len() && batch[j] == *first {
+            j += 1;
+        }
+        j
+    }
+
+    /// Processes `m ≥ 1` consecutive occurrences of `x` in one step, with
+    /// `hash = `[`item_hash`]`(x)` supplied by the caller: `m` Branch-1
+    /// increments collapse to one `+= m` when `x` is stored, and
+    /// [`Self::slow_absent`] collapses the decrement bookkeeping when it
     /// is not. Equivalent to `m` sequential [`Self::update`] calls.
     #[inline]
-    fn update_run(&mut self, x: &K, m: u64) {
+    fn update_run_hashed(&mut self, x: &K, m: u64, hash: u64) {
         debug_assert!(m >= 1);
+        debug_assert_eq!(hash, item_hash(x));
         self.n += m;
         let key = Slot::Item(x.clone());
-        let hash = fx_hash(&key);
         if let Some(stored) = self.counts.get_mut_hashed(&key, hash) {
             *stored += m;
             self.note_increment(&key);
@@ -383,33 +519,81 @@ impl<K: Item> MisraGries<K> {
         self.slow_absent(key, hash, m);
     }
 
-    /// Returns the minimum stored value, repairing stale heap entries until
-    /// the top is fresh. When the top is already validated
+    /// Returns the minimum stored value, discarding stale candidates until
+    /// the bucket's tail is fresh. When the candidate is already validated
     /// (`min_fresh`, the common case on miss-heavy streams) this is a
-    /// single heap peek with no table lookups; the repair loop leaves the
-    /// heap top as the exact `(counter, key)`-lexicographic minimum, which
-    /// Branch 3 pops as its eviction victim.
+    /// single field read with no table lookups. Stale candidates — their
+    /// counter was incremented past the bucket level — are simply dropped
+    /// (a later scan rediscovers them at their new level), and once the
+    /// bucket runs dry [`Self::refill_bucket`] rebuilds it from the table;
+    /// either way the loop leaves the bucket tail as the exact `(counter,
+    /// key)`-lexicographic minimum, which Branch 3 pops as its eviction
+    /// victim.
     fn fresh_min(&mut self) -> u64 {
         if self.min_fresh {
-            let Reverse((s, _)) = self.heap.peek().expect("heap holds k entries");
-            return *s;
+            return self.bucket_level;
         }
         loop {
-            let Reverse((s, key)) = self.heap.peek().expect("heap holds k entries").clone();
-            let current = self
-                .counts
-                .get(&key)
-                .expect("heap keys always live in the table");
-            if current == s {
-                self.min_fresh = true;
-                return s;
+            if let Some(x) = self.bucket_items.last() {
+                let (at, current) = self
+                    .counts
+                    .get_indexed_by(item_hash(x), |slot| matches!(slot, Slot::Item(y) if y == x))
+                    .expect("bucket keys always live in the table");
+                if current == self.bucket_level {
+                    self.min_fresh = true;
+                    self.min_at = at;
+                    return current;
+                }
+                // Stale: incremented since the collecting scan.
+                debug_assert!(current > self.bucket_level);
+                self.bucket_items.pop();
+                continue;
             }
-            // Stale: the counter was incremented since this entry was
-            // pushed. Replace with the fresh value.
-            debug_assert!(current > s);
-            self.heap.pop();
-            self.heap.push(Reverse((current, key)));
+            if let Some(&i) = self.bucket_dummies.last() {
+                // Dummies are never incremented, so this candidate is
+                // fresh by construction; the probe only fetches its index.
+                let (at, current) = self
+                    .counts
+                    .get_indexed(&Slot::Dummy(i))
+                    .expect("bucket keys always live in the table");
+                debug_assert_eq!(current, self.bucket_level);
+                self.min_fresh = true;
+                self.min_at = at;
+                return current;
+            }
+            self.refill_bucket();
         }
+    }
+
+    /// Rebuilds the bucket with one linear pass over the flat table:
+    /// finds the minimum stored value and collects every key holding it —
+    /// all fresh at scan time, so the validation the caller's loop
+    /// performs next succeeds immediately. Scan levels strictly increase,
+    /// and each level the minimum visits is paid for by Branch-2 offset
+    /// steps (bounded by `α ≤ n/(k+1)`), so the `O(k)` pass amortizes to
+    /// `O(1)` per stream element.
+    fn refill_bucket(&mut self) {
+        debug_assert!(self.bucket_items.is_empty() && self.bucket_dummies.is_empty());
+        let mut min = u64::MAX;
+        for (key, stored) in self.counts.iter() {
+            if stored > min {
+                continue;
+            }
+            if stored < min {
+                min = stored;
+                self.bucket_items.clear();
+                self.bucket_dummies.clear();
+            }
+            match key {
+                Slot::Item(x) => self.bucket_items.push(x.clone()),
+                Slot::Dummy(i) => self.bucket_dummies.push(*i),
+            }
+        }
+        debug_assert!(min < u64::MAX, "the table always holds k live keys");
+        self.bucket_level = min;
+        // Descending, so the tails pop in ascending key order.
+        self.bucket_items.sort_unstable_by(|a, b| b.cmp(a));
+        self.bucket_dummies.sort_unstable_by(|a, b| b.cmp(a));
     }
 
     /// Effective counter for `x` (0 if not stored).
@@ -457,13 +641,14 @@ impl<K: Item> MisraGries<K> {
     }
 
     /// Real heap footprint of the sketch in bytes: the flat counter table
-    /// (capacity × slot size under the ½-load policy) plus the lazy
-    /// min-heap's backing buffer. This is the concrete-machine counterpart
+    /// (capacity × slot size under the ½-load policy) plus the level
+    /// bucket's backing buffer. This is the concrete-machine counterpart
     /// of the paper's `2k`-word accounting ([`Self::space_words`]), used
     /// by the E13 space experiment.
     pub fn space_bytes(&self) -> usize {
         self.counts.space_bytes()
-            + self.heap.capacity() * std::mem::size_of::<Reverse<(u64, Slot<K>)>>()
+            + self.bucket_items.capacity() * std::mem::size_of::<K>()
+            + self.bucket_dummies.capacity() * std::mem::size_of::<u32>()
     }
 }
 

@@ -85,7 +85,8 @@ pub mod prelude {
     pub use dpmg_core::pmg::{PrivateHistogram, PrivateMisraGries};
     pub use dpmg_noise::accounting::{Accountant, PrivacyParams};
     pub use dpmg_pipeline::{
-        PipelineConfig, PrivatizedPipeline, SequentialBaseline, ShardedPipeline, StreamingMechanism,
+        Handoff, PipelineConfig, PrivatizedPipeline, SequentialBaseline, ShardedPipeline,
+        StreamingMechanism,
     };
     pub use dpmg_server::{AppState, Server, ServerConfig, ServiceBackend, TenantRegistry};
     pub use dpmg_service::{

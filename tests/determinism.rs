@@ -173,59 +173,63 @@ fn service_matches_sequential_reference_bit_for_bit_at_every_shard_count() {
     };
     for shards in [1usize, 2, 4, 8] {
         for mech_name in ["merged-laplace", "gshm"] {
-            let mechanism = || -> Box<dyn ReleaseMechanism<u64>> {
-                match mech_name {
-                    "merged-laplace" => Box::new(MergedLaplaceMechanism::new(params).unwrap()),
-                    _ => Box::new(GshmMechanism::new(params).unwrap()),
-                }
-            };
-            let seed = 0xD1FF ^ shards as u64;
-            let config = ServiceConfig::new(shards, 32).with_batch_size(173);
-            let mut svc = DpmgService::new(config, mechanism(), budget, seed).unwrap();
-            let mut oracle =
-                SequentialServiceReference::new(config, mechanism(), budget, seed).unwrap();
-            for (i, epoch) in epochs.iter().enumerate() {
-                svc.ingest_from(epoch.iter().copied()).unwrap();
-                oracle.ingest_from(epoch.iter().copied()).unwrap();
-                let snap_svc = svc.end_epoch().unwrap();
-                let snap_ref = oracle.end_epoch().unwrap();
+            for handoff in [Handoff::Ring, Handoff::Mpsc] {
+                let mechanism = || -> Box<dyn ReleaseMechanism<u64>> {
+                    match mech_name {
+                        "merged-laplace" => Box::new(MergedLaplaceMechanism::new(params).unwrap()),
+                        _ => Box::new(GshmMechanism::new(params).unwrap()),
+                    }
+                };
+                let seed = 0xD1FF ^ shards as u64;
+                let config = ServiceConfig::new(shards, 32)
+                    .with_batch_size(173)
+                    .with_handoff(handoff);
+                let mut svc = DpmgService::new(config, mechanism(), budget, seed).unwrap();
+                let mut oracle =
+                    SequentialServiceReference::new(config, mechanism(), budget, seed).unwrap();
+                for (i, epoch) in epochs.iter().enumerate() {
+                    svc.ingest_from(epoch.iter().copied()).unwrap();
+                    oracle.ingest_from(epoch.iter().copied()).unwrap();
+                    let snap_svc = svc.end_epoch().unwrap();
+                    let snap_ref = oracle.end_epoch().unwrap();
 
-                // Epoch releases bit-for-bit (pre-noise input AND noisy
-                // output), via the public transcripts.
-                let (a, b) = (&svc.transcript()[i], &oracle.transcript()[i]);
-                assert_eq!(
-                    a.pre_noise, b.pre_noise,
-                    "{mech_name}/{shards} shards, epoch {i}: pre-noise summary diverged"
-                );
-                assert_eq!(
-                    hist_bits(&a.histogram),
-                    hist_bits(&b.histogram),
-                    "{mech_name}/{shards} shards, epoch {i}: released histogram diverged"
-                );
-                assert_eq!(
-                    a.histogram.threshold().to_bits(),
-                    b.histogram.threshold().to_bits()
-                );
-                assert_eq!((a.epoch, a.items), (b.epoch, b.items));
-
-                // Query answers identical after every epoch.
-                assert_eq!(snap_svc.epoch, snap_ref.epoch);
-                assert_eq!(snap_svc.estimates.len(), snap_ref.estimates.len());
-                for (key, value) in &snap_svc.estimates {
+                    // Epoch releases bit-for-bit (pre-noise input AND noisy
+                    // output), via the public transcripts.
+                    let (a, b) = (&svc.transcript()[i], &oracle.transcript()[i]);
                     assert_eq!(
-                        value.to_bits(),
-                        snap_ref.estimates[key].to_bits(),
-                        "{mech_name}/{shards} shards, epoch {i}: query for {key} diverged"
+                        a.pre_noise, b.pre_noise,
+                        "{mech_name}/{shards} shards, epoch {i}: pre-noise summary diverged"
                     );
+                    assert_eq!(
+                        hist_bits(&a.histogram),
+                        hist_bits(&b.histogram),
+                        "{mech_name}/{shards} shards, epoch {i}: released histogram diverged"
+                    );
+                    assert_eq!(
+                        a.histogram.threshold().to_bits(),
+                        b.histogram.threshold().to_bits()
+                    );
+                    assert_eq!((a.epoch, a.items), (b.epoch, b.items));
+
+                    // Query answers identical after every epoch.
+                    assert_eq!(snap_svc.epoch, snap_ref.epoch);
+                    assert_eq!(snap_svc.estimates.len(), snap_ref.estimates.len());
+                    for (key, value) in &snap_svc.estimates {
+                        assert_eq!(
+                            value.to_bits(),
+                            snap_ref.estimates[key].to_bits(),
+                            "{mech_name}/{shards} shards, epoch {i}: query for {key} diverged"
+                        );
+                    }
+                    assert_eq!(svc.top_k(8), oracle.top_k(8));
                 }
-                assert_eq!(svc.top_k(8), oracle.top_k(8));
+                // And the budget arithmetic marched in lockstep.
+                assert_eq!(svc.accountant().charges(), oracle.accountant().charges());
+                assert_eq!(
+                    svc.accountant().remaining_epsilon().to_bits(),
+                    oracle.accountant().remaining_epsilon().to_bits()
+                );
             }
-            // And the budget arithmetic marched in lockstep.
-            assert_eq!(svc.accountant().charges(), oracle.accountant().charges());
-            assert_eq!(
-                svc.accountant().remaining_epsilon().to_bits(),
-                oracle.accountant().remaining_epsilon().to_bits()
-            );
         }
     }
 }
