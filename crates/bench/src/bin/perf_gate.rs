@@ -1,7 +1,8 @@
 //! The CI perf-regression gate: compares freshly measured
 //! `BENCH_ingest.json` / `BENCH_service.json` / `BENCH_durability.json` /
-//! `BENCH_server.json` (written by quick-mode `exp_e20_ingest` /
-//! `exp_e19_service` / `exp_e23_durability` / `exp_e24_server` into the
+//! `BENCH_server.json` / `BENCH_fleet.json` (written by quick-mode
+//! `exp_e20_ingest` / `exp_e19_service` / `exp_e23_durability` /
+//! `exp_e24_server` / `exp_e21_fleet` into the
 //! experiment dir) against the baselines
 //! committed at the repo root, and fails the build only on a heavy
 //! regression. The durability file additionally carries an **in-process**
@@ -13,6 +14,8 @@
 //! single-thread scaling efficiency and the minimum router-only ÷
 //! full-pipeline headroom (the handoff machinery, measured with draining
 //! sink workers, must stay at least as fast as the pipeline it feeds).
+//! The fleet file carries one more: the best fleet shape ÷ in-process
+//! sharded pipeline throughput at equal total shards, gated the same way.
 //!
 //! Design constraints, in order:
 //!
@@ -138,6 +141,19 @@ fn router_headroom_floor() -> f64 {
         .unwrap_or(0.8)
 }
 
+/// The minimum best-fleet-shape ÷ in-process-sharded throughput ratio the
+/// fleet file must report (`DPMG_FLEET_SPEEDUP_FLOOR` overrides).
+/// Same-machine ratio at equal total shards; the fleet's timed window
+/// starts at the GO barrier (spawn and stream setup excluded), so the
+/// healthy value sits near or above 1.0 and a handoff or framing
+/// pathology on the report path drops through the floor.
+fn fleet_speedup_floor() -> f64 {
+    std::env::var("DPMG_FLEET_SPEEDUP_FLOOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.6)
+}
+
 /// Extracts a top-level scalar field (e.g. `"wal_overhead_pct"`,
 /// `"scaling_efficiency_min"`) from a measured bench JSON (same
 /// no-JSON-dependency convention as the run parser).
@@ -241,6 +257,7 @@ fn main() {
         "BENCH_service.json",
         "BENCH_durability.json",
         "BENCH_server.json",
+        "BENCH_fleet.json",
     ] {
         match gate_file(name, &baseline_dir, &measured_dir) {
             Ok(geomean) => {
@@ -286,6 +303,26 @@ fn main() {
         }
         Err(e) => {
             println!("[PERF-FAIL] scaling efficiency: {e}\n");
+            failed = true;
+        }
+    }
+    match read_scalar(
+        &measured_dir,
+        "BENCH_fleet.json",
+        "fleet_vs_sharded_speedup",
+    ) {
+        Ok(speedup) => {
+            let floor = fleet_speedup_floor();
+            let ok = speedup >= floor;
+            println!(
+                "[{}] fleet speedup (best fleet shape ÷ in-process 8-shard pipeline): {speedup:.2} \
+                 (floor {floor:.2}; same-machine ratio, runner speed cancels)\n",
+                if ok { "PERF-OK  " } else { "PERF-FAIL" }
+            );
+            failed |= !ok;
+        }
+        Err(e) => {
+            println!("[PERF-FAIL] fleet speedup: {e}\n");
             failed = true;
         }
     }

@@ -124,6 +124,12 @@ fn golden_exp_e20_ingest() {
 }
 
 #[test]
+fn golden_exp_e21_fleet() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e21_fleet"), "exp_e21_fleet");
+    assert_matches_golden("exp_e21_fleet", &deterministic_sections(&stdout));
+}
+
+#[test]
 fn golden_exp_e23_durability() {
     let stdout = run_quick(
         env!("CARGO_BIN_EXE_exp_e23_durability"),

@@ -1143,6 +1143,39 @@ pub fn release_metered<K: Item>(
     Ok(release)
 }
 
+/// The trusted-aggregator release path for **merged** summaries — the one
+/// release a sharded pipeline or a multi-process aggregation fleet
+/// performs after tree-merging its shard summaries (Lemma 17 / Corollary
+/// 18). Merged summaries have the Corollary 18 neighbour structure (differ
+/// one-sidedly by ≤ 1 on ≤ `k` arbitrary counters), so a mechanism whose
+/// noise is calibrated to any other [`SensitivityModel`] would silently
+/// under-noise them; such mechanisms are refused **before** noise is drawn
+/// or budget charged. The sound subset of the registry is `gshm` and
+/// `merged-laplace`.
+///
+/// # Errors
+///
+/// [`ReleaseError::Unsupported`] for a mechanism whose sensitivity model
+/// is not [`SensitivityModel::MergedOneSided`]; otherwise as
+/// [`release_metered`] (budget refusals and mechanism failures, neither of
+/// which charges the accountant).
+pub fn release_merged_metered<K: Item>(
+    mechanism: &dyn ReleaseMechanism<K>,
+    merged: &Summary<K>,
+    accountant: &mut Accountant,
+    rng: &mut dyn RngCore,
+) -> Result<Release<K>, ReleaseError> {
+    if mechanism.sensitivity_model() != SensitivityModel::MergedOneSided {
+        return Err(ReleaseError::Unsupported {
+            mechanism: mechanism.name(),
+            reason: "merged summaries (multi-shard or multi-process) have the Corollary 18 \
+                     neighbour structure; only mechanisms calibrated for it (sensitivity \
+                     model MergedOneSided, e.g. gshm or merged-laplace) may release them",
+        });
+    }
+    release_metered(mechanism, merged, accountant, rng)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1354,6 +1387,37 @@ mod tests {
         assert!(matches!(err, ReleaseError::Budget(_)));
         assert_eq!(acct.charges(), 1, "failed release must not be charged");
         assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn merged_metered_release_guards_the_sensitivity_model() {
+        // The merged release path: every registry mechanism NOT calibrated
+        // for the Corollary 18 structure is refused before budget is
+        // spent; the MergedOneSided pair releases and is charged.
+        let spec = spec();
+        let summary = heavy_summary();
+        for mechanism in registry(&spec).unwrap() {
+            let merged_sound = mechanism.sensitivity_model() == SensitivityModel::MergedOneSided;
+            let mut acct = Accountant::new(PrivacyParams::new(10.0, 1e-4).unwrap());
+            let mut rng = StdRng::seed_from_u64(11);
+            match release_merged_metered(mechanism.as_ref(), &summary, &mut acct, &mut rng) {
+                Ok(hist) => {
+                    assert!(merged_sound, "{} must have been refused", mechanism.name());
+                    assert!(hist.estimate(&1) > 50_000.0, "{}", mechanism.name());
+                    assert_eq!(acct.charges(), 1, "{}", mechanism.name());
+                }
+                Err(err) => {
+                    assert!(!merged_sound, "{}: {err}", mechanism.name());
+                    assert!(matches!(err, ReleaseError::Unsupported { .. }), "{err}");
+                    assert_eq!(
+                        acct.charges(),
+                        0,
+                        "{} was charged for a refused release",
+                        mechanism.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

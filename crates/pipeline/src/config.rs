@@ -14,11 +14,40 @@ pub enum Routing {
     /// argument (see the crate docs). This is the default and the only
     /// routing under which [`crate::ShardedPipeline::release`] is allowed.
     HashKey,
+    /// Route by the same fixed key hash, but taken over a **global** shard
+    /// space of `total_shards` of which this pipeline owns only the
+    /// contiguous block `[first_shard, first_shard + shards)` — the
+    /// multi-process partitioning of the aggregation fleet. A worker
+    /// process running this policy over its slice of the stream builds
+    /// *exactly* the per-shard substreams a single `total_shards`-wide
+    /// pipeline would have built for those shards, which is what makes the
+    /// fleet's merged summary bit-identical to the single-process one.
+    /// Items hashing outside the owned block are rejected at ingest
+    /// ([`PipelineError::ForeignShardKey`]) rather than silently misrouted.
+    ///
+    /// Still a fixed function of the key alone, so the Section 7
+    /// sensitivity argument holds and DP releases are permitted.
+    HashKeyRange {
+        /// Width of the global shard space (across all workers).
+        total_shards: usize,
+        /// First global shard owned by this pipeline; the pipeline's
+        /// `shards` config field is the block width.
+        first_shard: usize,
+    },
     /// Route by arrival position, cycling through the shards. Balances
     /// load perfectly but makes the shard assignment depend on stream
     /// positions, which voids the neighbouring-substream structure; the
     /// pipeline refuses to perform a DP release under this policy.
     RoundRobin,
+}
+
+impl Routing {
+    /// Whether the shard assignment is a fixed function of the key alone —
+    /// the premise of the Section 7 sensitivity argument and therefore the
+    /// precondition for every DP release path.
+    pub fn is_content_based(self) -> bool {
+        !matches!(self, Routing::RoundRobin)
+    }
 }
 
 /// How batch blocks travel from the router to the shard workers.
@@ -166,6 +195,23 @@ impl PipelineConfig {
         if self.channel_capacity == 0 {
             return Err(PipelineError::InvalidChannelCapacity(0));
         }
+        if let Routing::HashKeyRange {
+            total_shards,
+            first_shard,
+        } = self.routing
+        {
+            // The owned block must fit inside the global shard space.
+            let fits = first_shard
+                .checked_add(self.shards)
+                .is_some_and(|end| end <= total_shards);
+            if total_shards == 0 || !fits {
+                return Err(PipelineError::InvalidShardRange {
+                    total_shards,
+                    first_shard,
+                    shards: self.shards,
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -179,6 +225,24 @@ pub enum PipelineError {
     InvalidBatchSize(usize),
     /// The channel capacity must be at least 1.
     InvalidChannelCapacity(usize),
+    /// A [`Routing::HashKeyRange`] block does not fit the global shard
+    /// space (`first_shard + shards` must be ≤ `total_shards ≥ 1`).
+    InvalidShardRange {
+        /// Width of the global shard space.
+        total_shards: usize,
+        /// First global shard of the owned block.
+        first_shard: usize,
+        /// Owned block width (the pipeline's shard count).
+        shards: usize,
+    },
+    /// Under [`Routing::HashKeyRange`], an ingested item hashed to a global
+    /// shard outside this pipeline's owned block — the stream slice handed
+    /// to this worker was partitioned wrong, and accepting the item would
+    /// silently corrupt the shard substreams the fleet merge relies on.
+    ForeignShardKey {
+        /// The global shard the item actually belongs to.
+        global_shard: usize,
+    },
     /// The underlying sketch rejected its parameters.
     Sketch(SketchError),
     /// The release mechanism rejected its privacy parameters.
@@ -206,6 +270,20 @@ impl std::fmt::Display for PipelineError {
             PipelineError::InvalidChannelCapacity(c) => {
                 write!(f, "channel capacity must be ≥ 1, got {c}")
             }
+            PipelineError::InvalidShardRange {
+                total_shards,
+                first_shard,
+                shards,
+            } => write!(
+                f,
+                "shard block [{first_shard}, {first_shard} + {shards}) does not fit a \
+                 global shard space of {total_shards}"
+            ),
+            PipelineError::ForeignShardKey { global_shard } => write!(
+                f,
+                "item routes to global shard {global_shard}, outside this worker's block — \
+                 the stream slice was partitioned wrong"
+            ),
             PipelineError::Sketch(e) => write!(f, "sketch error: {e}"),
             PipelineError::Noise(e) => write!(f, "noise error: {e}"),
             PipelineError::Mechanism(e) => write!(f, "release mechanism error: {e}"),

@@ -318,9 +318,25 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
         }
     }
 
-    fn route(&mut self, item: &K) -> usize {
+    fn route(&mut self, item: &K) -> Result<usize, PipelineError> {
         match self.config.routing {
-            Routing::HashKey => shard_of_key(item, self.config.shards),
+            Routing::HashKey => Ok(shard_of_key(item, self.config.shards)),
+            Routing::HashKeyRange {
+                total_shards,
+                first_shard,
+            } => {
+                // Hash over the GLOBAL shard space, then translate into
+                // this worker's block. An item outside the block is a
+                // partitioning bug upstream and must fail loudly — routing
+                // it anywhere locally would corrupt the substreams the
+                // fleet's bit-identical merge depends on.
+                let global_shard = shard_of_key(item, total_shards);
+                let local = global_shard.wrapping_sub(first_shard);
+                if local >= self.config.shards {
+                    return Err(PipelineError::ForeignShardKey { global_shard });
+                }
+                Ok(local)
+            }
             Routing::RoundRobin => {
                 let shard = self.rr_cursor;
                 // Wrap on compare — a predictable branch instead of an
@@ -329,7 +345,7 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
                 if self.rr_cursor == self.config.shards {
                     self.rr_cursor = 0;
                 }
-                shard
+                Ok(shard)
             }
         }
     }
@@ -368,7 +384,7 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
     /// already performed it.
     #[inline]
     fn ingest_unchecked(&mut self, item: K) -> Result<(), PipelineError> {
-        let shard = self.route(&item);
+        let shard = self.route(&item)?;
         self.buffers[shard].push(item);
         self.items += 1;
         if self.buffers[shard].len() >= self.config.batch_size {
@@ -463,13 +479,14 @@ impl<K: Item + Send + 'static> ShardedPipeline<K> {
     ///
     /// [`PipelineError::NonPrivateRouting`] under [`Routing::RoundRobin`]
     /// (the sensitivity argument requires key-based routing; see the crate
-    /// docs), plus any error from [`Self::finish`] or the mechanism layer.
+    /// docs — both key-hash policies qualify), plus any error from
+    /// [`Self::finish`] or the mechanism layer.
     pub fn release<R: Rng + ?Sized>(
         &mut self,
         params: PrivacyParams,
         rng: &mut R,
     ) -> Result<PrivateHistogram<K>, PipelineError> {
-        if self.config.routing != Routing::HashKey {
+        if !self.config.routing.is_content_based() {
             return Err(PipelineError::NonPrivateRouting);
         }
         let merged = self.merged()?;
@@ -839,6 +856,94 @@ mod tests {
             ShardedPipeline::with_initial_sketches(PipelineConfig::new(1, 8), states, 0, None)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn hash_key_range_block_matches_global_pipeline_substreams() {
+        // A 6-shard global space split into 3 workers of 2 shards each:
+        // each worker's per-shard summaries must be exactly the global
+        // pipeline's summaries for its block — the fleet bit-identity
+        // premise.
+        let stream: Vec<u64> = (0..4000u64).map(|i| i % 97).collect();
+        let total = 6usize;
+        let mut global =
+            ShardedPipeline::<u64>::new(PipelineConfig::new(total, 16).with_batch_size(13))
+                .unwrap();
+        global.ingest_from(stream.iter().copied()).unwrap();
+        let global_summaries = global.shard_summaries().unwrap().to_vec();
+
+        for worker in 0..3 {
+            let first = worker * 2;
+            let config = PipelineConfig::new(2, 16).with_batch_size(13).with_routing(
+                Routing::HashKeyRange {
+                    total_shards: total,
+                    first_shard: first,
+                },
+            );
+            let mut pipe = ShardedPipeline::<u64>::new(config).unwrap();
+            let slice = stream
+                .iter()
+                .copied()
+                .filter(|x| (first..first + 2).contains(&shard_of_key(x, total)));
+            pipe.ingest_from(slice).unwrap();
+            assert_eq!(
+                pipe.shard_summaries().unwrap(),
+                &global_summaries[first..first + 2],
+                "worker {worker}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_key_range_rejects_foreign_items_and_allows_release() {
+        let config = PipelineConfig::new(2, 8).with_routing(Routing::HashKeyRange {
+            total_shards: 8,
+            first_shard: 2,
+        });
+        let mut pipe = ShardedPipeline::<u64>::new(config).unwrap();
+        let mut ingested = 0u64;
+        let mut rejected = 0u64;
+        for key in 0..500u64 {
+            match pipe.ingest(key) {
+                Ok(()) => {
+                    assert!((2..4).contains(&shard_of_key(&key, 8)), "key {key}");
+                    ingested += 1;
+                }
+                Err(PipelineError::ForeignShardKey { global_shard }) => {
+                    assert!(!(2..4).contains(&global_shard), "key {key}");
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(ingested > 0 && rejected > 0);
+        // Key-hash range routing is content-based: release is permitted.
+        let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        assert!(pipe.release(params, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn hash_key_range_validates_block_fit() {
+        for (total, first, shards) in [(4usize, 3usize, 2usize), (0, 0, 1), (4, 5, 1)] {
+            let config = PipelineConfig::new(shards, 8).with_routing(Routing::HashKeyRange {
+                total_shards: total,
+                first_shard: first,
+            });
+            assert!(
+                matches!(
+                    ShardedPipeline::<u64>::new(config),
+                    Err(PipelineError::InvalidShardRange { .. })
+                ),
+                "total {total} first {first} shards {shards}"
+            );
+        }
+        // A block covering the whole space is just HashKey in disguise.
+        let config = PipelineConfig::new(4, 8).with_routing(Routing::HashKeyRange {
+            total_shards: 4,
+            first_shard: 0,
+        });
+        assert!(ShardedPipeline::<u64>::new(config).is_ok());
     }
 
     #[test]

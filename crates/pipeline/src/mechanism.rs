@@ -5,9 +5,9 @@
 //! release mechanism from the `dpmg-core` registry and an accountant that
 //! meters every release against one privacy budget.
 
-use crate::config::{PipelineConfig, PipelineError, ReleaseKind, Routing};
+use crate::config::{PipelineConfig, PipelineError, ReleaseKind};
 use crate::engine::{PipelineStats, ShardedPipeline};
-use dpmg_core::mechanism::{release_metered, ReleaseError, ReleaseMechanism, SensitivityModel};
+use dpmg_core::mechanism::{release_merged_metered, release_metered, ReleaseMechanism};
 use dpmg_core::pmg::PrivateHistogram;
 use dpmg_noise::accounting::{Accountant, PrivacyParams};
 use dpmg_sketch::merge::merge_tree;
@@ -268,27 +268,22 @@ impl<K: Item + Send + 'static, M: ReleaseMechanism<K>> PrivatizedPipeline<K, M> 
     /// exhausted, or when the mechanism rejects the input — plus any engine
     /// error. Refused releases are never charged.
     pub fn release(&mut self, rng: &mut dyn RngCore) -> Result<PrivateHistogram<K>, PipelineError> {
-        if self.inner.config().routing != Routing::HashKey {
+        if !self.inner.config().routing.is_content_based() {
             return Err(PipelineError::NonPrivateRouting);
         }
-        if self.inner.config().shards > 1
-            && self.mechanism.sensitivity_model() != SensitivityModel::MergedOneSided
-        {
-            return Err(PipelineError::Mechanism(ReleaseError::Unsupported {
-                mechanism: self.mechanism.name(),
-                reason: "multi-shard merged summaries have the Corollary 18 neighbour \
-                         structure; only mechanisms calibrated for it (sensitivity model \
-                         MergedOneSided, e.g. gshm or merged-laplace) may release them — \
-                         use one of those, or a single-shard pipeline",
-            }));
-        }
         let merged = self.inner.merged()?;
-        Ok(release_metered(
-            &self.mechanism,
-            &merged,
-            &mut self.accountant,
-            rng,
-        )?)
+        let released = if self.inner.config().shards > 1 {
+            // Multi-shard summaries are merged summaries: route through
+            // the shared trusted-aggregator release path in `dpmg-core`
+            // (the same guard the multi-process aggregation fleet uses),
+            // which refuses any mechanism not calibrated for the
+            // Corollary 18 neighbour structure before drawing noise or
+            // charging budget.
+            release_merged_metered(&self.mechanism, &merged, &mut self.accountant, rng)
+        } else {
+            release_metered(&self.mechanism, &merged, &mut self.accountant, rng)
+        };
+        Ok(released?)
     }
 
     /// Tears down into the underlying engine (e.g. to read shard summaries).
@@ -326,6 +321,8 @@ pub fn sequential_sharded_reference<K: Item>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Routing;
+    use dpmg_core::mechanism::{ReleaseError, SensitivityModel};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -228,19 +228,24 @@ fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpErr
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
-    let path = percent_decode(raw_path)?;
+    // `+` means space only in `application/x-www-form-urlencoded` query
+    // pairs (RFC 1866 §8.2.1); in the path it is a literal plus (RFC 3986
+    // keeps it in `sub-delims`), so `/point/+7` must reach the route table
+    // with its `+` intact.
+    let path = percent_decode(raw_path, false)?;
     let mut query = Vec::new();
     if let Some(raw_query) = raw_query {
         for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-            query.push((percent_decode(k)?, percent_decode(v)?));
+            query.push((percent_decode(k, true)?, percent_decode(v, true)?));
         }
     }
     Ok((path, query))
 }
 
-/// Percent-decodes one URI component (`+` is a space in query strings).
-fn percent_decode(raw: &str) -> Result<String, HttpError> {
+/// Percent-decodes one URI component; `plus_is_space` selects the
+/// form-urlencoded convention used for query keys and values.
+fn percent_decode(raw: &str, plus_is_space: bool) -> Result<String, HttpError> {
     let bytes = raw.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -255,7 +260,7 @@ fn percent_decode(raw: &str) -> Result<String, HttpError> {
                 out.push(hex);
                 i += 3;
             }
-            b'+' => {
+            b'+' if plus_is_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -354,6 +359,15 @@ mod tests {
         assert_eq!(req.query_param("tenant"), Some("acme corp"));
         assert_eq!(req.header("x-tenant"), Some("t1"));
         assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn plus_is_literal_in_the_path_but_space_in_the_query() {
+        let req = parse(b"GET /point/+7?tenant=acme+corp HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/point/+7");
+        assert_eq!(req.query_param("tenant"), Some("acme corp"));
     }
 
     #[test]

@@ -150,6 +150,39 @@ fn full_flow_ingest_release_query() {
 }
 
 #[test]
+fn plus_in_the_path_is_a_literal_key_character() {
+    // Regression: percent-decoding used to apply the form-urlencoded
+    // `+`-is-space rule to the *path* too, so `GET /point/+7` reached the
+    // route table as `/point/ 7` and bounced with 400 even though `+7` is
+    // a perfectly valid (explicitly signed) u64 key. The path must keep
+    // its `+`; only query pairs use the form convention.
+    let server = start_server(2, 10);
+    let mut client = Client::connect(server.addr());
+
+    let items: Vec<u64> = (0..1_000u64)
+        .map(|i| if i % 2 == 0 { 7 } else { i })
+        .collect();
+    let (status, _) = client.post("/ingest", &ingest_body_of(&items));
+    assert_eq!(status, 200);
+    let (status, _) = client.post("/epoch/end", "");
+    assert_eq!(status, 200);
+
+    let (status, plain) = client.get("/point/7");
+    assert_eq!(status, 200, "{plain}");
+    let (status, signed) = client.get("/point/+7");
+    assert_eq!(status, 200, "`+7` no longer parses as a path key: {signed}");
+    assert_eq!(
+        signed, plain,
+        "`/point/+7` must answer exactly like `/point/7`"
+    );
+
+    // The query side keeps the form-urlencoded rule.
+    let (status, _) = client.get("/topk?n=3&tenant=acme+corp");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
 fn error_mapping_is_exhaustive() {
     let server = start_server(2, 10);
     let addr = server.addr();

@@ -17,6 +17,21 @@
 //! entries : len × (key: u64, count: u64), keys strictly ascending
 //! ```
 //!
+//! For *streaming* transports (pipes, sockets) the records above are
+//! carried inside checksummed **frames** ([`write_frame`] / [`read_frame`],
+//! magic `DPFR`): a length-prefixed envelope that lets a reader consume a
+//! byte stream frame by frame, distinguish a clean end-of-stream at a frame
+//! boundary from a connection that died mid-frame, and reject any corrupted
+//! byte before the payload is handed to a record decoder:
+//!
+//! ```text
+//! magic    : [u8; 4] = b"DPFR"
+//! kind     : u8      (application-defined message tag)
+//! len      : u32     (payload length, ≤ MAX_FRAME_PAYLOAD)
+//! payload  : len bytes
+//! checksum : u64     (FNV-1a over every preceding byte of the frame)
+//! ```
+//!
 //! A second record type, the **released snapshot** ([`SnapshotRecord`],
 //! magic `DPMS`), carries the *post-noise* state a long-running service
 //! persists across restarts: real-valued released estimates plus the epoch
@@ -59,18 +74,156 @@ const STATE_SLOT_LEN: usize = 1 + 8 + 8;
 const STATE_TAG_ITEM: u8 = 0;
 const STATE_TAG_DUMMY: u8 = 1;
 
+const FRAME_MAGIC: [u8; 4] = *b"DPFR";
+const FRAME_HEADER_LEN: usize = 4 + 1 + 4;
+
+/// Ceiling on a frame's declared payload length. A stream peer is
+/// untrusted input: without a cap, a corrupted (or hostile) length field
+/// could make the reader allocate gigabytes before the checksum ever gets
+/// a chance to reject the frame.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
 /// FNV-1a over a byte slice — the integrity checksum of the snapshot
 /// record and of `dpmg-service`'s persisted state. Each step
 /// `h ← (h ⊕ b)·p` is a bijection of the running state (odd prime, modulo
 /// 2^64), so flipping any single byte of the input always changes the
 /// digest — exactly the guarantee the corruption tests rely on.
 pub fn fnv1a_checksum(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_extend(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a digest over more bytes, so a frame's checksum can be
+/// computed across header and payload without concatenating them.
+fn fnv1a_extend(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Errors from the framed streaming layer. Unlike [`SketchError`], frame
+/// I/O can fail in the transport itself, so corruption and I/O failures are
+/// distinct variants — a reader retries or reconnects on `Io`, but must
+/// discard the peer's report on `Corrupt`.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Structural or integrity damage: bad magic, a length over the cap,
+    /// a checksum mismatch, or a stream that ended mid-frame.
+    Corrupt(&'static str),
+    /// The underlying transport failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Corrupt(_) => None,
+            FrameError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one `DPFR` frame — kind tag, length-prefixed payload, trailing
+/// FNV-1a checksum over the whole frame — to a byte stream. The frame is
+/// assembled in memory and written with a single `write_all`, so a
+/// concurrent reader never observes a torn header.
+///
+/// # Errors
+///
+/// [`FrameError::Corrupt`] if `payload` exceeds [`MAX_FRAME_PAYLOAD`]
+/// (such a frame could never be read back); [`FrameError::Io`] from the
+/// transport.
+pub fn write_frame<W: std::io::Write>(
+    w: &mut W,
+    kind: u8,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Corrupt("frame payload exceeds cap"));
+    }
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len() + 8);
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.push(kind);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let checksum = fnv1a_checksum(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads one `DPFR` frame from a byte stream, returning its `(kind,
+/// payload)`; `Ok(None)` on a **clean** end of stream — EOF exactly at a
+/// frame boundary. EOF anywhere *inside* a frame is a peer that died
+/// mid-send and is reported as [`FrameError::Corrupt`], never silently
+/// treated as completion.
+///
+/// # Errors
+///
+/// [`FrameError::Corrupt`] on bad magic, a declared length over
+/// [`MAX_FRAME_PAYLOAD`], a checksum mismatch, or mid-frame EOF;
+/// [`FrameError::Io`] from the transport.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            // EOF before the first header byte is the clean end of the
+            // stream; EOF after it is a torn frame.
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Corrupt("stream ended inside frame header")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if header[..4] != FRAME_MAGIC {
+        return Err(FrameError::Corrupt("bad frame magic"));
+    }
+    let kind = header[4];
+    let len = u32::from_le_bytes(header[5..9].try_into().expect("4-byte slice")) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Corrupt("frame length exceeds cap"));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_torn(r, &mut payload, "stream ended inside frame payload")?;
+    let mut trailer = [0u8; 8];
+    read_exact_or_torn(r, &mut trailer, "stream ended inside frame checksum")?;
+    let expected = fnv1a_extend(fnv1a_checksum(&header), &payload);
+    if expected != u64::from_le_bytes(trailer) {
+        return Err(FrameError::Corrupt("frame checksum mismatch"));
+    }
+    Ok(Some((kind, payload)))
+}
+
+/// `read_exact` that reports EOF as frame corruption with a specific
+/// message instead of a generic `UnexpectedEof` I/O error.
+fn read_exact_or_torn<R: std::io::Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    torn: &'static str,
+) -> Result<(), FrameError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(FrameError::Corrupt(torn)),
+        Err(e) => Err(FrameError::Io(e)),
+    }
 }
 
 /// Encodes a `u64`-keyed summary into the wire format.
@@ -776,6 +929,153 @@ mod tests {
             bytes in proptest::collection::vec(0u8..=255, 0..256),
         ) {
             let _ = decode_sketch_state(&bytes);
+        }
+    }
+
+    fn frame_stream(frames: &[(u8, &[u8])]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for &(kind, payload) in frames {
+            write_frame(&mut out, kind, payload).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn frames_round_trip_in_order_and_end_cleanly() {
+        let summary_bytes = encode(&sample());
+        let bytes = frame_stream(&[(1, b"hello"), (2, &summary_bytes), (3, &[])]);
+        let mut cursor = &bytes[..];
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Some((1, b"hello".to_vec()))
+        );
+        let (kind, payload) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(kind, 2);
+        assert_eq!(decode(&payload).unwrap(), sample());
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some((3, Vec::new())));
+        // Clean EOF at the frame boundary, and it stays clean on re-read.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_rejects_every_truncation_as_torn_not_clean_eof() {
+        let bytes = frame_stream(&[(7, b"payload bytes")]);
+        for cut in 1..bytes.len() {
+            let mut cursor = &bytes[..cut];
+            let err = read_frame(&mut cursor).unwrap_err();
+            assert!(matches!(err, FrameError::Corrupt(_)), "cut = {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn frame_rejects_bad_magic_and_oversized_len() {
+        let mut bytes = frame_stream(&[(7, b"xy")]);
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut &bytes[..]).unwrap_err(),
+            FrameError::Corrupt("bad frame magic")
+        ));
+
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&FRAME_MAGIC);
+        huge.push(0);
+        huge.extend_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &huge[..]).unwrap_err(),
+            FrameError::Corrupt("frame length exceeds cap")
+        ));
+        assert!(matches!(
+            write_frame(&mut Vec::new(), 0, &vec![0u8; MAX_FRAME_PAYLOAD + 1]).unwrap_err(),
+            FrameError::Corrupt("frame payload exceeds cap")
+        ));
+    }
+
+    #[test]
+    fn frame_error_display_and_source() {
+        let corrupt = FrameError::Corrupt("bad frame magic");
+        assert!(corrupt.to_string().contains("bad frame magic"));
+        assert!(std::error::Error::source(&corrupt).is_none());
+        let io = FrameError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+
+    proptest! {
+        /// Any sequence of frames round-trips in order and ends with a
+        /// clean EOF.
+        #[test]
+        fn prop_frame_sequences_round_trip(
+            frames in proptest::collection::vec(
+                (0u8..=255, proptest::collection::vec(0u8..=255, 0..64)), 0..8),
+        ) {
+            let mut bytes = Vec::new();
+            for (kind, payload) in &frames {
+                write_frame(&mut bytes, *kind, payload).unwrap();
+            }
+            let mut cursor = &bytes[..];
+            for (kind, payload) in &frames {
+                let (k, p) = read_frame(&mut cursor).unwrap().unwrap();
+                prop_assert_eq!(k, *kind);
+                prop_assert_eq!(&p, payload);
+            }
+            prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+        }
+
+        /// Thanks to the whole-frame checksum, flipping ANY single bit of a
+        /// frame is rejected — header, kind, length, payload or trailer.
+        #[test]
+        fn prop_frame_rejects_every_byte_flip(
+            kind in 0u8..=255,
+            payload in proptest::collection::vec(0u8..=255, 1..64),
+            pos_frac in 0.0f64..1.0,
+            bit in 0u8..8,
+        ) {
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, kind, &payload).unwrap();
+            let pos = (bytes.len() as f64 * pos_frac) as usize;
+            bytes[pos] ^= 1 << bit;
+            let mut cursor = &bytes[..];
+            // A flip may corrupt this frame's checksum, declare a bogus
+            // length (caught by the cap or as a torn frame), or break the
+            // magic — but it must never decode as the original frame.
+            match read_frame(&mut cursor) {
+                Err(FrameError::Corrupt(_)) => {}
+                Err(FrameError::Io(e)) => prop_assert!(false, "I/O error on in-memory read: {e}"),
+                Ok(decoded) => prop_assert!(
+                    decoded != Some((kind, payload.clone())),
+                    "flip at byte {} bit {} decoded as the original frame", pos, bit
+                ),
+            }
+        }
+
+        /// Every strict prefix of a frame is a torn frame, never a clean
+        /// EOF or a successful read.
+        #[test]
+        fn prop_frame_rejects_every_truncation(
+            kind in 0u8..=255,
+            payload in proptest::collection::vec(0u8..=255, 0..64),
+            frac in 0.0f64..1.0,
+        ) {
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, kind, &payload).unwrap();
+            let cut = 1 + ((bytes.len() - 1) as f64 * frac) as usize;
+            if cut < bytes.len() {
+                let mut cursor = &bytes[..cut];
+                prop_assert!(matches!(
+                    read_frame(&mut cursor),
+                    Err(FrameError::Corrupt(_))
+                ));
+            }
+        }
+
+        /// Reading arbitrary bytes never panics.
+        #[test]
+        fn prop_frame_arbitrary_bytes_never_panic(
+            bytes in proptest::collection::vec(0u8..=255, 0..256),
+        ) {
+            let mut cursor = &bytes[..];
+            let _ = read_frame(&mut cursor);
         }
     }
 }

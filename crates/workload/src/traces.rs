@@ -11,17 +11,33 @@
 use crate::zipf::Zipf;
 use rand::Rng;
 
-/// A synthetic packet trace: `flows` flows with Pareto-like sizes over a
-/// `d`-address space, interleaved round-robin (so heavy flows persist across
-/// the whole stream the way elephant flows do).
+/// A synthetic packet trace: `flows` *distinct* flows with Pareto-like
+/// sizes over a `d`-address space, interleaved round-robin (so heavy flows
+/// persist across the whole stream the way elephant flows do).
 ///
 /// Returns the stream of flow identifiers (one entry per "packet").
+/// Panics if `flows > d` (there aren't enough addresses to keep the ids
+/// distinct).
 pub fn network_flows<R: Rng + ?Sized>(flows: usize, d: u64, alpha: f64, rng: &mut R) -> Vec<u64> {
     assert!(alpha > 0.0);
+    assert!(
+        flows as u64 <= d,
+        "cannot draw {flows} distinct flow ids from a {d}-address space"
+    );
+    // Ids are drawn *without* replacement: sampling with replacement let
+    // two requested flows collide on one address, which both shrank the
+    // distinct-flow count below `flows` and welded the colliding sizes
+    // into a spurious "elephant" the Pareto tail never generated.
+    let mut seen = std::collections::HashSet::with_capacity(flows);
     // Flow sizes: discretised Pareto via inverse CDF, capped for sanity.
     let mut remaining: Vec<(u64, u64)> = (0..flows)
         .map(|_| {
-            let id = rng.random_range(1..=d);
+            let id = loop {
+                let id = rng.random_range(1..=d);
+                if seen.insert(id) {
+                    break id;
+                }
+            };
             let u: f64 = rng.random::<f64>().max(1e-12);
             let size = (u.powf(-1.0 / alpha)).min(10_000.0) as u64;
             (id, size.max(1))
@@ -77,6 +93,9 @@ mod tests {
         for &x in &stream {
             *counts.entry(x).or_insert(0) += 1;
         }
+        // Exactly the requested number of distinct flows: a with-replacement
+        // draw used to collide ids and merge flows.
+        assert_eq!(counts.len(), 500, "flow ids collided");
         let max = *counts.values().max().unwrap();
         let median = {
             let mut v: Vec<u64> = counts.values().copied().collect();

@@ -38,6 +38,11 @@
 //!   dependency-free HTTP/1.1 server with a fixed worker pool, typed JSON
 //!   endpoints over a shared service, per-tenant budget accountants, and
 //!   plain-text metrics.
+//! * [`fleet`] — the multi-process aggregation fleet: worker processes
+//!   sketch disjoint shard blocks of one stream, report checksummed framed
+//!   summaries over pipes, and a trusted aggregator tree-merges what
+//!   arrived (Lemma 17 / Corollary 18), accounts for stragglers and
+//!   crashes, and performs the single `(ε, δ)` release.
 //! * [`eval`] — error metrics, goodness-of-fit statistics, experiment
 //!   sweeps, and an empirical privacy auditor.
 //!
@@ -68,6 +73,7 @@
 
 pub use dpmg_core as core;
 pub use dpmg_eval as eval;
+pub use dpmg_fleet as fleet;
 pub use dpmg_noise as noise;
 pub use dpmg_pipeline as pipeline;
 pub use dpmg_server as server;
@@ -83,6 +89,10 @@ pub mod prelude {
         ReleaseMechanism, SensitivityModel,
     };
     pub use dpmg_core::pmg::{PrivateHistogram, PrivateMisraGries};
+    pub use dpmg_fleet::{
+        release_fleet, run_process_fleet, FleetConfig, FleetError, FleetRelease, FleetReport,
+        WorkerSpec,
+    };
     pub use dpmg_noise::accounting::{Accountant, PrivacyParams};
     pub use dpmg_pipeline::{
         Handoff, PipelineConfig, PrivatizedPipeline, SequentialBaseline, ShardedPipeline,

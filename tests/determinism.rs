@@ -321,6 +321,196 @@ fn live_reshard_1_2_8_matches_sequential_reference_bit_for_bit() {
 }
 
 #[test]
+fn fleet_release_matches_single_process_reference_for_every_crash_pattern() {
+    // The multi-process fleet (here: worker threads over real TCP loopback
+    // sockets speaking the framed DPFR protocol) against the single-process
+    // sharded pipeline: same stream, same k, same mechanism, same seed ⇒ the
+    // fleet's one trusted release must be byte-identical to releasing the
+    // merge of the corresponding single-process per-shard summaries — for
+    // every worker count and every crash pattern. A crashed worker's block
+    // simply drops out of both sides: the fleet absorbs the torn report, the
+    // reference merges the surviving shard subset.
+    use dp_misra_gries::core::mechanism::release_merged_metered;
+    use dp_misra_gries::fleet::{
+        assemble, read_hello, read_report, release_fleet, run_worker, write_go, CrashPoint,
+        FleetConfig, IngestMode, WorkerSpec,
+    };
+    use dp_misra_gries::sketch::merge::merge_tree;
+    use dp_misra_gries::sketch::Summary;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+    let spec = MechanismSpec::new(params);
+    let hist_bits = |h: &PrivateHistogram<u64>| -> Vec<(u64, u64)> {
+        h.iter().map(|(&k, v)| (k, v.to_bits())).collect()
+    };
+
+    // (workers, shards_per_worker) × crash patterns (worker id, point).
+    let shapes: [(usize, usize); 5] = [(1, 1), (2, 1), (4, 1), (8, 1), (2, 4)];
+    let patterns: [&[(usize, CrashPoint)]; 5] = [
+        &[],
+        &[(0, CrashPoint::BeforeHello)],
+        &[(1, CrashPoint::MidFrame)],
+        &[(1, CrashPoint::AfterSummaries(0))],
+        &[(0, CrashPoint::MidFrame), (1, CrashPoint::BeforeHello)],
+    ];
+
+    for (workers, shards_per_worker) in shapes {
+        let total = workers * shards_per_worker;
+        let template = WorkerSpec {
+            worker_id: 0,
+            workers,
+            shards_per_worker,
+            k: 32,
+            mode: IngestMode::Direct,
+            crash: None,
+            stream_n: 20_000,
+            universe: 1 << 12,
+            skew: 1.1,
+            seed: 0xF1EE7 ^ total as u64,
+        };
+        let stream = template.generate_stream();
+        let (per_shard, _) =
+            dp_misra_gries::pipeline::sequential_sharded_reference(&stream, total, template.k);
+
+        for pattern in patterns {
+            if pattern.iter().any(|(w, _)| *w >= workers) {
+                continue;
+            }
+            // Fleet side: one TCP connection per worker, full framed
+            // protocol with a GO barrier after all HELLOs.
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let mut ws = template.clone();
+                    ws.worker_id = w;
+                    ws.crash = pattern
+                        .iter()
+                        .find(|(pw, _)| *pw == w)
+                        .map(|(_, point)| *point);
+                    let stream = stream.clone();
+                    std::thread::spawn(move || {
+                        let sock = TcpStream::connect(addr).unwrap();
+                        let mut go = sock.try_clone().unwrap();
+                        let mut out = std::io::BufWriter::new(sock);
+                        let _ = run_worker(&ws, &stream, &mut go, &mut out);
+                    })
+                })
+                .collect();
+
+            let mut conns: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (sock, _) = listener.accept().unwrap();
+                    sock.set_read_timeout(Some(Duration::from_secs(20)))
+                        .unwrap();
+                    sock
+                })
+                .collect();
+            // HELLO barrier: a BeforeHello worker just closes its socket.
+            let hellos: Vec<_> = conns.iter_mut().map(read_hello).collect();
+            for (sock, hello) in conns.iter_mut().zip(&hellos) {
+                if hello.is_ok() {
+                    write_go(sock).unwrap();
+                }
+            }
+            let mut results = Vec::with_capacity(workers);
+            for (mut sock, hello) in conns.into_iter().zip(hellos) {
+                results.push((hello.and_then(|h| read_report(&mut sock, h)), 1));
+            }
+            // Connections arrive in arbitrary order; assemble() wants them
+            // indexed by worker id, which a completed report announces in
+            // its HELLO. Failed reports fill the remaining slots.
+            let mut by_worker: Vec<Option<_>> = (0..workers).map(|_| None).collect();
+            let mut errors = Vec::new();
+            for (r, n) in results {
+                match r {
+                    Ok(report) => {
+                        let w = report.hello.worker_id as usize;
+                        by_worker[w] = Some((Ok(report), n));
+                    }
+                    Err(e) => errors.push((Err(e), n)),
+                }
+            }
+            for slot in by_worker.iter_mut() {
+                if slot.is_none() {
+                    *slot = errors.pop();
+                }
+            }
+            let results: Vec<_> = by_worker.into_iter().map(Option::unwrap).collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+
+            let config = FleetConfig {
+                workers,
+                shards_per_worker,
+                k: template.k,
+                deadline: Duration::from_secs(20),
+                retries: 0,
+                coverage_floor: 0.0,
+            };
+            let report = assemble(&config, results, Duration::ZERO).unwrap();
+
+            // Reference side: merge the surviving shard subset in order.
+            let crashed: Vec<usize> = pattern.iter().map(|(w, _)| *w).collect();
+            let surviving: Vec<Summary<u64>> = per_shard
+                .iter()
+                .enumerate()
+                .filter(|(shard, _)| !crashed.contains(&(shard / shards_per_worker)))
+                .map(|(_, s)| s.clone())
+                .collect();
+            assert_eq!(report.covered_shards, surviving.len());
+            if surviving.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                report.merged,
+                merge_tree(&surviving).unwrap(),
+                "{workers}×{shards_per_worker} pattern {pattern:?}: merged summary diverged"
+            );
+
+            // The one trusted release, bit for bit, both mechanisms.
+            for mech_name in ["gshm", "merged-laplace"] {
+                let mechanism = dp_misra_gries::core::mechanism::by_name(&spec, mech_name)
+                    .unwrap()
+                    .unwrap();
+                let seed = 0xC0FFEE ^ workers as u64;
+                let mut fleet_acc = Accountant::new(params);
+                let fleet_release = release_fleet(
+                    &report,
+                    0.0,
+                    mechanism.as_ref(),
+                    &mut fleet_acc,
+                    &mut StdRng::seed_from_u64(seed),
+                )
+                .unwrap();
+                let mut ref_acc = Accountant::new(params);
+                let reference = release_merged_metered(
+                    mechanism.as_ref(),
+                    &merge_tree(&surviving).unwrap(),
+                    &mut ref_acc,
+                    &mut StdRng::seed_from_u64(seed),
+                )
+                .unwrap();
+                assert_eq!(
+                    hist_bits(&fleet_release.histogram),
+                    hist_bits(&reference),
+                    "{workers}×{shards_per_worker} pattern {pattern:?} via {mech_name}: \
+                     release diverged"
+                );
+                assert_eq!(
+                    fleet_release.histogram.threshold().to_bits(),
+                    reference.threshold().to_bits()
+                );
+                assert_eq!(fleet_acc.charges(), ref_acc.charges());
+            }
+        }
+    }
+}
+
+#[test]
 fn independent_releases_differ() {
     // Releasing twice with different seeds must (overwhelmingly) differ —
     // guards against accidentally caching noise.
