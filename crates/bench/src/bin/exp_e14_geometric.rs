@@ -8,7 +8,7 @@
 
 use dpmg_bench::{banner, out_dir, trials, verdict};
 use dpmg_core::mechanism::{by_name, MechanismSpec};
-use dpmg_eval::sweep::{run_sweep, SweepConfig, SweepWorkload};
+use dpmg_eval::sweep::{run_sweep, FixedWorkload, SweepConfig};
 use dpmg_noise::accounting::PrivacyParams;
 use dpmg_sketch::misra_gries::MisraGries;
 use dpmg_workload::zipf::Zipf;
@@ -33,7 +33,7 @@ fn main() {
         .with_trials(trials(300))
         .with_base_seed(0xE140)
         .with_mechanisms(vec!["pmg", "pmg-geometric"]);
-    let result = run_sweep(&config, &[SweepWorkload::new("zipf-1.2", stream.clone())]);
+    let result = run_sweep(&config, &[FixedWorkload::new("zipf-1.2", stream.clone())]);
     result
         .table("E14 Laplace vs geometric PMG (mean max noise error)")
         .emit(&out_dir())

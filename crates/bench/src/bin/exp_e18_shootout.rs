@@ -16,7 +16,7 @@
 
 use dpmg_bench::{banner, out_dir, trials, verdict};
 use dpmg_core::mechanism::{registry, release_metered, MechanismSpec};
-use dpmg_eval::sweep::{run_sweep, SweepConfig, SweepWorkload};
+use dpmg_eval::sweep::{run_sweep, FixedWorkload, SweepConfig};
 use dpmg_noise::accounting::{Accountant, PrivacyParams};
 use dpmg_sketch::misra_gries::MisraGries;
 use dpmg_workload::zipf::Zipf;
@@ -48,8 +48,8 @@ fn main() {
         })
         .collect();
     let workloads = [
-        SweepWorkload::new("zipf-1.2", zipf),
-        SweepWorkload::new("head-tail", head_tail),
+        FixedWorkload::new("zipf-1.2", zipf),
+        FixedWorkload::new("head-tail", head_tail),
     ];
 
     let config = SweepConfig::new(grid)

@@ -8,7 +8,7 @@
 
 use dpmg_bench::{banner, f2, out_dir, trials, verdict};
 use dpmg_core::mechanism::{by_name, MechanismSpec};
-use dpmg_eval::sweep::{run_sweep, SweepConfig, SweepWorkload};
+use dpmg_eval::sweep::{run_sweep, FixedWorkload, SweepConfig};
 use dpmg_noise::accounting::PrivacyParams;
 use dpmg_workload::zipf::Zipf;
 use rand::rngs::StdRng;
@@ -31,7 +31,7 @@ fn main() {
         .with_trials(trials(200))
         .with_base_seed(0x0E30)
         .with_mechanisms(MECHS.to_vec());
-    let result = run_sweep(&config, &[SweepWorkload::new("zipf-1.2", stream)]);
+    let result = run_sweep(&config, &[FixedWorkload::new("zipf-1.2", stream)]);
     result
         .table("E3 mean max noise error vs k (eps=1, delta=1e-8)")
         .emit(&out_dir())

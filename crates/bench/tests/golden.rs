@@ -130,6 +130,12 @@ fn golden_exp_e21_fleet() {
 }
 
 #[test]
+fn golden_exp_e22_scenarios() {
+    let stdout = run_quick(env!("CARGO_BIN_EXE_exp_e22_scenarios"), "exp_e22_scenarios");
+    assert_matches_golden("exp_e22_scenarios", &deterministic_sections(&stdout));
+}
+
+#[test]
 fn golden_exp_e23_durability() {
     let stdout = run_quick(
         env!("CARGO_BIN_EXE_exp_e23_durability"),

@@ -5,17 +5,26 @@
 //! build a sketch, release it `trials` times per mechanism, aggregate the
 //! max noise error — with one copy-pasted block per mechanism. The runner
 //! pulls mechanisms from [`dpmg_core::mechanism::registry`] instead, so a
-//! sweep over *all* release paths (or any named subset) is one call:
+//! sweep over *all* release paths (or any named subset) is one call.
+//!
+//! Workloads are [`WorkloadSpec`] values: **seedable stream recipes**,
+//! generated on demand inside the sweep from a per-workload seed rather
+//! than handed over as eager `Vec<u64>`s. That makes the whole
+//! non-stationary catalogue ([`dpmg_workload::scenarios::Scenario`])
+//! sweepable by name, keeps big streams out of caller memory until they
+//! are needed, and — because the trait is generic over the key type — lets
+//! `String` word streams ([`dpmg_workload::text::word_stream`]) run
+//! through the identical grid:
 //!
 //! ```
-//! use dpmg_eval::sweep::{run_sweep, SweepConfig, SweepWorkload};
+//! use dpmg_eval::sweep::{run_sweep, FixedWorkload, SweepConfig};
 //! use dpmg_noise::accounting::PrivacyParams;
 //!
 //! let config = SweepConfig::new(vec![PrivacyParams::new(0.9, 1e-8).unwrap()])
 //!     .with_ks(vec![16])
 //!     .with_trials(8)
 //!     .with_mechanisms(vec!["pmg", "bk-corrected"]);
-//! let workloads = [SweepWorkload::new(
+//! let workloads = [FixedWorkload::new(
 //!     "two-heavy",
 //!     (0..20_000u64).map(|i| i % 2).collect(),
 //! )];
@@ -25,10 +34,12 @@
 //! ```
 
 use crate::experiment::{parallel_trials, stats, Table};
-use dpmg_core::mechanism::{registry, MechanismSpec, ReleaseMechanism};
+use dpmg_core::mechanism::{registry, registry_generic, MechanismSpec, ReleaseMechanism};
 use dpmg_noise::accounting::PrivacyParams;
+use dpmg_noise::NoiseError;
 use dpmg_sketch::misra_gries::MisraGries;
-use dpmg_sketch::traits::Summary;
+use dpmg_sketch::traits::{Item, Summary};
+use dpmg_workload::scenarios::Scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,9 +53,9 @@ use rand::SeedableRng;
 /// that grows with `k` for the baselines — deliberately excluding the
 /// sketch's own `n/(k+1)` estimation error, which is identical for every
 /// mechanism releasing the same summary.
-pub fn release_noise_error(
-    mechanism: &dyn ReleaseMechanism<u64>,
-    summary: &Summary<u64>,
+pub fn release_noise_error<K: Item>(
+    mechanism: &dyn ReleaseMechanism<K>,
+    summary: &Summary<K>,
     seed: u64,
 ) -> Option<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -62,9 +73,9 @@ pub fn release_noise_error(
 /// Mean and p95 of [`release_noise_error`] over `trials` seeded releases,
 /// computed on all CPU cores. `None` when the mechanism rejects the
 /// parameters (checked once — rejection is parameter-, not RNG-dependent).
-pub fn noise_error_stats(
-    mechanism: &dyn ReleaseMechanism<u64>,
-    summary: &Summary<u64>,
+pub fn noise_error_stats<K: Item + Send + Sync>(
+    mechanism: &dyn ReleaseMechanism<K>,
+    summary: &Summary<K>,
     trials: usize,
     base_seed: u64,
 ) -> Option<(f64, f64)> {
@@ -78,7 +89,67 @@ pub fn noise_error_stats(
     Some((mean, p95))
 }
 
+/// A seedable stream recipe the sweep can realise on demand.
+///
+/// `generate` must be deterministic in `(self, seed)` — the sweep derives
+/// the seed from [`SweepConfig::base_seed`] and the workload's position, so
+/// two identical sweeps see identical streams. Implementations that wrap a
+/// pre-built stream (e.g. [`FixedWorkload`]) simply ignore the seed.
+pub trait WorkloadSpec<K: Item> {
+    /// Label for result tables and verdicts.
+    fn name(&self) -> String;
+    /// Realises the stream for `seed`.
+    fn generate(&self, seed: u64) -> Vec<K>;
+}
+
+/// A pre-built stream under a label — the eager corner of the
+/// [`WorkloadSpec`] API, for hand-crafted adversarial streams and callers
+/// that already hold the data. Generic over the key type.
+#[derive(Debug, Clone)]
+pub struct FixedWorkload<K> {
+    /// Label for result tables.
+    pub name: String,
+    /// The stream itself.
+    pub stream: Vec<K>,
+}
+
+impl<K> FixedWorkload<K> {
+    /// Creates a named fixed workload.
+    pub fn new(name: impl Into<String>, stream: Vec<K>) -> Self {
+        Self {
+            name: name.into(),
+            stream,
+        }
+    }
+}
+
+impl<K: Item> WorkloadSpec<K> for FixedWorkload<K> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn generate(&self, _seed: u64) -> Vec<K> {
+        self.stream.clone()
+    }
+}
+
+/// Every [`Scenario`] is sweepable directly: the scenario's own seeded
+/// generator realises the stream.
+impl WorkloadSpec<u64> for Scenario {
+    fn name(&self) -> String {
+        Scenario::name(self)
+    }
+
+    fn generate(&self, seed: u64) -> Vec<u64> {
+        Scenario::generate(self, seed)
+    }
+}
+
 /// A named stream to sweep over.
+#[deprecated(
+    note = "use `FixedWorkload` (same shape) or any `WorkloadSpec` implementation; \
+            this shim is kept for one release"
+)]
 #[derive(Debug, Clone)]
 pub struct SweepWorkload {
     /// Label for result tables.
@@ -87,6 +158,7 @@ pub struct SweepWorkload {
     pub stream: Vec<u64>,
 }
 
+#[allow(deprecated)]
 impl SweepWorkload {
     /// Creates a named workload.
     pub fn new(name: impl Into<String>, stream: Vec<u64>) -> Self {
@@ -94,6 +166,49 @@ impl SweepWorkload {
             name: name.into(),
             stream,
         }
+    }
+}
+
+#[allow(deprecated)]
+impl WorkloadSpec<u64> for SweepWorkload {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn generate(&self, _seed: u64) -> Vec<u64> {
+        self.stream.clone()
+    }
+}
+
+/// Key types the sweep can run over: each provides its registry slice.
+///
+/// `u64` uses the full [`registry`] (including the universe-sampling
+/// mechanisms, which need an integer universe); other key types get the
+/// key-generic subset via [`registry_generic`].
+pub trait SweepKey: Item + Send + Sync + 'static {
+    /// The registry the sweep iterates for this key type.
+    ///
+    /// # Errors
+    ///
+    /// As [`registry`] — rejected `(ε, δ)` parameters.
+    fn sweep_registry(
+        spec: &MechanismSpec,
+    ) -> Result<Vec<Box<dyn ReleaseMechanism<Self>>>, NoiseError>;
+}
+
+impl SweepKey for u64 {
+    fn sweep_registry(
+        spec: &MechanismSpec,
+    ) -> Result<Vec<Box<dyn ReleaseMechanism<u64>>>, NoiseError> {
+        registry(spec)
+    }
+}
+
+impl SweepKey for String {
+    fn sweep_registry(
+        spec: &MechanismSpec,
+    ) -> Result<Vec<Box<dyn ReleaseMechanism<String>>>, NoiseError> {
+        registry_generic::<String>(spec)
     }
 }
 
@@ -305,24 +420,38 @@ fn cell_seed(base: u64, w: usize, k: usize, g: usize, m: usize) -> u64 {
     s
 }
 
-/// Runs the sweep: for every workload and `k`, sketch the stream once with
-/// Misra-Gries, then release its summary `trials` times under every
-/// registry mechanism at every grid point.
+/// The seed a workload's stream is generated from: decorrelated from the
+/// per-cell release seeds by a distinct domain constant.
+fn workload_seed(base: u64, w: usize) -> u64 {
+    cell_seed(base ^ 0x0057_AEA1_1ED0_57EA, w, 0, 0, 0)
+}
+
+/// Runs the sweep: for every workload and `k`, realise the stream from the
+/// workload's derived seed and sketch it once with Misra-Gries, then
+/// release its summary `trials` times under every registry mechanism at
+/// every grid point.
+///
+/// Generic over the key type through [`SweepKey`] — `u64` sweeps iterate
+/// the full registry, `String` (and other) sweeps the key-generic subset.
 ///
 /// # Panics
 ///
 /// Panics when a grid point is rejected by the registry itself (pure-DP
 /// grid parameters) or `k = 0` — configuration errors, not data errors.
-pub fn run_sweep(config: &SweepConfig, workloads: &[SweepWorkload]) -> SweepResult {
+pub fn run_sweep<K: SweepKey, W: WorkloadSpec<K>>(
+    config: &SweepConfig,
+    workloads: &[W],
+) -> SweepResult {
     let mut rows = Vec::new();
     for (w_idx, workload) in workloads.iter().enumerate() {
+        let stream = workload.generate(workload_seed(config.base_seed, w_idx));
         for (k_idx, &k) in config.ks.iter().enumerate() {
             let mut sketch = MisraGries::new(k).expect("sweep k must be ≥ 1");
-            sketch.extend(workload.stream.iter().copied());
+            sketch.extend(stream.iter().cloned());
             let summary = sketch.summary();
             for (g_idx, &params) in config.grid.iter().enumerate() {
-                let mechanisms =
-                    registry(&config.spec(params)).expect("sweep grid must be approximate-DP");
+                let mechanisms = K::sweep_registry(&config.spec(params))
+                    .expect("sweep grid must be approximate-DP");
                 for (m_idx, mechanism) in mechanisms.iter().enumerate() {
                     if let Some(names) = &config.mechanisms {
                         if !names.contains(&mechanism.name()) {
@@ -333,7 +462,7 @@ pub fn run_sweep(config: &SweepConfig, workloads: &[SweepWorkload]) -> SweepResu
                     let outcome =
                         noise_error_stats(mechanism.as_ref(), &summary, config.trials, seed);
                     rows.push(SweepRow {
-                        workload: workload.name.clone(),
+                        workload: workload.name(),
                         k,
                         grid_index: g_idx,
                         params,
@@ -354,6 +483,7 @@ pub fn run_sweep(config: &SweepConfig, workloads: &[SweepWorkload]) -> SweepResu
 mod tests {
     use super::*;
     use dpmg_core::mechanism::by_name;
+    use dpmg_workload::text::word_stream;
 
     fn heavy_stream() -> Vec<u64> {
         (0..50_000u64)
@@ -406,7 +536,7 @@ mod tests {
             .with_ks(vec![8, 32])
             .with_trials(8)
             .with_mechanisms(vec!["pmg", "bk-corrected", "gshm"]);
-        let workloads = [SweepWorkload::new("heavy", heavy_stream())];
+        let workloads = [FixedWorkload::new("heavy", heavy_stream())];
         let a = run_sweep(&config, &workloads);
         let b = run_sweep(&config, &workloads);
         // 1 workload × 2 ks × 2 grid points × 3 mechanisms.
@@ -427,7 +557,7 @@ mod tests {
             .with_ks(vec![8, 128])
             .with_trials(30)
             .with_mechanisms(vec!["pmg", "bk-corrected"]);
-        let workloads = [SweepWorkload::new("heavy", heavy_stream())];
+        let workloads = [FixedWorkload::new("heavy", heavy_stream())];
         let result = run_sweep(&config, &workloads);
         let pmg = result.mechanism_means("pmg");
         let bk = result.mechanism_means("bk-corrected");
@@ -443,7 +573,7 @@ mod tests {
             .with_ks(vec![8])
             .with_trials(4)
             .with_mechanisms(vec!["pmg", "gshm"]);
-        let workloads = [SweepWorkload::new("w", heavy_stream())];
+        let workloads = [FixedWorkload::new("w", heavy_stream())];
         let result = run_sweep(&config, &workloads);
         let table = result.table("sweep");
         let text = table.render();
@@ -453,5 +583,95 @@ mod tests {
         assert!(result.find("gshm", "w", 8, 0).unwrap().mean_err.is_none());
         assert!(result.find("pmg", "w", 8, 0).unwrap().mean_err.is_some());
         assert!(result.find("pmg", "w", 9, 0).is_none());
+    }
+
+    #[test]
+    fn scenarios_sweep_lazily_and_deterministically() {
+        // Scenario workloads carry no stream — the sweep realises them from
+        // the derived seed, identically across runs.
+        let config = SweepConfig::new(vec![params()])
+            .with_ks(vec![16])
+            .with_trials(4)
+            .with_mechanisms(vec!["pmg", "merged-laplace"]);
+        let workloads = [
+            Scenario::KeyChurn {
+                n: 20_000,
+                d: 10_000,
+                s: 1.2,
+                period: 5_000,
+                head: 10,
+            },
+            Scenario::EvictionFlood {
+                heavy: 8,
+                heavy_count: 500,
+                flood: 5_000,
+            },
+        ];
+        let a = run_sweep(&config, &workloads);
+        let b = run_sweep(&config, &workloads);
+        assert_eq!(a.rows.len(), 4);
+        for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+            assert_eq!(ra.mean_err, rb.mean_err);
+        }
+        assert!(a.find("pmg", "key-churn-p5000", 16, 0).is_some());
+        assert!(a.find("pmg", "eviction-flood-5000", 16, 0).is_some());
+    }
+
+    #[test]
+    fn string_workloads_sweep_through_the_generic_registry() {
+        // The whole grid runs over String keys: word streams sweep exactly
+        // like u64 streams, through the key-generic registry subset.
+        struct Words {
+            n: usize,
+            vocabulary: u64,
+            s: f64,
+        }
+        impl WorkloadSpec<String> for Words {
+            fn name(&self) -> String {
+                format!("words-{}", self.vocabulary)
+            }
+            fn generate(&self, seed: u64) -> Vec<String> {
+                word_stream(
+                    self.n,
+                    self.vocabulary,
+                    self.s,
+                    &mut StdRng::seed_from_u64(seed),
+                )
+            }
+        }
+        let config = SweepConfig::new(vec![params()])
+            .with_ks(vec![16])
+            .with_trials(4)
+            .with_mechanisms(vec!["pmg", "merged-laplace", "gshm"]);
+        let result = run_sweep(
+            &config,
+            &[Words {
+                n: 20_000,
+                vocabulary: 5_000,
+                s: 1.3,
+            }],
+        );
+        assert_eq!(result.rows.len(), 3);
+        assert!(result.rows.iter().all(|r| r.mean_err.is_some()));
+        let row = result.find("pmg", "words-5000", 16, 0).unwrap();
+        assert!(row.mean_err.unwrap() > 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sweep_workload_shim_still_runs() {
+        // One-release compatibility: the old eager type must keep working
+        // and produce the same rows as its FixedWorkload replacement.
+        let config = SweepConfig::new(vec![params()])
+            .with_ks(vec![8])
+            .with_trials(4)
+            .with_mechanisms(vec!["pmg"]);
+        let old = run_sweep(&config, &[SweepWorkload::new("w", heavy_stream())]);
+        let new = run_sweep(&config, &[FixedWorkload::new("w", heavy_stream())]);
+        assert_eq!(old.rows.len(), new.rows.len());
+        for (o, n) in old.rows.iter().zip(new.rows.iter()) {
+            assert_eq!(o.mean_err, n.mean_err);
+            assert_eq!(o.p95_err, n.p95_err);
+        }
     }
 }

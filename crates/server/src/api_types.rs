@@ -380,6 +380,19 @@ pub fn epoch_end_body(epoch: u64, items: u64, released_keys: usize) -> String {
     format!("{{\"epoch\":{epoch},\"items\":{items},\"released_keys\":{released_keys}}}")
 }
 
+/// `GET /window` response body: the service's epoch composition mode.
+/// `window_epochs` is `null` unless the mode is windowed.
+pub fn window_body(mode: &str, window_epochs: Option<u64>, epoch: u64) -> String {
+    let w = match window_epochs {
+        Some(w) => w.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"mode\":{},\"window_epochs\":{w},\"epoch\":{epoch}}}",
+        json_string(mode)
+    )
+}
+
 /// `GET /healthz` response body.
 pub fn health_body(epochs: u64, tenants: usize) -> String {
     format!("{{\"status\":\"ok\",\"epochs\":{epochs},\"tenants\":{tenants}}}")
@@ -494,6 +507,8 @@ mod tests {
             ingest_body(100, 2),
             epoch_end_body(3, 1000, 12),
             health_body(3, 2),
+            window_body("windowed", Some(4), 9),
+            window_body("independent", None, 2),
         ] {
             parse_json(body.as_bytes()).unwrap_or_else(|e| panic!("{e}: {body}"));
         }

@@ -12,12 +12,12 @@
 
 use crate::api_types::{
     budget_body, epoch_body, epoch_end_body, error_body, health_body, ingest_body, point_body,
-    topk_body, IngestRequest,
+    topk_body, window_body, IngestRequest,
 };
 use crate::http::{Request, Response};
 use crate::state::AppState;
 use dpmg_core::mechanism::ReleaseError;
-use dpmg_service::{QueryHandle, ServiceError};
+use dpmg_service::{QueryHandle, ServiceError, ServiceMode};
 
 /// Default `n` for `GET /topk` without a parameter.
 const DEFAULT_TOPK: usize = 10;
@@ -59,7 +59,8 @@ pub fn handle(state: &AppState, handle: &mut QueryHandle<u64>, req: &Request) ->
         ("GET", "/healthz") => health(state, handle),
         ("GET", "/metrics") => metrics(state),
         ("GET", "/epoch") => epoch(handle),
-        ("GET", "/topk") => topk(handle, req),
+        ("GET", "/topk") => topk(state, handle, req),
+        ("GET", "/window") => window(state, handle),
         ("GET", path) if path.starts_with("/point/") => point(handle, path),
         ("GET", "/budget") => budget(state, req),
         ("POST", "/ingest") => ingest(state, req),
@@ -67,7 +68,8 @@ pub fn handle(state: &AppState, handle: &mut QueryHandle<u64>, req: &Request) ->
         // Known paths under the wrong method are 405, unknown are 404.
         (
             _,
-            "/healthz" | "/metrics" | "/epoch" | "/topk" | "/budget" | "/ingest" | "/epoch/end",
+            "/healthz" | "/metrics" | "/epoch" | "/topk" | "/window" | "/budget" | "/ingest"
+            | "/epoch/end",
         ) => err_response(405, "method not allowed for this route"),
         (_, path) if path.starts_with("/point/") => err_response(405, "use GET for /point/{key}"),
         _ => err_response(404, "unknown route"),
@@ -100,7 +102,7 @@ fn epoch(handle: &mut QueryHandle<u64>) -> Response {
     Response::json(200, epoch_body(snapshot.epoch, snapshot.len()))
 }
 
-fn topk(handle: &mut QueryHandle<u64>, req: &Request) -> Response {
+fn topk(state: &AppState, handle: &mut QueryHandle<u64>, req: &Request) -> Response {
     let n = match req.query_param("n") {
         None => DEFAULT_TOPK,
         Some(raw) => match raw.parse::<usize>() {
@@ -109,8 +111,46 @@ fn topk(handle: &mut QueryHandle<u64>, req: &Request) -> Response {
             Err(_) => return err_response(400, "n must be an unsigned integer"),
         },
     };
+    // `?window=N` asserts the client expects window-scoped answers over
+    // exactly N epochs. The parameter documents intent rather than
+    // selecting a width (the width is fixed at service construction —
+    // per-request widths would need per-width privacy charges), so any
+    // mismatch with the configured mode is a client error, not a silent
+    // reinterpretation of the estimates.
+    if let Some(raw) = req.query_param("window") {
+        let requested = match raw.parse::<u64>() {
+            Ok(w) if w >= 1 => w,
+            Ok(_) => return err_response(400, "window must be ≥ 1"),
+            Err(_) => return err_response(400, "window must be an unsigned integer"),
+        };
+        match state.mode() {
+            ServiceMode::Windowed { window_epochs } if window_epochs == requested => {}
+            ServiceMode::Windowed { window_epochs } => {
+                return err_response(
+                    400,
+                    &format!("service window is {window_epochs} epochs, not {requested}"),
+                )
+            }
+            _ => {
+                return err_response(
+                    400,
+                    "service is not in windowed mode; drop the window parameter",
+                )
+            }
+        }
+    }
     let snapshot = handle.snapshot();
     Response::json(200, topk_body(snapshot.epoch, &snapshot.top_k(n)))
+}
+
+fn window(state: &AppState, handle: &mut QueryHandle<u64>) -> Response {
+    let epoch = handle.epoch();
+    let (mode, width) = match state.mode() {
+        ServiceMode::Independent => ("independent", None),
+        ServiceMode::Continual { .. } => ("continual", None),
+        ServiceMode::Windowed { window_epochs } => ("windowed", Some(window_epochs)),
+    };
+    Response::json(200, window_body(mode, width, epoch))
 }
 
 fn point(handle: &mut QueryHandle<u64>, path: &str) -> Response {

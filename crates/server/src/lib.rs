@@ -15,8 +15,9 @@
 //!
 //! | route              | method | answer                                     |
 //! |--------------------|--------|--------------------------------------------|
-//! | `/topk?n=`         | GET    | top-`n` released keys with estimates       |
-//! | `/point/{key}`     | GET    | cumulative released estimate of one key    |
+//! | `/topk?n=`         | GET    | top-`n` released keys with estimates; in windowed mode `?window=N` asserts the expected window width (400 on mismatch) |
+//! | `/point/{key}`     | GET    | cumulative released estimate of one key (window-scoped in windowed mode) |
+//! | `/window`          | GET    | epoch composition mode + window width      |
 //! | `/epoch`           | GET    | released-epoch clock + released key count  |
 //! | `/budget[?tenant=]`| GET    | remaining `(ε, δ)` — global or per tenant  |
 //! | `/ingest`          | POST   | batched ingestion (`{"items": [..]}`)      |

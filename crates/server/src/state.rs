@@ -12,7 +12,9 @@
 use crate::metrics::Metrics;
 use crate::tenant::TenantRegistry;
 use dpmg_noise::accounting::PrivacyParams;
-use dpmg_service::{DpmgService, DurableService, QueryHandle, ReleasedSnapshot, ServiceError};
+use dpmg_service::{
+    DpmgService, DurableService, QueryHandle, ReleasedSnapshot, ServiceError, ServiceMode,
+};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The backend mutex is poisoned: a handler panicked mid-mutation, so the
@@ -89,11 +91,23 @@ impl ServiceBackend {
             ServiceBackend::Durable(s) => s.query_handle(),
         }
     }
+
+    /// The backing service's epoch composition mode (immutable for the
+    /// service's lifetime, so [`AppState`] caches it at construction).
+    pub fn mode(&self) -> ServiceMode {
+        match self {
+            ServiceBackend::InMemory(s) => s.config().mode,
+            ServiceBackend::Durable(s) => s.config().mode,
+        }
+    }
 }
 
 /// Everything the handler layer shares across worker threads.
 pub struct AppState {
     backend: Mutex<ServiceBackend>,
+    /// The backend's epoch composition mode, cached so read-path handlers
+    /// (`/topk?window=`, `/window`) never take the mutation lock.
+    mode: ServiceMode,
     /// The `(ε, δ)` price one `/epoch/end` charges a tenant — the same
     /// per-release parameters the service's mechanism spends globally,
     /// supplied by whoever constructed that mechanism.
@@ -114,8 +128,10 @@ impl AppState {
         epoch_price: PrivacyParams,
         per_tenant_budget: PrivacyParams,
     ) -> Self {
+        let mode = backend.mode();
         Self {
             backend: Mutex::new(backend),
+            mode,
             epoch_price,
             tenants: TenantRegistry::new(per_tenant_budget),
             metrics: Metrics::new(),
@@ -125,6 +141,11 @@ impl AppState {
     /// The per-release tenant price.
     pub fn epoch_price(&self) -> PrivacyParams {
         self.epoch_price
+    }
+
+    /// The backend's epoch composition mode (cached, lock-free).
+    pub fn mode(&self) -> ServiceMode {
+        self.mode
     }
 
     /// Locks the backend for a mutation.

@@ -415,3 +415,95 @@ fn keepalive_and_connection_close_semantics() {
     assert!(text.contains("Connection: close"), "{text}");
     server.shutdown();
 }
+
+/// A windowed-mode server (W = `window_epochs`, merged-laplace — windowed
+/// releases are Corollary 18 merges, so the MergedOneSided guard applies).
+fn start_windowed_server(window_epochs: u64) -> Server {
+    use dpmg_core::mechanism::MergedLaplaceMechanism;
+    use dpmg_service::ServiceMode;
+    let per_epoch = PrivacyParams::new(PER_EPOCH.0, PER_EPOCH.1).unwrap();
+    let service = DpmgService::<u64>::new(
+        ServiceConfig::new(2, 64).with_mode(ServiceMode::Windowed { window_epochs }),
+        Box::new(MergedLaplaceMechanism::new(per_epoch).unwrap()),
+        PrivacyParams::new(100.0, 1e-4).unwrap(),
+        42,
+    )
+    .unwrap();
+    let tenant_budget = PrivacyParams::new(50.0, 1e-5).unwrap();
+    let state = AppState::new(ServiceBackend::InMemory(service), per_epoch, tenant_budget);
+    let config = ServerConfig::default()
+        .with_threads(2)
+        .with_max_body_bytes(64 * 1024);
+    Server::start(config, state).unwrap()
+}
+
+#[test]
+fn windowed_endpoints_serve_window_scoped_answers() {
+    let server = start_windowed_server(2);
+    let mut client = Client::connect(server.addr());
+
+    // /window reports the mode before any epoch has been released.
+    let (status, body) = client.get("/window");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"mode\":\"windowed\""), "{body}");
+    assert!(body.contains("\"window_epochs\":2"), "{body}");
+    assert!(body.contains("\"epoch\":0"), "{body}");
+
+    // Invalid window parameters are client errors, never reinterpreted.
+    assert_eq!(client.get("/topk?window=0").0, 400);
+    assert_eq!(client.get("/topk?window=banana").0, 400);
+    assert_eq!(client.get("/topk?window=-1").0, 400);
+    let (status, body) = client.get("/topk?window=3");
+    assert_eq!(status, 400, "{body}");
+    assert!(
+        body.contains("window is 2 epochs"),
+        "mismatch must name the configured window: {body}"
+    );
+    assert_eq!(client.post("/window", "").0, 405);
+
+    // Epoch 1: key 1 hot; epochs 2–3: key 2 hot. 6000 ≫ threshold ≈ 2800.
+    for (epoch, key) in [(1u64, 1u64), (2, 2), (3, 2)] {
+        let items: Vec<u64> = std::iter::repeat_n(key, 6_000).collect();
+        let (status, _) = client.post("/ingest", &ingest_body_of(&items));
+        assert_eq!(status, 200, "epoch {epoch} ingest");
+        let (status, _) = client.post("/epoch/end", "");
+        assert_eq!(status, 200, "epoch {epoch} release");
+    }
+
+    // Window = epochs {2, 3}: key 1 slid out, key 2 counts both epochs.
+    let (status, body) = client.get("/topk?window=2&n=5");
+    assert_eq!(status, 200, "{body}");
+    let top = decode_topk(body.as_bytes()).unwrap();
+    assert!(!top.contains_key(&1), "key 1 left the window: {top:?}");
+    assert!(
+        top.get(&2).copied().unwrap_or(0.0) > 9_000.0,
+        "key 2 must span both window epochs: {top:?}"
+    );
+    // The bare /topk serves the same window-scoped answers.
+    let (status, bare) = client.get("/topk?n=5");
+    assert_eq!(status, 200);
+    assert_eq!(decode_topk(bare.as_bytes()).unwrap(), top);
+    // /point answers over the window too (0 for the slid-out key).
+    let (status, body) = client.get("/point/1");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"estimate\":0.0"), "{body}");
+
+    let (status, body) = client.get("/window");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"epoch\":3"), "{body}");
+}
+
+#[test]
+fn window_param_is_rejected_outside_windowed_mode() {
+    let server = start_server(1, 10);
+    let mut client = Client::connect(server.addr());
+    let (status, body) = client.get("/window");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"mode\":\"independent\""), "{body}");
+    assert!(body.contains("\"window_epochs\":null"), "{body}");
+    let (status, body) = client.get("/topk?window=2");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("not in windowed mode"), "{body}");
+    // A plain /topk still works.
+    assert_eq!(client.get("/topk?n=3").0, 200);
+}

@@ -24,6 +24,22 @@ pub enum ServiceMode {
         /// Epoch horizon the level budget is allocated for.
         max_epochs: u64,
     },
+    /// Sliding-window serving: every epoch boundary releases the **merge of
+    /// the last `window_epochs` epoch summaries** (Section 7 merge), and
+    /// queries answer over that window instead of the whole history — the
+    /// trending-topics regime. Each window release is charged
+    /// `(ε_w, δ_w)` against the accountant like an `Independent` epoch;
+    /// because one item lives in at most `window_epochs` consecutive
+    /// windows, its end-to-end guarantee is the basic composition
+    /// `(W·ε_w, W·δ_w)` **regardless of how long the service runs** (see
+    /// DESIGN.md, "Per-window budget accounting"). Window summaries are
+    /// Corollary 18 merged summaries, so this mode is guarded to
+    /// `MergedOneSided`-calibrated mechanisms exactly like `Continual`.
+    Windowed {
+        /// Epochs per window, `W ≥ 1` (the newest epoch is always
+        /// included; `W = 1` serves each epoch in isolation).
+        window_epochs: u64,
+    },
 }
 
 /// Configuration for [`crate::DpmgService`].
@@ -109,8 +125,9 @@ impl ServiceConfig {
     ///
     /// # Errors
     ///
-    /// Rejects invalid pipeline parameters, `epoch_len = 0`, and
-    /// `max_epochs = 0` in continual mode.
+    /// Rejects invalid pipeline parameters, `epoch_len = 0`,
+    /// `max_epochs = 0` in continual mode, and `window_epochs = 0` in
+    /// windowed mode.
     pub fn validate(&self) -> Result<(), ServiceError> {
         self.pipeline_config().validate()?;
         if self.epoch_len == Some(0) {
@@ -118,6 +135,9 @@ impl ServiceConfig {
         }
         if let ServiceMode::Continual { max_epochs: 0 } = self.mode {
             return Err(ServiceError::InvalidHorizon);
+        }
+        if let ServiceMode::Windowed { window_epochs: 0 } = self.mode {
+            return Err(ServiceError::InvalidWindow);
         }
         Ok(())
     }
@@ -139,6 +159,8 @@ pub enum ServiceError {
     InvalidEpochLen,
     /// Continual mode needs a horizon of at least 1 epoch.
     InvalidHorizon,
+    /// Windowed mode needs a window of at least 1 epoch.
+    InvalidWindow,
     /// Continual mode: the declared `max_epochs` horizon is used up; no
     /// further epoch may be released under the budgeted level count.
     HorizonExhausted {
@@ -160,6 +182,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Sketch(e) => write!(f, "snapshot decode error: {e}"),
             ServiceError::InvalidEpochLen => write!(f, "epoch_len must be ≥ 1 when set"),
             ServiceError::InvalidHorizon => write!(f, "continual max_epochs must be ≥ 1"),
+            ServiceError::InvalidWindow => write!(f, "windowed window_epochs must be ≥ 1"),
             ServiceError::HorizonExhausted { max_epochs } => write!(
                 f,
                 "continual epoch horizon exhausted: budget was allocated for {max_epochs} epochs"
@@ -256,6 +279,16 @@ mod tests {
                 .validate(),
             Err(ServiceError::InvalidHorizon)
         ));
+        assert!(matches!(
+            ServiceConfig::new(2, 8)
+                .with_mode(ServiceMode::Windowed { window_epochs: 0 })
+                .validate(),
+            Err(ServiceError::InvalidWindow)
+        ));
+        assert!(ServiceConfig::new(2, 8)
+            .with_mode(ServiceMode::Windowed { window_epochs: 3 })
+            .validate()
+            .is_ok());
     }
 
     #[test]

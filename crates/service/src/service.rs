@@ -7,10 +7,11 @@ use dpmg_core::mechanism::{release_metered, ReleaseError, ReleaseMechanism, Sens
 use dpmg_core::pmg::PrivateHistogram;
 use dpmg_noise::accounting::{Accountant, BudgetExceeded, PrivacyParams};
 use dpmg_pipeline::{PipelineStats, ShardedPipeline};
+use dpmg_sketch::merge::merge_many;
 use dpmg_sketch::traits::{Item, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// The public record of one completed epoch.
@@ -29,7 +30,9 @@ pub struct EpochRelease<K: Item> {
     /// The pre-noise merged summary the mechanism released (NOT private).
     pub pre_noise: Summary<K>,
     /// The epoch's released histogram (in continual mode: the level-0
-    /// dyadic node covering exactly this epoch).
+    /// dyadic node covering exactly this epoch; in windowed mode: the
+    /// window release over the last ≤ `window_epochs` epochs, whose
+    /// `pre_noise` is the window's merged summary).
     pub histogram: PrivateHistogram<K>,
 }
 
@@ -62,6 +65,13 @@ enum Engine<K: Item> {
         // Boxed: the dyadic tree is much larger than the other variant.
         tree: Box<ContinualRelease<K>>,
         max_epochs: u64,
+    },
+    Windowed {
+        mechanism: Box<dyn ReleaseMechanism<K>>,
+        /// The last ≤ `window_epochs` epoch `(summary, items)` pairs,
+        /// oldest first — the window the next release merges.
+        window: VecDeque<(Summary<K>, u64)>,
+        window_epochs: u64,
     },
 }
 
@@ -96,21 +106,25 @@ impl<K: Item> EpochCore<K> {
         // they may only be released by MergedOneSided-calibrated mechanisms
         // (mirroring PrivatizedPipeline). Epochs are merges at shards > 1;
         // in continual mode the dyadic tree additionally *merges epoch
-        // summaries into level ≥ 1 nodes at every shard count*, so the
-        // guard must fire there too. Only a single-shard Independent
-        // service admits the whole registry.
-        let releases_merged_summaries =
-            config.shards > 1 || matches!(config.mode, ServiceMode::Continual { .. });
+        // summaries into level ≥ 1 nodes at every shard count*, and in
+        // windowed mode every release input is the merge of the window's
+        // epoch summaries, so the guard must fire there too. Only a
+        // single-shard Independent service admits the whole registry.
+        let releases_merged_summaries = config.shards > 1
+            || matches!(
+                config.mode,
+                ServiceMode::Continual { .. } | ServiceMode::Windowed { .. }
+            );
         if releases_merged_summaries
             && mechanism.sensitivity_model() != SensitivityModel::MergedOneSided
         {
             return Err(ServiceError::Release(ReleaseError::Unsupported {
                 mechanism: mechanism.name(),
-                reason: "multi-shard epoch summaries and continual-mode dyadic nodes have \
-                         the Corollary 18 merged neighbour structure; only \
-                         MergedOneSided-calibrated mechanisms (gshm, merged-laplace) may \
-                         serve them — use one of those, or a single-shard Independent \
-                         service",
+                reason: "multi-shard epoch summaries, continual-mode dyadic nodes, and \
+                         windowed-mode window merges have the Corollary 18 merged \
+                         neighbour structure; only MergedOneSided-calibrated mechanisms \
+                         (gshm, merged-laplace) may serve them — use one of those, or a \
+                         single-shard Independent service",
             }));
         }
         let mut accountant = Accountant::new(budget);
@@ -129,6 +143,11 @@ impl<K: Item> EpochCore<K> {
                     max_epochs,
                 }
             }
+            ServiceMode::Windowed { window_epochs } => Engine::Windowed {
+                mechanism,
+                window: VecDeque::with_capacity(window_epochs as usize),
+                window_epochs,
+            },
         };
         Ok(Self {
             k: config.k,
@@ -163,6 +182,7 @@ impl<K: Item> EpochCore<K> {
         match &self.engine {
             Engine::Independent { mechanism } => mechanism.name(),
             Engine::Continual { tree, .. } => tree.node_mechanism_name(),
+            Engine::Windowed { mechanism, .. } => mechanism.name(),
         }
     }
 
@@ -210,7 +230,9 @@ impl<K: Item> EpochCore<K> {
             Engine::Independent { mechanism } => {
                 mechanism.sensitivity_model() == SensitivityModel::MergedOneSided
             }
-            Engine::Continual { .. } => true,
+            // Continual and Windowed engines pass the construction guard,
+            // so they always qualify.
+            Engine::Continual { .. } | Engine::Windowed { .. } => true,
         }
     }
 
@@ -297,6 +319,64 @@ impl<K: Item> EpochCore<K> {
                         (key, est)
                     })
                     .collect();
+            }
+            Engine::Windowed {
+                mechanism,
+                window,
+                window_epochs,
+            } => {
+                // Pre-check so a budget refusal never rotates: the epoch
+                // stays open and ingestion can continue, like Independent.
+                let price = mechanism.privacy();
+                if !self.accountant.can_afford(price) {
+                    return Err(ServiceError::Release(ReleaseError::Budget(
+                        BudgetExceeded {
+                            requested: price,
+                            remaining_epsilon: self.accountant.remaining_epsilon(),
+                            remaining_delta: self.accountant.remaining_delta(),
+                        },
+                    )));
+                }
+                let (summary, items) = match self.pending.take() {
+                    Some(stashed) => stashed,
+                    None => rotate()?,
+                };
+                // Slide the window: newest epoch in, epochs beyond W out.
+                window.push_back((summary, items));
+                while window.len() as u64 > *window_epochs {
+                    window.pop_front();
+                }
+                let summaries: Vec<Summary<K>> = window.iter().map(|(s, _)| s.clone()).collect();
+                let merged = merge_many(&summaries).expect("window holds the epoch just pushed");
+                let histogram = match release_metered(
+                    mechanism.as_ref(),
+                    &merged,
+                    &mut self.accountant,
+                    &mut self.rng,
+                ) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        // Roll the epoch back out of the window and park it
+                        // for a retry; nothing was charged.
+                        let stashed = window.pop_back().expect("just pushed");
+                        self.pending = Some(stashed);
+                        return Err(e.into());
+                    }
+                };
+                // Windowed queries answer over the window, not the whole
+                // history: the release *replaces* the served estimates.
+                self.cumulative = histogram
+                    .iter()
+                    .map(|(key, value)| (key.clone(), value))
+                    .collect();
+                self.completed_epochs += 1;
+                self.released_items += items;
+                self.transcript.push(EpochRelease {
+                    epoch: self.completed_epochs,
+                    items,
+                    pre_noise: merged,
+                    histogram,
+                });
             }
         }
         Ok(ReleasedSnapshot {
@@ -495,12 +575,14 @@ impl<K: Item + Send + 'static> DpmgService<K> {
         self.tail.snapshot.clone()
     }
 
-    /// Cumulative released estimate of `key` over all completed epochs.
+    /// Cumulative released estimate of `key` over all completed epochs
+    /// (in windowed mode: over the current window only).
     pub fn point_query(&self, key: &K) -> f64 {
         self.latest().point_query(key)
     }
 
-    /// Top-`n` released keys over all completed epochs.
+    /// Top-`n` released keys over all completed epochs (in windowed mode:
+    /// over the current window only).
     pub fn top_k(&self, n: usize) -> Vec<(K, f64)> {
         self.latest().top_k(n)
     }

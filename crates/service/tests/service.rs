@@ -276,3 +276,118 @@ fn empty_epochs_release_cleanly() {
     assert!(snap.is_empty());
     assert_eq!(svc.accountant().charges(), 1, "empty epochs still cost ε");
 }
+
+#[test]
+fn windowed_mode_serves_only_the_last_w_epochs() {
+    // W = 2: each release merges the newest two epoch summaries, so a key
+    // that stops appearing must vanish from queries after two more epochs.
+    let config = ServiceConfig::new(1, 64).with_mode(ServiceMode::Windowed { window_epochs: 2 });
+    let mut svc = DpmgService::new(config, laplace_mech(), big_budget(), 31).unwrap();
+
+    // Epoch 1: key 1 is hot (10_000 ≫ merged-laplace threshold ≈ 2800).
+    svc.ingest_from(std::iter::repeat_n(1u64, 10_000)).unwrap();
+    let snap = svc.end_epoch().unwrap();
+    assert!(
+        snap.point_query(&1) > 5_000.0,
+        "epoch 1: key 1 must surface"
+    );
+
+    // Epoch 2: key 2 takes over; key 1 is still inside the 2-epoch window.
+    svc.ingest_from(std::iter::repeat_n(2u64, 10_000)).unwrap();
+    let snap = svc.end_epoch().unwrap();
+    assert!(
+        snap.point_query(&1) > 5_000.0,
+        "epoch 2: key 1 still in window"
+    );
+    assert!(snap.point_query(&2) > 5_000.0, "epoch 2: key 2 in window");
+
+    // Epoch 3: window = {2, 3}; key 1 fell out and must read as 0 — the
+    // windowed snapshot *replaces* the cumulative view, it never sums it.
+    svc.ingest_from(std::iter::repeat_n(2u64, 10_000)).unwrap();
+    let snap = svc.end_epoch().unwrap();
+    assert_eq!(snap.point_query(&1), 0.0, "epoch 3: key 1 left the window");
+    assert!(
+        snap.point_query(&2) > 15_000.0,
+        "epoch 3: key 2 counts over both window epochs"
+    );
+    let top: Vec<u64> = svc.top_k(4).into_iter().map(|(k, _)| k).collect();
+    assert_eq!(top, vec![2], "top-k answers over the window only");
+
+    // Every window release is charged like an Independent epoch.
+    assert_eq!(svc.accountant().charges(), 3);
+    assert_eq!(svc.transcript().len(), 3);
+}
+
+#[test]
+fn windowed_mode_with_w_1_serves_each_epoch_in_isolation() {
+    let config = ServiceConfig::new(2, 64).with_mode(ServiceMode::Windowed { window_epochs: 1 });
+    let mut svc = DpmgService::new(config, laplace_mech(), big_budget(), 37).unwrap();
+    svc.ingest_from(std::iter::repeat_n(1u64, 10_000)).unwrap();
+    svc.end_epoch().unwrap();
+    svc.ingest_from(std::iter::repeat_n(2u64, 10_000)).unwrap();
+    let snap = svc.end_epoch().unwrap();
+    assert_eq!(
+        snap.point_query(&1),
+        0.0,
+        "W = 1 forgets the previous epoch"
+    );
+    assert!(snap.point_query(&2) > 5_000.0);
+}
+
+#[test]
+fn windowed_guard_admits_only_merged_calibrated_mechanisms() {
+    // Window summaries are Corollary 18 merges, so the mode applies the
+    // MergedOneSided guard even at 1 shard — exactly like Continual.
+    let spec = MechanismSpec::new(PrivacyParams::new(0.9, 1e-8).unwrap());
+    for mechanism in registry_generic::<u64>(&spec).unwrap() {
+        let name = mechanism.name();
+        let sound = mechanism.sensitivity_model() == SensitivityModel::MergedOneSided;
+        let config =
+            ServiceConfig::new(1, 32).with_mode(ServiceMode::Windowed { window_epochs: 3 });
+        let result = DpmgService::new(config, mechanism, big_budget(), 1);
+        match result {
+            Ok(_) => assert!(sound, "{name} must have been refused in windowed mode"),
+            Err(err) => {
+                assert!(!sound, "{name} must have been admitted: {err}");
+                assert!(matches!(
+                    err,
+                    ServiceError::Release(ReleaseError::Unsupported { .. })
+                ));
+            }
+        }
+    }
+}
+
+#[test]
+fn windowed_budget_refusal_leaves_epoch_open_and_uncharged() {
+    // Budget affords exactly two ε=0.5 window releases.
+    let budget = PrivacyParams::new(1.0, 1e-6).unwrap();
+    let config = ServiceConfig::new(1, 16).with_mode(ServiceMode::Windowed { window_epochs: 2 });
+    let mut svc = DpmgService::new(config, laplace_mech(), budget, 41).unwrap();
+    for _ in 0..2 {
+        svc.ingest_from(stream(4_000)).unwrap();
+        svc.end_epoch().unwrap();
+    }
+    svc.ingest_from(stream(4_000)).unwrap();
+    let err = svc.end_epoch().unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Release(ReleaseError::Budget(_))),
+        "{err}"
+    );
+    // Nothing charged, nothing lost: the refused epoch's data stays open
+    // and the last released window keeps answering queries.
+    assert_eq!(svc.accountant().charges(), 2);
+    assert_eq!(svc.completed_epochs(), 2);
+    assert_eq!(svc.open_epoch_items(), 4_000);
+    assert_eq!(svc.latest().epoch, 2);
+}
+
+#[test]
+fn windowed_services_refuse_persistence() {
+    // The durability paths only cover Independent mode; a windowed service
+    // must refuse save_state instead of silently dropping its window ring.
+    let config = ServiceConfig::new(1, 16).with_mode(ServiceMode::Windowed { window_epochs: 2 });
+    let svc = DpmgService::new(config, laplace_mech(), big_budget(), 43).unwrap();
+    let err = svc.save_state().unwrap_err();
+    assert!(matches!(err, ServiceError::Persistence(_)), "{err}");
+}

@@ -30,6 +30,10 @@
 //!   probing, backward-shift deletion, documented ½-load capacity policy).
 //! * [`merge`] — the merging algorithm of Agarwal et al. \[1\] analysed in
 //!   Section 7 (Lemma 17, Corollary 18).
+//! * [`windowed`] — sliding-window and exponentially-decayed variants
+//!   built from Algorithm 1 blocks plus the Section 7 merge, for the
+//!   non-stationary scenarios (window summaries are Corollary 18 merged
+//!   summaries, so the merged release calibrations apply unchanged).
 //! * [`exact`] — exact histograms, the non-streaming baseline.
 //! * [`space_saving`], [`count_min`], [`count_sketch`] — standard
 //!   comparators used by the examples and benches (the paper discusses
@@ -53,6 +57,7 @@ pub mod sensitivity_reduce;
 pub mod serialize;
 pub mod space_saving;
 pub mod traits;
+pub mod windowed;
 
 pub use exact::ExactHistogram;
 pub use flat_counters::FlatCounters;

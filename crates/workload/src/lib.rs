@@ -18,11 +18,15 @@
 //!   counter to differ by `m` between neighbours;
 //! * [`traces`] — trace-like streams (synthetic network flows and query
 //!   logs) for the examples, standing in for the proprietary traces such
-//!   systems would monitor in production.
+//!   systems would monitor in production;
+//! * [`scenarios`] — the non-stationary catalogue (key churn, flash
+//!   crowds, adversarial eviction floods) behind the `eval` sweep's
+//!   seedable [`scenarios::Scenario`] workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenarios;
 pub mod streams;
 pub mod text;
 pub mod traces;

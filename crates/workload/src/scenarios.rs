@@ -1,0 +1,407 @@
+//! Non-stationary scenario streams: churn, flash crowds, adversarial
+//! eviction floods, and the named catalogue the sweep harness iterates.
+//!
+//! Everything measured before this module was stationary Zipf over a fixed
+//! universe, but the paper's motivating settings (network monitoring,
+//! trending queries) are non-stationary: the popular keys *change* while
+//! the stream runs, crowds spike onto cold keys, and an adversary can
+//! construct Fact-7-tight floods that maximise Misra-Gries decrements.
+//! These generators realise those regimes; [`Scenario`] packages them as a
+//! seedable catalogue so the `eval` sweep can ask for a stream by name and
+//! seed instead of being handed an eager `Vec<u64>`.
+
+use crate::traces;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(`s`) stream over `d` keys whose **head block rotates**: every
+/// `period` elements, the identities of the `head` most popular ranks move
+/// to a fresh region of the key space while the tail stays put — the
+/// "trending topics flipped mid-epoch" regime (ROADMAP item 4).
+///
+/// Rotation `r` maps rank `x ≤ head` to `(x − 1 + r·head) mod d + 1`, so
+/// rotation 0 is the identity (the first period is exactly the stationary
+/// Zipf stream) and consecutive periods give disjoint head blocks until the
+/// rotation wraps the universe.
+///
+/// # Panics
+///
+/// Panics when `period = 0` or `head = 0` or `head > d`.
+pub fn key_churn<R: Rng + ?Sized>(
+    n: usize,
+    d: u64,
+    s: f64,
+    period: usize,
+    head: u64,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(period > 0, "churn period must be ≥ 1");
+    assert!(
+        head > 0 && head <= d,
+        "head block must satisfy 1 ≤ head ≤ d"
+    );
+    let zipf = Zipf::new(d, s);
+    (0..n)
+        .map(|i| {
+            let rotation = (i / period) as u64;
+            let rank = zipf.sample(rng);
+            if rank <= head {
+                (rank - 1 + rotation.wrapping_mul(head)) % d + 1
+            } else {
+                rank
+            }
+        })
+        .collect()
+}
+
+/// A Zipf(`s`) background stream over `d` keys with a **flash crowd**: in
+/// the window `[spike_at, spike_at + spike_len)`, each element is replaced
+/// by `spike_key` with probability `spike_share` — a previously cold key
+/// suddenly dominating, the way a breaking story dominates a query log.
+///
+/// # Panics
+///
+/// Panics unless `0 < spike_share ≤ 1`.
+#[allow(clippy::too_many_arguments)] // mirrors the FlashCrowd variant's fields
+pub fn flash_crowd<R: Rng + ?Sized>(
+    n: usize,
+    d: u64,
+    s: f64,
+    spike_at: usize,
+    spike_len: usize,
+    spike_key: u64,
+    spike_share: f64,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(
+        spike_share > 0.0 && spike_share <= 1.0,
+        "spike_share must be in (0, 1]"
+    );
+    let zipf = Zipf::new(d, s);
+    (0..n)
+        .map(|i| {
+            // Sample both draws unconditionally so the background stream is
+            // identical with and without the spike (same rng consumption).
+            let rank = zipf.sample(rng);
+            let flip: f64 = rng.random();
+            if i >= spike_at && i < spike_at + spike_len && flip < spike_share {
+                spike_key
+            } else {
+                rank
+            }
+        })
+        .collect()
+}
+
+/// An adversarial **eviction flood** aimed at the true heavy hitters:
+/// `heavy` keys (`1 ..= heavy`) each appear `heavy_count` times, and
+/// `flood` *distinct* one-shot keys (`heavy + 1 ..`) are interleaved
+/// uniformly at random among them. Every flood singleton that lands in a
+/// full sketch triggers a Branch-2 decrement-all, eroding the stored heavy
+/// counters as fast as Fact 7 permits — the worst case the `n/(k+1)` bound
+/// is tight on.
+///
+/// The shuffle is a seeded Fisher-Yates, so the attack is reproducible.
+///
+/// # Panics
+///
+/// Panics when `heavy = 0`.
+pub fn eviction_flood<R: Rng + ?Sized>(
+    heavy: u64,
+    heavy_count: u64,
+    flood: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(heavy > 0, "need at least one heavy key");
+    let mut stream: Vec<u64> = Vec::with_capacity(heavy as usize * heavy_count as usize + flood);
+    for key in 1..=heavy {
+        stream.extend(std::iter::repeat_n(key, heavy_count as usize));
+    }
+    stream.extend((0..flood as u64).map(|i| heavy + 1 + i));
+    // Fisher-Yates (the vendored rand has no slice shuffle).
+    for i in (1..stream.len()).rev() {
+        let j = rng.random_range(0..=i);
+        stream.swap(i, j);
+    }
+    stream
+}
+
+/// The scenario catalogue: every non-stationary regime the sweep harness
+/// iterates, as a seedable value. `generate(seed)` is deterministic in
+/// `(self, seed)`, and [`Scenario::StationaryZipf`] reproduces
+/// `Zipf::new(d, s).stream(n, &mut StdRng::seed_from_u64(seed))`
+/// byte-for-byte, so stationary baselines stay comparable across the API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// The stationary baseline: Zipf(`s`) over `d` keys.
+    StationaryZipf {
+        /// Stream length.
+        n: usize,
+        /// Universe size.
+        d: u64,
+        /// Zipf exponent.
+        s: f64,
+    },
+    /// Head rotation every `period` elements ([`key_churn`]).
+    KeyChurn {
+        /// Stream length.
+        n: usize,
+        /// Universe size.
+        d: u64,
+        /// Zipf exponent.
+        s: f64,
+        /// Elements between head rotations.
+        period: usize,
+        /// Size of the rotating head block.
+        head: u64,
+    },
+    /// A cold key spiking to `spike_share` of the stream mid-run
+    /// ([`flash_crowd`]).
+    FlashCrowd {
+        /// Stream length.
+        n: usize,
+        /// Universe size.
+        d: u64,
+        /// Zipf exponent.
+        s: f64,
+        /// Spike start index.
+        spike_at: usize,
+        /// Spike length in elements.
+        spike_len: usize,
+        /// The spiking key.
+        spike_key: u64,
+        /// Fraction of the spike window the key claims.
+        spike_share: f64,
+    },
+    /// Adversarial distinct-singleton flood against planted heavy hitters
+    /// ([`eviction_flood`]).
+    EvictionFlood {
+        /// Number of planted heavy keys.
+        heavy: u64,
+        /// True count of each heavy key.
+        heavy_count: u64,
+        /// Number of distinct one-shot flood keys.
+        flood: usize,
+    },
+    /// Elephant/mice packet trace ([`traces::network_flows`]).
+    NetworkFlows {
+        /// Distinct flows.
+        flows: usize,
+        /// Address-space size.
+        d: u64,
+        /// Pareto shape of the flow sizes.
+        alpha: f64,
+    },
+    /// Drifting query log ([`traces::query_log`]).
+    QueryLog {
+        /// Stream length.
+        n: usize,
+        /// Universe size.
+        d: u64,
+        /// Zipf exponent.
+        s: f64,
+        /// Elements between head rotations.
+        period: usize,
+    },
+}
+
+impl Scenario {
+    /// Stable label for result tables and verdicts.
+    pub fn name(&self) -> String {
+        match self {
+            Scenario::StationaryZipf { s, .. } => format!("stationary-zipf-{s}"),
+            Scenario::KeyChurn { period, .. } => format!("key-churn-p{period}"),
+            Scenario::FlashCrowd { spike_share, .. } => format!("flash-crowd-{spike_share}"),
+            Scenario::EvictionFlood { flood, .. } => format!("eviction-flood-{flood}"),
+            Scenario::NetworkFlows { flows, .. } => format!("network-flows-{flows}"),
+            Scenario::QueryLog { period, .. } => format!("query-log-p{period}"),
+        }
+    }
+
+    /// Generates the stream for `seed` (deterministic in `(self, seed)`).
+    pub fn generate(&self, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            Scenario::StationaryZipf { n, d, s } => Zipf::new(d, s).stream(n, &mut rng),
+            Scenario::KeyChurn {
+                n,
+                d,
+                s,
+                period,
+                head,
+            } => key_churn(n, d, s, period, head, &mut rng),
+            Scenario::FlashCrowd {
+                n,
+                d,
+                s,
+                spike_at,
+                spike_len,
+                spike_key,
+                spike_share,
+            } => flash_crowd(
+                n,
+                d,
+                s,
+                spike_at,
+                spike_len,
+                spike_key,
+                spike_share,
+                &mut rng,
+            ),
+            Scenario::EvictionFlood {
+                heavy,
+                heavy_count,
+                flood,
+            } => eviction_flood(heavy, heavy_count, flood, &mut rng),
+            Scenario::NetworkFlows { flows, d, alpha } => {
+                traces::network_flows(flows, d, alpha, &mut rng)
+            }
+            Scenario::QueryLog { n, d, s, period } => traces::query_log(n, d, s, period, &mut rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn counts(slice: &[u64]) -> HashMap<u64, u64> {
+        let mut m = HashMap::new();
+        for &x in slice {
+            *m.entry(x).or_insert(0) += 1;
+        }
+        m
+    }
+
+    fn top(slice: &[u64]) -> u64 {
+        counts(slice).into_iter().max_by_key(|&(_, c)| c).unwrap().0
+    }
+
+    #[test]
+    fn key_churn_first_period_is_stationary_zipf() {
+        // Rotation 0 must be the identity map: the first period is exactly
+        // the stationary stream drawn from the same rng state.
+        let n = 5_000;
+        let churn = key_churn(n, 1_000, 1.2, n, 10, &mut StdRng::seed_from_u64(11));
+        let plain = Zipf::new(1_000, 1.2).stream(n, &mut StdRng::seed_from_u64(11));
+        assert_eq!(churn, plain);
+    }
+
+    #[test]
+    fn key_churn_head_moves_every_period() {
+        let n = 30_000;
+        let period = 10_000;
+        let stream = key_churn(n, 100_000, 1.3, period, 50, &mut StdRng::seed_from_u64(12));
+        let t0 = top(&stream[..period]);
+        let t1 = top(&stream[period..2 * period]);
+        let t2 = top(&stream[2 * period..]);
+        assert_ne!(t0, t1, "head must rotate at the first period boundary");
+        assert_ne!(t1, t2, "head must rotate at the second period boundary");
+        // The rotation is exact: period p's top is rank 1 shifted by p·head.
+        assert_eq!(t0, 1);
+        assert_eq!(t1, 51);
+        assert_eq!(t2, 101);
+    }
+
+    #[test]
+    fn flash_crowd_spike_dominates_its_window_only() {
+        let n = 40_000;
+        let spike_key = 999_983;
+        let stream = flash_crowd(
+            n,
+            10_000,
+            1.1,
+            10_000,
+            10_000,
+            spike_key,
+            0.8,
+            &mut StdRng::seed_from_u64(13),
+        );
+        let pre = counts(&stream[..10_000]);
+        let during = counts(&stream[10_000..20_000]);
+        let post = counts(&stream[20_000..]);
+        assert_eq!(pre.get(&spike_key), None, "cold before the spike");
+        assert_eq!(post.get(&spike_key), None, "cold after the spike");
+        let spike_mass = *during.get(&spike_key).unwrap();
+        assert!(
+            (7_000..=9_000).contains(&spike_mass),
+            "spike share ~0.8 of its window, got {spike_mass}"
+        );
+        assert_eq!(top(&stream[10_000..20_000]), spike_key);
+    }
+
+    #[test]
+    fn eviction_flood_shape() {
+        let stream = eviction_flood(5, 100, 2_000, &mut StdRng::seed_from_u64(14));
+        assert_eq!(stream.len(), 5 * 100 + 2_000);
+        let c = counts(&stream);
+        for key in 1..=5 {
+            assert_eq!(c[&key], 100, "heavy key {key} count");
+        }
+        // All flood keys are distinct singletons above the heavy range.
+        assert_eq!(c.len(), 5 + 2_000);
+        assert!(c.iter().all(|(&k, &v)| k <= 5 || v == 1));
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_and_named() {
+        let scenarios = [
+            Scenario::StationaryZipf {
+                n: 500,
+                d: 100,
+                s: 1.2,
+            },
+            Scenario::KeyChurn {
+                n: 500,
+                d: 100,
+                s: 1.2,
+                period: 100,
+                head: 5,
+            },
+            Scenario::FlashCrowd {
+                n: 500,
+                d: 100,
+                s: 1.2,
+                spike_at: 100,
+                spike_len: 100,
+                spike_key: 7,
+                spike_share: 0.5,
+            },
+            Scenario::EvictionFlood {
+                heavy: 3,
+                heavy_count: 20,
+                flood: 50,
+            },
+            Scenario::NetworkFlows {
+                flows: 20,
+                d: 1_000,
+                alpha: 1.5,
+            },
+            Scenario::QueryLog {
+                n: 500,
+                d: 100,
+                s: 1.2,
+                period: 100,
+            },
+        ];
+        let mut names = std::collections::HashSet::new();
+        for sc in &scenarios {
+            assert_eq!(sc.generate(42), sc.generate(42), "{}", sc.name());
+            assert_ne!(sc.generate(42), sc.generate(43), "{}", sc.name());
+            assert!(names.insert(sc.name()), "duplicate name {}", sc.name());
+        }
+    }
+
+    #[test]
+    fn stationary_scenario_matches_raw_zipf_stream() {
+        let sc = Scenario::StationaryZipf {
+            n: 2_000,
+            d: 5_000,
+            s: 1.2,
+        };
+        let direct = Zipf::new(5_000, 1.2).stream(2_000, &mut StdRng::seed_from_u64(0xE3));
+        assert_eq!(sc.generate(0xE3), direct);
+    }
+}

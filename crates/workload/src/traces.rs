@@ -71,8 +71,13 @@ pub fn query_log<R: Rng + ?Sized>(
         .map(|i| {
             let rotation = (i / period) as u64;
             let rank = zipf.sample(rng);
-            // Rotate the identity of the head ranks over time.
-            (rank + rotation * 13) % d + 1
+            // Rotate the identity of the head ranks over time. Rotation 0
+            // is the identity map (`rank ∈ [1, d]` maps to itself), so the
+            // first period is exactly the undrifted Zipf stream and every
+            // boundary at a `period` multiple shifts by exactly 13 — the
+            // old `(rank + r·13) % d + 1` form shifted rotation 0 too and
+            // wrapped rank `d` onto key 1 even before any drift.
+            (rank - 1 + rotation.wrapping_mul(13)) % d + 1
         })
         .collect()
 }
@@ -122,6 +127,57 @@ mod tests {
             counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
         };
         assert_ne!(top(&stream[..n / 2]), top(&stream[n / 2..]));
+    }
+
+    #[test]
+    fn query_log_period_boundaries_are_exact() {
+        // Differential check against a replicated rng stream: element `i`
+        // must be exactly `(rank − 1 + ⌊i/period⌋·13) mod d + 1` for the
+        // rank the shared Zipf sampler draws at step `i`. In particular the
+        // first period (rotation 0) is the *unshifted* Zipf stream — the
+        // old mapping was off by one and shifted rotation 0 too.
+        let d = 1_000;
+        let period = 250;
+        let n = 1_000;
+        let stream = query_log(n, d, 1.3, period, &mut StdRng::seed_from_u64(77));
+        let zipf = crate::zipf::Zipf::new(d, 1.3);
+        let mut rng = StdRng::seed_from_u64(77);
+        for (i, &key) in stream.iter().enumerate() {
+            let rank = zipf.sample(&mut rng);
+            let rotation = (i / period) as u64;
+            assert_eq!(key, (rank - 1 + rotation * 13) % d + 1, "index {i}");
+            if i < period {
+                assert_eq!(key, rank, "rotation 0 must be the identity map");
+            }
+        }
+        // Boundary exactness: index `period` is the first drifted element.
+        let raw = zipf.stream(n, &mut StdRng::seed_from_u64(77));
+        assert_eq!(stream[period - 1], raw[period - 1]);
+        assert_eq!(stream[period], (raw[period] - 1 + 13) % d + 1);
+    }
+
+    #[test]
+    fn query_log_head_changes_between_periods() {
+        // The drift-detection guarantee: the most popular key of each
+        // period differs from the next period's (the head actually moved).
+        let n = 30_000;
+        let period = 10_000;
+        let stream = query_log(n, 50_000, 1.4, period, &mut StdRng::seed_from_u64(78));
+        let top = |slice: &[u64]| {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for &x in slice {
+                *counts.entry(x).or_insert(0) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        let heads: Vec<u64> = stream.chunks(period).map(top).collect();
+        assert_eq!(heads.len(), 3);
+        assert_ne!(heads[0], heads[1]);
+        assert_ne!(heads[1], heads[2]);
+        // And the shift is exactly 13 per period for the rank-1 head.
+        assert_eq!(heads[0], 1);
+        assert_eq!(heads[1], 14);
+        assert_eq!(heads[2], 27);
     }
 
     #[test]

@@ -147,3 +147,74 @@ fn group_privacy_threshold_monotone_in_m() {
         last = t;
     }
 }
+
+#[test]
+fn mg_guarantee_survives_adversarial_eviction_flood() {
+    // Algorithm 1's deterministic guarantee — any key with true count
+    // `c > n/(k+1)` is in the sketch with estimate ≥ `c − n/(k+1)`
+    // (Lemma 15) — is *worst-case over streams*, so an adversary flooding
+    // the sketch with distinct one-shot keys engineered to trigger
+    // maximal decrement cascades must not dislodge a single heavy key.
+    use dp_misra_gries::workload::scenarios::Scenario;
+
+    let heavy = 20u64;
+    let heavy_count = 5_000u64;
+    let flood = 100_000usize;
+    let scenario = Scenario::EvictionFlood {
+        heavy,
+        heavy_count,
+        flood,
+    };
+    let k = 64usize; // n/(k+1) ≈ 3 077 < heavy_count: every heavy key must survive
+    for seed in [1u64, 7, 0xF100D] {
+        let stream = scenario.generate(seed);
+        let n = stream.len() as u64;
+        assert_eq!(n, heavy * heavy_count + flood as u64);
+        let mut sketch = MisraGries::new(k).unwrap();
+        sketch.extend(stream.iter().copied());
+        let slack = n as f64 / (k as f64 + 1.0);
+        assert!(
+            (heavy_count as f64) > slack,
+            "test must pick parameters above the guarantee threshold"
+        );
+        for key in 1..=heavy {
+            let est = sketch.estimate(&key);
+            assert!(
+                est >= heavy_count as f64 - slack,
+                "seed {seed}: heavy key {key} estimate {est} below Lemma 15 floor"
+            );
+        }
+        // All 20 heavy keys surface in the top-20 despite the flood.
+        let mut by_count: Vec<(u64, u64)> = sketch.summary().entries.into_iter().collect();
+        by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut top: Vec<u64> = by_count
+            .iter()
+            .take(heavy as usize)
+            .map(|&(k, _)| k)
+            .collect();
+        top.sort_unstable();
+        assert_eq!(top, (1..=heavy).collect::<Vec<u64>>(), "seed {seed}");
+
+        // The windowed variant inherits the merged bound (Corollary 18):
+        // splitting the same flood across 4 blocks of one window keeps
+        // every heavy key above the merged error floor.
+        let mut windowed = dp_misra_gries::sketch::windowed::WindowedMisraGries::new(k, 4).unwrap();
+        for (i, block) in stream.chunks(stream.len() / 4 + 1).enumerate() {
+            if i > 0 {
+                windowed.advance();
+            }
+            windowed.extend(block.iter().copied());
+        }
+        let summary = windowed.summary();
+        let floor = heavy_count as f64 - windowed.error_bound() as f64;
+        if floor > 0.0 {
+            for key in 1..=heavy {
+                let est = summary.entries.get(&key).copied().unwrap_or(0) as f64;
+                assert!(
+                    est >= floor,
+                    "seed {seed}: windowed heavy key {key} estimate {est} below merged floor {floor}"
+                );
+            }
+        }
+    }
+}

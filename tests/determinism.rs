@@ -521,3 +521,87 @@ fn independent_releases_differ() {
     let b = mech.release(&sketch, &mut StdRng::seed_from_u64(2));
     assert_ne!(a.estimate(&5), b.estimate(&5));
 }
+
+#[test]
+fn windowed_service_matches_reference_bit_for_bit_across_handoffs() {
+    // Windowed mode (W = 2) over a key-churn scenario: the concurrent
+    // service at 1/2/4 shards × {Ring, Mpsc} handoffs against the
+    // single-threaded SequentialServiceReference. Every per-window merged
+    // summary, released histogram, query answer, and budget charge must be
+    // byte-identical — the window ring lives in the shared epoch core, so
+    // any divergence here means the handoff leaked into release order.
+    use dp_misra_gries::core::mechanism::MergedLaplaceMechanism;
+    use dp_misra_gries::workload::scenarios::Scenario;
+
+    let params = PrivacyParams::new(0.9, 1e-8).unwrap();
+    let budget = PrivacyParams::new(50.0, 1e-4).unwrap();
+    let churn = Scenario::KeyChurn {
+        n: 48_000,
+        d: 600,
+        s: 1.2,
+        period: 12_000,
+        head: 20,
+    }
+    .generate(0x71ED);
+    let epochs: Vec<&[u64]> = churn.chunks(12_000).collect();
+
+    let hist_bits = |h: &PrivateHistogram<u64>| -> Vec<(u64, u64)> {
+        h.iter().map(|(&k, v)| (k, v.to_bits())).collect()
+    };
+    for shards in [1usize, 2, 4] {
+        let seed = 0x5EED ^ shards as u64;
+        let mechanism = || -> Box<dyn ReleaseMechanism<u64>> {
+            Box::new(MergedLaplaceMechanism::new(params).unwrap())
+        };
+        let base = ServiceConfig::new(shards, 32)
+            .with_batch_size(211)
+            .with_mode(ServiceMode::Windowed { window_epochs: 2 });
+        let mut oracle = SequentialServiceReference::new(base, mechanism(), budget, seed).unwrap();
+        let mut ring =
+            DpmgService::new(base.with_handoff(Handoff::Ring), mechanism(), budget, seed).unwrap();
+        let mut mpsc =
+            DpmgService::new(base.with_handoff(Handoff::Mpsc), mechanism(), budget, seed).unwrap();
+        for (i, epoch) in epochs.iter().enumerate() {
+            oracle.ingest_from(epoch.iter().copied()).unwrap();
+            ring.ingest_from(epoch.iter().copied()).unwrap();
+            mpsc.ingest_from(epoch.iter().copied()).unwrap();
+            oracle.end_epoch().unwrap();
+            ring.end_epoch().unwrap();
+            mpsc.end_epoch().unwrap();
+            let (o, r, m) = (
+                &oracle.transcript()[i],
+                &ring.transcript()[i],
+                &mpsc.transcript()[i],
+            );
+            assert_eq!(
+                o.pre_noise, r.pre_noise,
+                "{shards} shards, window {i}: Ring merged summary diverged"
+            );
+            assert_eq!(
+                o.pre_noise, m.pre_noise,
+                "{shards} shards, window {i}: Mpsc merged summary diverged"
+            );
+            assert_eq!(
+                hist_bits(&o.histogram),
+                hist_bits(&r.histogram),
+                "{shards} shards, window {i}: Ring release diverged"
+            );
+            assert_eq!(
+                hist_bits(&o.histogram),
+                hist_bits(&m.histogram),
+                "{shards} shards, window {i}: Mpsc release diverged"
+            );
+            assert_eq!(ring.top_k(8), oracle.top_k(8));
+            assert_eq!(mpsc.top_k(8), oracle.top_k(8));
+        }
+        assert_eq!(ring.accountant().charges(), oracle.accountant().charges());
+        assert_eq!(
+            ring.accountant().remaining_epsilon().to_bits(),
+            oracle.accountant().remaining_epsilon().to_bits()
+        );
+        assert_eq!(
+            mpsc.accountant().remaining_epsilon().to_bits(),
+            oracle.accountant().remaining_epsilon().to_bits()
+        );
+    }
+}

@@ -308,3 +308,92 @@ fn empirical_epsilon_audit_of_epoch_releases_over_200_neighbour_pairs() {
         "median audited ε̂ = {median:.3} over {pairs} pairs exceeds ε = {EPS} (worst {worst:.3})"
     );
 }
+
+/// Empirical `(ε_w, δ_w)` audit of **windowed** releases: each window
+/// release is the mechanism applied once to the merged window summary, so
+/// a neighbouring stream (one element removed, landing in either window
+/// epoch) must be no more distinguishable than one `(ε_w, δ_w)` charge
+/// allows. This is the base case of the `(W·ε_w, W·δ_w)` composition
+/// argument in DESIGN.md, "Per-window budget accounting".
+#[test]
+fn empirical_epsilon_audit_of_windowed_releases() {
+    let mechanism = MergedLaplaceMechanism::new(params()).unwrap();
+    let config = AuditConfig {
+        delta: DELTA,
+        ..AuditConfig::default()
+    };
+
+    /// The service's merged window summary after 2 epochs at W = 2 — the
+    /// windowed transcript records the *merged* pre-noise summary.
+    fn window_summary(
+        stream: &[u64],
+        shards: usize,
+    ) -> dp_misra_gries::sketch::traits::Summary<u64> {
+        let svc_config = ServiceConfig::new(shards, 8)
+            .with_batch_size(61)
+            .with_mode(ServiceMode::Windowed { window_epochs: 2 });
+        let budget = PrivacyParams::new(100.0, 1e-4).unwrap();
+        let mechanism =
+            Box::new(MergedLaplaceMechanism::new(PrivacyParams::new(EPS, DELTA).unwrap()).unwrap());
+        let mut svc = DpmgService::new(svc_config, mechanism, budget, 1).unwrap();
+        let half = stream.len() / 2;
+        svc.ingest_from(stream[..half].iter().copied()).unwrap();
+        svc.end_epoch().unwrap();
+        svc.ingest_from(stream[half..].iter().copied()).unwrap();
+        svc.end_epoch().unwrap();
+        svc.transcript()[1].pre_noise.clone()
+    }
+
+    let mut eps_hats: Vec<f64> = Vec::new();
+    for data_seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(0x33D0 ^ data_seed);
+        let len = rng.random_range(600..1200);
+        let stream: Vec<u64> = (0..len)
+            .map(|_| {
+                if rng.random_range(0..2u32) == 0 {
+                    1
+                } else {
+                    rng.random_range(2..=30u64)
+                }
+            })
+            .collect();
+        let neighbour = remove_at(&stream, rng.random_range(0..stream.len()));
+        for shards in [1usize, 2] {
+            let summary_a = window_summary(&stream, shards);
+            let summary_b = window_summary(&neighbour, shards);
+            let stat = |summary: dp_misra_gries::sketch::traits::Summary<u64>| {
+                let mechanism = mechanism.clone();
+                move |seed: u64| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let hist = ReleaseMechanism::<u64>::release(
+                        &mechanism,
+                        &summary,
+                        &mut rng as &mut dyn rand::RngCore,
+                    )
+                    .unwrap();
+                    hist.iter().map(|(_, v)| v).sum::<f64>()
+                }
+            };
+            let eps_hat = audit_mechanism(
+                200,
+                0x77 ^ (data_seed << 3) ^ shards as u64,
+                &config,
+                stat(summary_a),
+                stat(summary_b),
+            );
+            eps_hats.push(eps_hat);
+            assert!(
+                eps_hat <= EPS * 1.75,
+                "window pair (seed {data_seed}, {shards} shards): audited ε̂ = {eps_hat:.3} \
+                 far exceeds the per-window ε_w = {EPS}"
+            );
+        }
+    }
+    assert_eq!(eps_hats.len(), 50);
+    eps_hats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = eps_hats[eps_hats.len() / 2];
+    assert!(
+        median <= EPS,
+        "median audited ε̂ = {median:.3} over 50 window pairs exceeds ε_w = {EPS}"
+    );
+}
